@@ -1,0 +1,41 @@
+"""A3 — Ablation (§6.2, §8.1): the Merkle partition depth d.
+
+Depth d keeps ~2^d Merkle records permanently in deferred state. Larger
+d: more parallelizable Merkle work and shorter cold chains, but every
+verification must migrate more anchors (higher verification latency
+floor). Smaller d: cheap verifications, but Merkle work concentrates on
+few subtrees. This is FastVer's second latency knob (§8.1's "depth d").
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchRow, scaled, sweep_fastver
+from repro.workloads.ycsb import YCSB_A
+
+PAPER_SIZE = 32_000_000
+DEPTHS = [1, 3, 5, 7, 9]
+N_WORKERS = 8
+
+
+def run_depths():
+    records = scaled(PAPER_SIZE)
+    batch = min(10_000, records)
+    rows = []
+    for depth in DEPTHS:
+        [(_, result)] = sweep_fastver(
+            YCSB_A, records, PAPER_SIZE, n_workers=N_WORKERS,
+            batch_sizes=[batch], partition_depth=depth)
+        rows.append(BenchRow(
+            f"partition depth d={depth} (~{2 ** depth} anchors)",
+            result.throughput_mops, result.verification_latency_s, {}))
+    return rows
+
+
+def test_ablation_partition_depth(benchmark, show):
+    rows = benchmark.pedantic(run_depths, rounds=1, iterations=1)
+    show("A3: partition depth sweep (YCSB-A, 32M records)", rows)
+    throughputs = [r.throughput_mops for r in rows]
+    # Deeper partitioning helps throughput up to a point...
+    assert max(throughputs[1:]) >= throughputs[0]
+    # ...and all configurations stay within sane bounds (no collapse).
+    assert min(throughputs) > 0.2 * max(throughputs)

@@ -1,0 +1,59 @@
+"""E1 — Figures 8–12: FastVer throughput vs verification latency.
+
+The paper's headline frontier: for each database size (2M / 8M / 32M /
+128M records), sweep the batch size (operations between verification
+scans) and plot (verification latency, throughput). Expected shape:
+larger batches → higher throughput *and* higher latency; bigger
+databases push the frontier toward higher latency at equal throughput;
+every size can reach low latency by shrinking the batch (goal P3).
+
+Workload: YCSB-A (50/50), zipfian θ=0.9. The database loads once per
+size; each sweep point measures exactly one epoch (batch + verification).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchRow, scaled, sweep_fastver
+from repro.workloads.ycsb import YCSB_A
+
+PAPER_SIZES = [2_000_000, 8_000_000, 32_000_000, 128_000_000]
+#: Batch sizes as a fraction of the (scaled) database size.
+BATCH_FRACTIONS = [0.05, 0.2, 0.8, 3.2]
+BATCH_CAP = 24_000
+N_WORKERS = 8
+DEPTH = 5
+
+
+def run_frontier() -> list[list[BenchRow]]:
+    series: list[list[BenchRow]] = []
+    for paper in PAPER_SIZES:
+        records = scaled(paper)
+        batches = sorted({min(BATCH_CAP, max(200, int(records * f)))
+                          for f in BATCH_FRACTIONS})
+        results = sweep_fastver(YCSB_A, records, paper,
+                                n_workers=N_WORKERS, batch_sizes=batches,
+                                partition_depth=DEPTH)
+        series.append([
+            BenchRow(
+                f"{paper // 1_000_000}M records, batch {batch}",
+                result.throughput_mops,
+                result.verification_latency_s,
+                {"deferred": result.deferred_population},
+            )
+            for batch, result in results
+        ])
+    return series
+
+
+def test_fig12_throughput_latency(benchmark, show):
+    series = benchmark.pedantic(run_frontier, rounds=1, iterations=1)
+    rows = [row for s in series for row in s]
+    show("Fig 8-12: FastVer throughput vs verification latency (YCSB-A, "
+         "zipf 0.9)", rows)
+    # Shape: within each size, bigger batches trade latency for throughput.
+    for s in series:
+        assert s[-1].throughput_mops > s[0].throughput_mops
+        assert s[-1].latency_s > s[0].latency_s
+    # Larger databases pay more verification latency at the largest batch
+    # (the Fig 8 vs Fig 11 contrast).
+    assert series[-1][-1].latency_s > series[0][-1].latency_s

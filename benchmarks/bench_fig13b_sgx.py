@@ -1,0 +1,51 @@
+"""E3 — Figure 13b: real SGX enclaves vs simulated enclaves.
+
+YCSB-A with uniform keys, 8 workers, DB sizes 8M–64M. The paper measured
+real-SGX throughput at ~90% of the simulated-enclave build, attributing
+the gap to EPC memory overheads the simulation does not model. We run
+the identical workload under both cost profiles; the SGX profile carries
+the measured crossing cost and in-enclave compute multiplier.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchRow, scaled, sweep_fastver
+from repro.enclave.costmodel import SGX, SIMULATED
+from repro.workloads.ycsb import YCSB_A
+
+PAPER_SIZES = [8_000_000, 16_000_000, 32_000_000, 64_000_000]
+N_WORKERS = 8
+
+
+def run_comparison() -> list[tuple[BenchRow, BenchRow, float]]:
+    out = []
+    for paper in PAPER_SIZES:
+        records = scaled(paper)
+        batch = max(500, records // 2)
+        rows = {}
+        for profile in (SIMULATED, SGX):
+            [(_, result)] = sweep_fastver(
+                YCSB_A, records, paper, n_workers=N_WORKERS,
+                batch_sizes=[batch], distribution="uniform",
+                profile=profile)
+            rows[profile.name] = BenchRow(
+                f"{paper // 1_000_000}M records, {profile.name}",
+                result.throughput_mops, result.verification_latency_s, {})
+        ratio = (rows["sgx"].throughput_mops
+                 / rows["simulated"].throughput_mops)
+        out.append((rows["simulated"], rows["sgx"], ratio))
+    return out
+
+
+def test_fig13b_sgx_vs_simulated(benchmark, show):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = []
+    for sim_row, sgx_row, ratio in results:
+        sgx_row.extra["sgx/simulated"] = f"{ratio:.2f}"
+        rows.extend([sim_row, sgx_row])
+    show("Fig 13b: SGX vs simulated enclaves (YCSB-A uniform, 8 workers)",
+         rows)
+    # Shape: SGX lands at ~90% of simulated across all sizes (paper: "about
+    # 90% ... and this trend remains true in other settings").
+    for _, _, ratio in results:
+        assert 0.75 < ratio < 1.0

@@ -1,0 +1,82 @@
+"""E4 — Figure 13c: FASTER baseline vs FastVer, 50% reads.
+
+For each database size, three bars: unmodified FASTER (no integrity),
+FastVer at its best throughput (large batch, unconstrained latency), and
+FastVer constrained to sub-second verification latency. Paper shape:
+FastVer is within ~2x of FASTER when 10s-of-seconds latencies are
+tolerable; the sub-second constraint costs little at small sizes and up
+to ~10x at 128M records.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    BenchRow,
+    run_faster_baseline,
+    scaled,
+    sweep_fastver,
+)
+from repro.workloads.ycsb import YCSB_A
+
+PAPER_SIZES = [2_000_000, 8_000_000, 32_000_000, 128_000_000]
+N_WORKERS = 8
+#: Modeled latency bound for the constrained bar (scaled along with the
+#: database: the paper's 1 s at full scale corresponds to ~1/scale here
+#: since the migrated population scales down too).
+LATENCY_BOUND_S = 0.005
+
+
+def run_comparison(spec=YCSB_A):
+    out = []
+    for paper in PAPER_SIZES:
+        records = scaled(paper)
+        faster = run_faster_baseline(spec, records, paper,
+                                     n_workers=N_WORKERS,
+                                     ops=min(24_000, records * 2))
+        batches = sorted({max(200, records // 20), max(400, records // 4),
+                          min(24_000, records * 2)})
+        sweep = sweep_fastver(spec, records, paper, n_workers=N_WORKERS,
+                              batch_sizes=batches)
+        best = max(sweep, key=lambda br: br[1].throughput_mops)[1]
+        bounded = [r for _, r in sweep
+                   if r.verification_latency_s <= LATENCY_BOUND_S]
+        constrained = (max(bounded, key=lambda r: r.throughput_mops)
+                       if bounded else min(sweep, key=lambda br:
+                                           br[1].verification_latency_s)[1])
+        label = f"{paper // 1_000_000}M"
+        out.append((
+            BenchRow(f"{label} FASTER (no integrity)",
+                     faster.throughput_mops, 0.0, {}),
+            BenchRow(f"{label} FastVer (best)",
+                     best.throughput_mops, best.verification_latency_s, {}),
+            BenchRow(f"{label} FastVer (latency-bounded)",
+                     constrained.throughput_mops,
+                     constrained.verification_latency_s, {}),
+        ))
+    return out
+
+
+def check_shape(results):
+    for i, (faster, best, constrained) in enumerate(results):
+        # FASTER always wins. FastVer's gap grows with database size at
+        # our scale because the benchmark's ops-to-DB ratio is ~200x below
+        # the paper's 4-billion-op runs (see EXPERIMENTS.md): the smaller
+        # the ratio, the larger the cold fraction per epoch. At the
+        # smallest size (highest ratio) the gap approaches the paper's
+        # ~2x; we assert a widening but bounded band.
+        assert faster.throughput_mops > best.throughput_mops
+        bound = 6 if i == 0 else 60
+        assert best.throughput_mops > faster.throughput_mops / bound
+        # The latency bound only ever costs throughput.
+        assert constrained.throughput_mops <= best.throughput_mops + 1e-9
+    # The price of the latency bound grows with database size.
+    first_gap = results[0][1].throughput_mops / results[0][2].throughput_mops
+    last_gap = results[-1][1].throughput_mops / results[-1][2].throughput_mops
+    assert last_gap >= first_gap * 0.8
+
+
+def test_fig13c_faster_comparison_5050(benchmark, show):
+    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    show("Fig 13c: FASTER vs FastVer, YCSB-A 50% reads",
+         [row for group in results for row in group])
+    check_shape(results)

@@ -1,0 +1,37 @@
+"""E5 — Figure 13d: FASTER baseline vs FastVer, read-only (YCSB-C).
+
+Same three bars as Fig 13c but for a 100%-read workload. The paper's
+observation: FastVer's relative cost looks the same as for 50/50,
+because deferred verification turns every read into a read-modify-write
+(the timestamp must advance), so reads are not meaningfully cheaper.
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_fig13c_faster_5050 import check_shape, run_comparison
+from repro.instrument import COUNTERS
+from repro.workloads.ycsb import YCSB_C
+
+
+def test_fig13d_faster_comparison_readonly(benchmark, show):
+    results = benchmark.pedantic(lambda: run_comparison(YCSB_C),
+                                 rounds=1, iterations=1)
+    show("Fig 13d: FASTER vs FastVer, YCSB-C read-only",
+         [row for group in results for row in group])
+    check_shape(results)
+
+
+def test_reads_are_read_modify_writes(benchmark, show):
+    """§8.1's explanation: a validated read still CASes the timestamp."""
+    from repro.bench.harness import scaled, sweep_fastver
+
+    def run():
+        COUNTERS.reset()
+        records = scaled(8_000_000)
+        sweep_fastver(YCSB_C, records, 8_000_000, n_workers=4,
+                      batch_sizes=[2_000])
+        return COUNTERS.snapshot()
+
+    counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Every warm read performs a store CAS even though it changes no data.
+    assert counters.cas_attempts >= 1_000

@@ -1,0 +1,46 @@
+"""E6 — Figure 14a: FastVer throughput vs worker-thread count.
+
+YCSB-A (50% reads) at several database sizes, workers 2/4/8/16. Paper
+shape: near-linear scaling with worker count at every size (verification
+work — deferred migration and partitioned Merkle updates — parallelizes
+across all threads), with absolute throughput decreasing in database
+size.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchRow, scaled, sweep_fastver
+from repro.workloads.ycsb import YCSB_A
+
+PAPER_SIZES = [2_000_000, 8_000_000, 32_000_000]
+WORKER_COUNTS = [2, 4, 8, 16]
+
+
+def run_scaling():
+    out = {}
+    for paper in PAPER_SIZES:
+        records = scaled(paper)
+        batch = min(12_000, max(1_000, records))
+        series = []
+        for workers in WORKER_COUNTS:
+            [(_, result)] = sweep_fastver(
+                YCSB_A, records, paper, n_workers=workers,
+                batch_sizes=[batch], partition_depth=5)
+            series.append(BenchRow(
+                f"{paper // 1_000_000}M records, {workers} workers",
+                result.throughput_mops, result.verification_latency_s, {}))
+        out[paper] = series
+    return out
+
+
+def test_fig14a_scalability(benchmark, show):
+    results = benchmark.pedantic(run_scaling, rounds=1, iterations=1)
+    show("Fig 14a: throughput vs worker threads (YCSB-A, zipf 0.9)",
+         [row for series in results.values() for row in series])
+    for series in results.values():
+        # Monotone scaling with workers...
+        throughputs = [row.throughput_mops for row in series]
+        assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+        # ...and a healthy speedup from 2 to 16 workers (paper: ~1.75x per
+        # doubling → ~5.3x over three doublings).
+        assert throughputs[-1] / throughputs[0] > 3.0

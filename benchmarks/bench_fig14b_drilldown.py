@@ -1,0 +1,76 @@
+"""E7 — Figure 14b: single-threaded micro drill-down.
+
+Array-backed stores (no FASTER effects), YCSB-A-style 50/50 random ops,
+one verifier thread, DB of 64M records (scaled). Bars, as in the paper:
+
+* M        — plain sparse Merkle, no retained verifier cache
+* M1K      — Merkle with a 1K-entry verifier cache
+* M32K     — Merkle with a 32K-entry cache
+* MV       — 32K cache but eager root propagation (VeritasDB-style)
+* M1K(seq) — 1K cache, sequential key order
+* DV       — pure deferred verification
+
+Expected shape (log scale in the paper): all random Merkle variants
+cluster ~100K ops/s; sequential access buys ~an order of magnitude;
+DV sits another order above that. The secondary axis — fraction of time
+in the verifier — falls as caching grows.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchRow, op_count, run_baseline, scaled
+from repro.workloads.ycsb import YCSB_A
+
+PAPER_SIZE = 64_000_000
+#: The drill-down compares *fixed* cache sizes (1K, 32K) against the
+#: database, so the database must stay large relative to them; floor the
+#: scaled size at 640K records (paper ratio / 100).
+MIN_RECORDS = 640_000
+
+
+def run_drilldown() -> dict[str, BenchRow]:
+    records = scaled(PAPER_SIZE, minimum=MIN_RECORDS)
+    ops = min(6_000, op_count(records))
+    rows: dict[str, BenchRow] = {}
+
+    def fraction(result):
+        return f"{result.metrics.verifier_fraction:.2f}"
+
+    for kind in ("M", "M1K", "M32K", "MV"):
+        result = run_baseline(kind, YCSB_A, records, PAPER_SIZE, ops=ops)
+        rows[kind] = BenchRow(kind, result.throughput_mops, 0.0,
+                              {"verifier_frac": fraction(result)})
+    result = run_baseline("M1K", YCSB_A, records, PAPER_SIZE, ops=ops,
+                          distribution="sequential")
+    rows["M1K(seq)"] = BenchRow("M1K (seq)", result.throughput_mops, 0.0,
+                                {"verifier_frac": fraction(result)})
+    # DV's bar amortizes verification over a much larger batch (as the
+    # paper's micro setup does); its scan latency is reported separately
+    # by the Fig 12 family and §5.4 tests.
+    result = run_baseline("DV", YCSB_A, records, PAPER_SIZE, ops=ops,
+                          final_verify=False)
+    rows["DV"] = BenchRow("DV", result.throughput_mops, 0.0,
+                          {"verifier_frac": fraction(result)})
+    return rows
+
+
+def test_fig14b_drilldown(benchmark, show):
+    rows = benchmark.pedantic(run_drilldown, rounds=1, iterations=1)
+    show("Fig 14b: single-threaded micro drill-down (64M records)",
+         list(rows.values()))
+    t = {k: r.throughput_mops for k, r in rows.items()}
+    # The paper's ordering on the log-scale chart:
+    # random merkle variants cluster together...
+    assert t["M"] <= t["M1K"] * 3 and t["M1K"] <= t["M32K"] * 3
+    # ...MV is the slowest cached variant (eager propagation)...
+    assert t["MV"] <= t["M32K"]
+    # ...sequential buys a large factor over random...
+    assert t["M1K(seq)"] > 3 * t["M1K"]
+    # ...and DV sits an order of magnitude above the Merkle cluster.
+    assert t["DV"] > 8 * t["M32K"]
+    # The verifier's share of total time falls as the scheme leans less on
+    # Merkle hashing (the paper's secondary axis); the effect is strongest
+    # for DV, which does no Merkle hashing at all.
+    frac = {k: float(r.extra["verifier_frac"]) for k, r in rows.items()}
+    assert frac["M32K"] <= frac["M"] + 0.02
+    assert frac["DV"] < frac["M"] - 0.05

@@ -1,0 +1,49 @@
+"""E8 — Figure 14c: multithreaded micro throughput, small vs large DB.
+
+Pure deferred verification over an array (the §8.5 setup: batch large
+enough that essentially all records are deferred), uniform random keys,
+workers 1..16, two database sizes: 16K records (fits in L3) and 64M
+records (DRAM-resident, scaled). Paper shape: ~75% scaling per worker
+doubling for both sizes, with a constant throughput gap reflecting
+L3-vs-DRAM access costs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import BenchRow, run_baseline, scaled
+from repro.workloads.ycsb import YCSB_A
+
+SMALL_PAPER = 16_000          # fits in L3 at paper scale: not scaled down
+LARGE_PAPER = 64_000_000
+WORKERS = [1, 2, 4, 8, 16]
+
+
+def run_multithreaded():
+    out: dict[int, list[BenchRow]] = {}
+    for paper, records in ((SMALL_PAPER, 16_000),
+                           (LARGE_PAPER, scaled(LARGE_PAPER))):
+        series = []
+        for workers in WORKERS:
+            result = run_baseline(
+                "DV", YCSB_A, records, paper, n_workers=workers,
+                distribution="uniform", ops=6_000, final_verify=False)
+            series.append(BenchRow(
+                f"{paper} records, {workers} workers",
+                result.throughput_mops, 0.0, {}))
+        out[paper] = series
+    return out
+
+
+def test_fig14c_multithreaded_micro(benchmark, show):
+    results = benchmark.pedantic(run_multithreaded, rounds=1, iterations=1)
+    show("Fig 14c: multithreaded deferred-verification micro (uniform)",
+         [row for series in results.values() for row in series])
+    for series in results.values():
+        throughputs = [row.throughput_mops for row in series]
+        # Monotone scaling, roughly 1.75x per doubling (allow slack).
+        assert all(b > 1.3 * a for a, b in zip(throughputs, throughputs[1:]))
+    # The L3-resident database is consistently faster at equal workers.
+    small = results[SMALL_PAPER]
+    large = results[LARGE_PAPER]
+    for s_row, l_row in zip(small, large):
+        assert s_row.throughput_mops > 1.2 * l_row.throughput_mops

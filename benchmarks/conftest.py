@@ -1,0 +1,26 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each benchmark runs its experiment once under pytest-benchmark's timer
+(`pedantic(rounds=1)`) — the interesting output is the printed table of
+simulated throughput/latency numbers, which reproduce the corresponding
+paper figure's series. Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale is controlled by REPRO_SCALE (default 400; FULL_SCALE=1 for paper
+sizes — hours of wall time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so tables appear in the run log."""
+    def _show(title, rows):
+        from repro.bench.harness import print_table
+        with capsys.disabled():
+            print_table(title, rows)
+    return _show

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Performance goal P3 in action: the client dictates verification latency.
+
+The paper (§2.3): "a solution should allow the client application to
+control latency, e.g., specify a latency bound of one second. In
+particular, the database size should not limit the size of the latency
+budget a client can set." This demo runs the closed-loop controller for a
+few budgets and shows the achieved latencies and chosen batch sizes.
+
+Run:  python examples/latency_budget.py
+"""
+
+from repro import FastVer, FastVerConfig, new_client
+from repro.instrument import COUNTERS
+from repro.sim.tuning import run_with_budget
+from repro.workloads.ycsb import YCSB_A, YcsbGenerator
+
+RECORDS = 5_000
+OPS = 8_000
+
+
+def main() -> None:
+    print(f"{'budget':>10} {'achieved':>10} {'batch':>8} {'Mops/s':>8}")
+    for budget_ms in (0.1, 0.5, 2.0):
+        COUNTERS.reset()
+        db = FastVer(
+            FastVerConfig(key_width=64, n_workers=4, partition_depth=4),
+            items=[(k, k.to_bytes(8, "big")) for k in range(RECORDS)],
+        )
+        client = new_client(1)
+        db.register_client(client)
+        generator = YcsbGenerator(YCSB_A, RECORDS, seed=1)
+        tuner, metrics = run_with_budget(
+            db, client, generator, total_ops=OPS,
+            target_latency_s=budget_ms / 1e3, n_workers=4,
+            modeled_db_records=RECORDS * 800,  # paper-scale memory effects
+            initial_batch=300)
+        full = tuner.history[:-1] or tuner.history
+        print(f"{budget_ms:>8.1f}ms {full[-1].latency_s * 1e3:>8.2f}ms "
+              f"{tuner.batch:>8} {metrics.throughput_mops:>8.2f}")
+        db.flush()
+    print("\nevery epoch settled; the budget, not the database size, "
+          "decided the latency")
+
+
+if __name__ == "__main__":
+    main()

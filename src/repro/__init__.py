@@ -1,0 +1,53 @@
+"""FastVer reproduction: a verified key-value store with hybrid integrity.
+
+Reproduces Arasu et al., "FastVer: Making Data Integrity a Commodity"
+(SIGMOD 2021): a FASTER-style key-value store extended with a verify()
+capability that detects any tampering by the untrusted host, built from a
+novel hybrid of record-encoded sparse Merkle trees, verifier caching with
+lazy hash updates, and Concerto-style deferred memory verification.
+
+Quickstart::
+
+    from repro import FastVer, FastVerConfig, new_client
+
+    db = FastVer(FastVerConfig(key_width=32, partition_depth=4,
+                               n_workers=2),
+                 items=[(k, b"v%d" % k) for k in range(1000)])
+    alice = new_client(1)
+    db.register_client(alice)
+    db.put(alice, 7, b"hello")
+    print(db.get(alice, 7).payload)      # b'hello'
+    report = db.verify()                 # epoch close: integrity settled
+    db.flush()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.core.fastver import FastVer, FastVerConfig, OpResult, VerifyReport
+from repro.core.keys import BitKey
+from repro.core.protocol import Client
+from repro.crypto.mac import MacKey
+from repro.errors import IntegrityError, ReproError
+
+__version__ = "1.0.0"
+
+
+def new_client(client_id: int) -> Client:
+    """Create a client with a fresh MAC key (register it with the store)."""
+    return Client(client_id, MacKey.generate(f"client-{client_id}"))
+
+
+__all__ = [
+    "FastVer",
+    "FastVerConfig",
+    "OpResult",
+    "VerifyReport",
+    "BitKey",
+    "Client",
+    "MacKey",
+    "IntegrityError",
+    "ReproError",
+    "new_client",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Byzantine host attack harness (threat model of §2.2)."""
+
+from repro.adversary.host import (
+    COLD_ATTACKS,
+    WARM_ATTACKS,
+    corrupt_merkle_pointer,
+    cross_mode_confusion,
+    duplicate_read_entry,
+    forge_receipt_payload,
+    rollback_record,
+    skip_migration,
+    tamper_timestamp,
+    tamper_value,
+)
+
+__all__ = [
+    "COLD_ATTACKS",
+    "WARM_ATTACKS",
+    "corrupt_merkle_pointer",
+    "cross_mode_confusion",
+    "duplicate_read_entry",
+    "forge_receipt_payload",
+    "rollback_record",
+    "skip_migration",
+    "tamper_timestamp",
+    "tamper_value",
+]

@@ -1,0 +1,254 @@
+"""Pure deferred memory verification: the DV / Concerto baseline (§5, §8.5).
+
+No Merkle tree at all: every record is always protected by the epoch
+write-set hash, every operation is an add/validate/evict triple against a
+verifier thread, and verification is a full scan — every record in the
+database migrates through a verifier cache, which is why verification
+latency is linear in the database size (the limitation §5.4 calls out and
+the hybrid scheme fixes).
+
+Multi-threaded operation uses the paper's §5.3 improvements directly: one
+verifier thread per worker, per-thread clocks with the Lamport rule, and
+set hashes aggregated at epoch close.
+"""
+
+from __future__ import annotations
+
+from repro.core.epochs import EpochController
+from repro.core.hostmirror import VerifierMirror
+from repro.core.keys import BitKey
+from repro.core.log import VerificationLog
+from repro.core.protocol import Client, ClientTable, EpochReceipt, OpReceipt
+from repro.core.records import DataValue, entry_fields
+from repro.core.verifier import VerifierThread
+from repro.crypto.mac import MacKey
+from repro.crypto.multiset import aggregate
+from repro.crypto.prf import Prf
+from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
+from repro.enclave.enclave import SimulatedEnclave
+from repro.enclave.sealed import SealedSlot
+from repro.errors import EpochError, ProtocolError, SetHashMismatchError
+from repro.instrument import COUNTERS
+
+
+class DeferredProgram:
+    """The enclave-resident verifier for pure deferred verification."""
+
+    def __init__(self, sealed: SealedSlot, n_threads: int,
+                 cache_capacity: int, combiner: str):
+        self.sealed = sealed
+        self.prf = Prf.generate()
+        self.epochs = EpochController()
+        self.clients = ClientTable()
+        self._combiner = combiner
+        self.threads = [
+            VerifierThread(i, self.prf, self.epochs,
+                           cache_capacity=cache_capacity, combiner=combiner)
+            for i in range(n_threads)
+        ]
+
+    def register_client(self, client_id: int, key_bytes: bytes) -> None:
+        self.clients.register(client_id, MacKey(key_bytes,
+                                                name=f"client-{client_id}"))
+
+    def seed(self, records: list[tuple[BitKey, bytes]]) -> None:
+        """Trusted bulk load: write-set entries for the initial database.
+
+        Mirrors Blum et al.'s initialization, where the checker writes
+        every address once before the run; each record starts at
+        timestamp 0 in epoch 0.
+        """
+        thread = self.threads[0]
+        ws = thread._set_hash(thread._write_sets, 0)
+        for key, payload in records:
+            ws.insert_entry(*entry_fields(key, DataValue(payload), 0, 0))
+
+    def process_batch(self, verifier_id: int, entries) -> list:
+        thread = self.threads[verifier_id]
+        results = []
+        for method, args in entries:
+            if method in ("add_deferred", "evict_deferred"):
+                results.append(getattr(thread, method)(*args))
+            elif method == "validate_get":
+                results.append(self._validate(thread, "get", *args))
+            elif method == "validate_put_update":
+                results.append(self._validate(thread, "put", *args))
+            else:
+                raise ProtocolError(f"unknown DV entry {method!r}")
+        return results
+
+    def _validate(self, thread: VerifierThread, kind: str, client_id: int,
+                  key: BitKey, *rest) -> OpReceipt:
+        from repro.core.protocol import GET, PUT
+        if kind == "get":
+            (nonce,) = rest
+            self.clients.check_nonce(client_id, nonce)
+            value = thread.read(key)
+            receipt = OpReceipt(client_id, GET, key, value.payload, nonce,
+                                self.epochs.current, b"")
+        else:
+            payload, nonce, tag = rest
+            ckey = self.clients.key_for(client_id)
+            from repro.core.protocol import _payload_bytes
+            ckey.verify(tag, PUT, key.to_bytes(), _payload_bytes(payload),
+                        nonce.to_bytes(8, "big"))
+            self.clients.check_nonce(client_id, nonce)
+            thread.update(key, DataValue(payload))
+            receipt = OpReceipt(client_id, PUT, key, payload, nonce,
+                                self.epochs.current, b"")
+        receipt.tag = self.clients.key_for(client_id).sign(*receipt.mac_fields())
+        return receipt
+
+    def start_epoch_close(self) -> int:
+        closing = self.epochs.current
+        self.epochs.advance()
+        return closing
+
+    def finish_epoch_close(self, epoch: int) -> dict[int, EpochReceipt]:
+        if epoch >= self.epochs.current:
+            raise EpochError(f"epoch {epoch} is still open")
+        reads, writes = [], []
+        for thread in self.threads:
+            r, w = thread.take_epoch_hashes(epoch)
+            reads.append(r)
+            writes.append(w)
+        COUNTERS.epoch_verifications += 1
+        if aggregate(reads, self._combiner) != aggregate(writes, self._combiner):
+            raise SetHashMismatchError(
+                f"epoch {epoch}: deferred verification failed"
+            )
+        self.epochs.mark_verified(epoch)
+        receipts = {}
+        for client_id in self.clients.nonces():
+            receipt = EpochReceipt(epoch, b"")
+            receipt.tag = self.clients.key_for(client_id).sign(
+                *receipt.mac_fields())
+            receipts[client_id] = receipt
+        return receipts
+
+    def trusted_memory_bytes(self) -> int:
+        return sum(t.trusted_memory_bytes() for t in self.threads) + 1024
+
+
+class DeferredStore:
+    """Host driver for the DV baseline (array-backed, §8.5).
+
+    ``shared_verifier=True`` models Concerto's design point (§5.3): one
+    verifier clock and one log that *all* host threads serialize into.
+    FastVer's per-thread verifiers remove exactly this bottleneck; the
+    Concerto-comparison benchmark contrasts the two.
+    """
+
+    def __init__(self, items: list[tuple[int, bytes]], key_width: int = 64,
+                 n_workers: int = 1, cache_capacity: int = 64,
+                 log_capacity: int = 256, combiner: str = "add",
+                 shared_verifier: bool = False,
+                 enclave_profile: EnclaveCostProfile = SIMULATED):
+        self.key_width = key_width
+        self.shared_verifier = shared_verifier
+        n_verifiers = 1 if shared_verifier else n_workers
+        self.enclave = SimulatedEnclave(
+            lambda sealed: DeferredProgram(sealed, n_verifiers,
+                                           cache_capacity, combiner),
+            profile=enclave_profile,
+        )
+        self.logs = [VerificationLog(self.enclave, 0 if shared_verifier else i,
+                                     log_capacity)
+                     for i in range(n_verifiers)]
+        self.mirrors = [VerifierMirror(i, cache_capacity)
+                        for i in range(n_verifiers)]
+        self.clients: dict[int, Client] = {}
+        self.current_epoch = 0
+        # The untrusted array: key -> (payload, timestamp, epoch).
+        self.records: dict[BitKey, tuple[bytes, int, int]] = {}
+        pairs = [(BitKey.data_key(k, key_width), p) for k, p in items]
+        self.enclave.ecall("seed", pairs)
+        for key, payload in pairs:
+            self.records[key] = (payload, 0, 0)
+
+    def register_client(self, client: Client) -> None:
+        self.enclave.ecall("register_client", client.client_id,
+                           client.key.key_bytes())
+        self.clients[client.client_id] = client
+
+    def data_key(self, key: int) -> BitKey:
+        return BitKey.data_key(key, self.key_width)
+
+    # ------------------------------------------------------------------
+    def _triple(self, worker: int, key: BitKey, new_payload: bytes | None,
+                validate_entry: tuple) -> None:
+        """The §7 worker inner loop: add, validate, evict, store update."""
+        if self.shared_verifier:
+            worker = 0  # Concerto: everything funnels through one verifier
+        COUNTERS.store_reads += 1
+        payload, ts, epoch = self.records[key]
+        mirror = self.mirrors[worker]
+        mirror.observe_add(ts)
+        ts_new = mirror.predict_evict()
+        log = self.logs[worker]
+        log.append("add_deferred", key, DataValue(payload), ts, epoch)
+        log.append(*validate_entry)
+        log.append("evict_deferred", key)
+        stored = payload if new_payload is None else new_payload
+        COUNTERS.store_writes += 1
+        COUNTERS.cas_attempts += 1
+        self.records[key] = (stored, ts_new, self.current_epoch)
+
+    def get(self, client: Client, key: int, worker: int = 0) -> bytes | None:
+        bk = self.data_key(key)
+        if bk not in self.records:
+            return None
+        nonce = client.next_nonce()
+        self._triple(worker, bk, None,
+                     ("validate_get", client.client_id, bk, nonce))
+        COUNTERS.ops += 1
+        return self.records[bk][0]
+
+    def put(self, client: Client, key: int, payload: bytes,
+            worker: int = 0) -> None:
+        bk = self.data_key(key)
+        if bk not in self.records:
+            raise ProtocolError("DV baseline supports updates of loaded keys")
+        request = client.make_put(bk, payload)
+        self._triple(worker, bk, payload,
+                     ("validate_put_update", client.client_id, bk, payload,
+                      request.nonce, request.tag))
+        COUNTERS.ops += 1
+
+    # ------------------------------------------------------------------
+    def verify(self) -> int:
+        """Full verification scan: migrate *every* record (§5.4's linear
+        cost). Returns the closed epoch."""
+        self._flush_all()
+        closing = self.enclave.ecall("start_epoch_close")
+        self.current_epoch += 1
+        for worker, (key, (payload, ts, epoch)) in enumerate(
+                sorted(self.records.items())):
+            if epoch > closing:
+                continue
+            vid = worker % len(self.logs)
+            mirror = self.mirrors[vid]
+            mirror.observe_add(ts)
+            ts_new = mirror.predict_evict()
+            log = self.logs[vid]
+            log.append("add_deferred", key, DataValue(payload), ts, epoch)
+            log.append("evict_deferred", key)
+            self.records[key] = (payload, ts_new, self.current_epoch)
+            COUNTERS.scan_records += 1
+        self._flush_all()
+        receipts = self.enclave.ecall("finish_epoch_close", closing)
+        for client_id, receipt in receipts.items():
+            client = self.clients.get(client_id)
+            if client is not None:
+                client.accept_epoch(receipt)
+        return closing
+
+    def _flush_all(self) -> None:
+        for log in self.logs:
+            for result in log.drain():
+                if isinstance(result, OpReceipt):
+                    client = self.clients.get(result.client_id)
+                    if client is not None:
+                        client.accept(result)
+
+    flush = _flush_all

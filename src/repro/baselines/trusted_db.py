@@ -1,0 +1,103 @@
+"""The trusted-database strawman of §3: run everything inside the enclave.
+
+The whole key-value store lives in trusted memory; the untrusted host
+merely relays requests. Integrity is trivial (the mirrored state *is* the
+database), latency is zero, concurrency is whatever the enclave gives you
+— but the design fails performance goal P1: enclave memory is a couple
+hundred megabytes, so a database of any real size simply does not fit.
+:class:`TrustedDbStore` reproduces both the behaviour and the failure mode
+(loading past the profile's memory bound raises
+:class:`~repro.errors.CapacityError`).
+"""
+
+from __future__ import annotations
+
+from repro.core.keys import BitKey
+from repro.core.protocol import GET, PUT, Client, ClientTable, OpReceipt, _payload_bytes
+from repro.crypto.mac import MacKey
+from repro.enclave.costmodel import SGX, EnclaveCostProfile
+from repro.enclave.enclave import SimulatedEnclave
+from repro.enclave.sealed import SealedSlot
+from repro.instrument import COUNTERS
+
+#: Modelled bytes of enclave memory per record (key + value + dict slots).
+BYTES_PER_RECORD = 120
+
+
+class TrustedDbProgram:
+    """Enclave-resident: the entire database plus client validation."""
+
+    def __init__(self, sealed: SealedSlot):
+        self.sealed = sealed
+        self.clients = ClientTable()
+        self._data: dict[BitKey, bytes] = {}
+
+    def register_client(self, client_id: int, key_bytes: bytes) -> None:
+        self.clients.register(client_id, MacKey(key_bytes,
+                                                name=f"client-{client_id}"))
+
+    def load(self, items: list[tuple[BitKey, bytes]]) -> None:
+        for key, payload in items:
+            self._data[key] = payload
+
+    def get(self, client_id: int, key: BitKey, nonce: int) -> OpReceipt:
+        self.clients.check_nonce(client_id, nonce)
+        payload = self._data.get(key)
+        receipt = OpReceipt(client_id, GET, key, payload, nonce, 0, b"")
+        receipt.tag = self.clients.key_for(client_id).sign(*receipt.mac_fields())
+        return receipt
+
+    def put(self, client_id: int, key: BitKey, payload: bytes, nonce: int,
+            tag: bytes) -> OpReceipt:
+        ckey = self.clients.key_for(client_id)
+        ckey.verify(tag, PUT, key.to_bytes(), _payload_bytes(payload),
+                    nonce.to_bytes(8, "big"))
+        self.clients.check_nonce(client_id, nonce)
+        self._data[key] = payload
+        receipt = OpReceipt(client_id, PUT, key, payload, nonce, 0, b"")
+        receipt.tag = ckey.sign(*receipt.mac_fields())
+        return receipt
+
+    def trusted_memory_bytes(self) -> int:
+        return len(self._data) * BYTES_PER_RECORD + 4096
+
+
+class TrustedDbStore:
+    """Host relay for the trusted-database approach."""
+
+    def __init__(self, items: list[tuple[int, bytes]], key_width: int = 64,
+                 enclave_profile: EnclaveCostProfile = SGX):
+        self.key_width = key_width
+        self.enclave = SimulatedEnclave(TrustedDbProgram,
+                                        profile=enclave_profile)
+        pairs = [(BitKey.data_key(k, key_width), p) for k, p in items]
+        self.enclave.ecall("load", pairs)  # raises CapacityError if too big
+        self.clients: dict[int, Client] = {}
+
+    def register_client(self, client: Client) -> None:
+        self.enclave.ecall("register_client", client.client_id,
+                           client.key.key_bytes())
+        self.clients[client.client_id] = client
+
+    def data_key(self, key: int) -> BitKey:
+        return BitKey.data_key(key, self.key_width)
+
+    def get(self, client: Client, key: int, worker: int = 0) -> bytes | None:
+        nonce = client.next_nonce()
+        receipt = self.enclave.ecall("get", client.client_id,
+                                     self.data_key(key), nonce)
+        client.accept(receipt)
+        COUNTERS.ops += 1
+        return receipt.payload
+
+    def put(self, client: Client, key: int, payload: bytes,
+            worker: int = 0) -> None:
+        bk = self.data_key(key)
+        request = client.make_put(bk, payload)
+        receipt = self.enclave.ecall("put", client.client_id, bk, payload,
+                                     request.nonce, request.tag)
+        client.accept(receipt)
+        COUNTERS.ops += 1
+
+    def flush(self) -> None:
+        """No buffering: every op is already validated synchronously."""

@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``   — the quickstart flow (load, ops, tamper, detect)
+* ``ycsb``   — run a YCSB workload against FastVer under the cost model
+               and print throughput / verification latency
+* ``audit``  — load a store, run a random workload, audit host invariants
+* ``attacks``— run the byzantine attack gallery
+
+These wrap the same public APIs the examples use; the CLI exists so a
+downstream user can poke the system without writing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import FastVer, FastVerConfig, new_client
+from repro.instrument import COUNTERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FastVer reproduction: a verified key-value store",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="quickstart: ops, verify, tamper-detect")
+    demo.add_argument("--records", type=int, default=1000)
+
+    ycsb = sub.add_parser("ycsb", help="run a YCSB workload and print metrics")
+    ycsb.add_argument("--workload", choices=["A", "B", "C", "E"], default="A")
+    ycsb.add_argument("--records", type=int, default=10_000)
+    ycsb.add_argument("--ops", type=int, default=20_000)
+    ycsb.add_argument("--workers", type=int, default=4)
+    ycsb.add_argument("--verify-every", type=int, default=None)
+    ycsb.add_argument("--theta", type=float, default=0.9)
+    ycsb.add_argument("--depth", type=int, default=4,
+                      help="Merkle partition depth d")
+    ycsb.add_argument("--modeled-records", type=int, default=None,
+                      help="database size the cost model should assume")
+
+    aud = sub.add_parser("audit", help="run ops then audit host invariants")
+    aud.add_argument("--records", type=int, default=500)
+    aud.add_argument("--ops", type=int, default=2_000)
+
+    sub.add_parser("attacks", help="run the byzantine attack gallery")
+    return parser
+
+
+def cmd_demo(args) -> int:
+    from repro.core.records import DataValue
+    from repro.errors import IntegrityError
+
+    db = FastVer(FastVerConfig(key_width=32, n_workers=2, partition_depth=4),
+                 items=[(k, b"value-%d" % k) for k in range(args.records)])
+    client = new_client(1)
+    db.register_client(client)
+    db.put(client, 7, b"hello")
+    print("get(7) ->", db.get(client, 7).payload)
+    report = db.verify()
+    db.flush()
+    print(f"epoch {report.epoch} verified; client settled at epoch "
+          f"{client.settled_epoch}")
+    print("tampering with record 42 in the untrusted store...")
+    record = db.store.read_record(db.data_key(42))
+    record.value = DataValue(b"EVIL")
+    try:
+        db.get(client, 42)
+        db.flush()
+        db.verify()
+        print("UNDETECTED (this should never print)")
+        return 1
+    except IntegrityError as exc:
+        print("detected:", type(exc).__name__)
+        return 0
+
+
+def cmd_ycsb(args) -> int:
+    from repro.sim.executor import SimulatedExecutor
+    from repro.workloads.ycsb import WORKLOADS, YcsbGenerator
+
+    spec = WORKLOADS[f"YCSB-{args.workload}"]
+    COUNTERS.reset()
+    db = FastVer(
+        FastVerConfig(key_width=64, n_workers=args.workers,
+                      partition_depth=args.depth),
+        items=[(k, k.to_bytes(8, "big")) for k in range(args.records)],
+    )
+    client = new_client(1)
+    db.register_client(client)
+    generator = YcsbGenerator(
+        spec, args.records,
+        distribution="uniform" if args.theta == 0 else "zipfian",
+        theta=args.theta)
+    modeled = args.modeled_records or args.records
+    executor = SimulatedExecutor(db, client, args.workers, modeled)
+    result = executor.run(generator, args.ops,
+                          verify_every=args.verify_every)
+    m = result.metrics
+    print(f"workload            YCSB-{args.workload} "
+          f"(zipf θ={args.theta}) over {args.records} records")
+    print(f"key operations      {m.key_ops}")
+    print(f"throughput          {m.throughput_mops:.3f} Mops/s (simulated)")
+    print(f"verifications       {m.n_verifications}")
+    print(f"verification latency {m.verification_latency_s * 1e3:.3f} ms "
+          f"(simulated)")
+    print(f"verifier fraction   {m.verifier_fraction:.2f}")
+    print(f"counters            {COUNTERS}")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    import random
+
+    from repro.core.audit import audit
+
+    db = FastVer(FastVerConfig(key_width=32, n_workers=2, partition_depth=4),
+                 items=[(k, b"v%d" % k) for k in range(args.records)])
+    client = new_client(1)
+    db.register_client(client)
+    rng = random.Random(0)
+    for i in range(args.ops):
+        k = rng.randrange(args.records * 2)
+        if rng.random() < 0.5:
+            db.put(client, k, b"x%d" % i, worker=i % 2)
+        else:
+            db.get(client, k, worker=i % 2)
+        if i % 500 == 499:
+            db.verify()
+    db.flush()
+    report = audit(db)
+    print(f"records={report.records} cached={report.cached} "
+          f"deferred={report.deferred} merkle={report.merkle}")
+    if report.ok:
+        print("audit: all host invariants hold")
+        return 0
+    for violation in report.violations[:20]:
+        print("VIOLATION:", violation)
+    return 1
+
+
+def cmd_attacks(_args) -> int:
+    import examples.attack_gallery as gallery  # pragma: no cover - thin
+    gallery.main()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo": cmd_demo,
+        "ycsb": cmd_ycsb,
+        "audit": cmd_audit,
+        "attacks": cmd_attacks,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the hybrid verified key-value store."""
+
+from repro.core.cache import CacheEntry, VerifierCache
+from repro.core.epochs import EpochController
+from repro.core.fastver import FastVer, FastVerConfig, OpResult, VerifyReport
+from repro.core.hostmirror import VerifierMirror, host_value_hash
+from repro.core.keys import KEY_BITS, BitKey
+from repro.core.log import VerificationLog
+from repro.core.multiverifier import VerifierGroup
+from repro.core.protocol import (
+    Client,
+    ClientTable,
+    EpochReceipt,
+    OpReceipt,
+    PutRequest,
+)
+from repro.core.records import (
+    Aux,
+    DataValue,
+    MerkleValue,
+    Pointer,
+    Protection,
+    Value,
+    decode_value,
+    encode_value,
+    entry_fields,
+    value_hash,
+)
+from repro.core.verifier import VerifierThread
+
+__all__ = [
+    "CacheEntry",
+    "VerifierCache",
+    "EpochController",
+    "FastVer",
+    "FastVerConfig",
+    "OpResult",
+    "VerifyReport",
+    "VerifierMirror",
+    "host_value_hash",
+    "KEY_BITS",
+    "BitKey",
+    "VerificationLog",
+    "VerifierGroup",
+    "Client",
+    "ClientTable",
+    "EpochReceipt",
+    "OpReceipt",
+    "PutRequest",
+    "Aux",
+    "DataValue",
+    "MerkleValue",
+    "Pointer",
+    "Protection",
+    "Value",
+    "decode_value",
+    "encode_value",
+    "entry_fields",
+    "value_hash",
+    "VerifierThread",
+]

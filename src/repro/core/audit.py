@@ -1,0 +1,130 @@
+"""Host-side consistency auditing (diagnostics, not security).
+
+The host's bookkeeping — aux words, the deferred index, the cache-location
+map, mirror contents — is all untrusted: corrupting it can never fool the
+verifier. But a *buggy* host corrupts availability (spurious integrity
+alarms, stuck records), so a production deployment wants an invariant
+checker. :func:`audit` validates every cross-structure invariant the
+FastVer driver maintains and reports violations; the test suite runs it
+after randomized schedules as a regression net for driver bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fastver import FastVer
+from repro.core.hostmirror import host_value_hash
+from repro.core.keys import BitKey
+from repro.core.records import Aux, MerkleValue, Protection
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one audit pass."""
+
+    records: int = 0
+    cached: int = 0
+    deferred: int = 0
+    merkle: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def audit(db: FastVer) -> AuditReport:
+    """Check all host-side invariants; never mutates anything."""
+    report = AuditReport()
+    width = db.config.key_width
+
+    # 1. Aux words agree with the host indices.
+    for key, value, aux_word in db.store.items():
+        report.records += 1
+        aux = Aux.unpack(aux_word)
+        if key in db.cached_where:
+            report.cached += 1
+            vid = db.cached_where[key]
+            if key not in db.mirrors[vid].entries:
+                report.violations.append(
+                    f"{key!r} cached_where says verifier {vid} but mirror lacks it")
+            if aux.state is not Protection.CACHED:
+                report.violations.append(
+                    f"{key!r} is mirror-cached but aux says {aux.state.name}")
+        elif aux.state is Protection.DEFERRED:
+            report.deferred += 1
+            indexed = db.deferred_index.get(key)
+            if indexed != (aux.timestamp, aux.epoch):
+                report.violations.append(
+                    f"{key!r} aux {aux!r} disagrees with deferred index {indexed}")
+        elif aux.state is Protection.MERKLE:
+            report.merkle += 1
+            if key in db.deferred_index:
+                report.violations.append(
+                    f"{key!r} is merkle-state but still in the deferred index")
+        else:
+            report.violations.append(
+                f"{key!r} aux says CACHED but cached_where lost it")
+
+    # 2. Dangling index entries.
+    for key in db.deferred_index:
+        record = db.store.read_record(key)
+        if record is None:
+            report.violations.append(f"deferred index points at missing {key!r}")
+    for key, vid in db.cached_where.items():
+        if key not in db.mirrors[vid].entries:
+            report.violations.append(
+                f"cached_where points at missing mirror entry {key!r}")
+
+    # 3. Mirror internal invariants: children counts and parent links.
+    for vid, mirror in enumerate(db.mirrors):
+        counts: dict = {}
+        for key, entry in mirror.entries.items():
+            if entry.parent_key is not None and entry.via == "merkle":
+                counts[entry.parent_key] = counts.get(entry.parent_key, 0) + 1
+                if entry.parent_key not in mirror.entries:
+                    report.violations.append(
+                        f"mirror {vid}: {key!r} parent {entry.parent_key!r} "
+                        f"not cached")
+        for key, entry in mirror.entries.items():
+            if entry.children_cached != counts.get(key, 0):
+                report.violations.append(
+                    f"mirror {vid}: {key!r} children_cached="
+                    f"{entry.children_cached}, actual {counts.get(key, 0)}")
+
+    # 4. Tree reachability and hash coherence among merkle-state records.
+    #    (Hashes for deferred/cached children are legitimately stale, §4.3.1.)
+    root = BitKey.root()
+    root_value = db._host_value(root)
+    stack = [(root, root_value)]
+    seen = set()
+    while stack:
+        node, value = stack.pop()
+        if node in seen:
+            report.violations.append(f"tree cycle through {node!r}")
+            break
+        seen.add(node)
+        if not isinstance(value, MerkleValue):
+            continue
+        for side in (0, 1):
+            ptr = value.pointer(side)
+            if ptr is None:
+                continue
+            child_value = db._host_value(ptr.key)
+            if child_value is None:
+                report.violations.append(f"dangling pointer to {ptr.key!r}")
+                continue
+            child_record = db.store.read_record(ptr.key)
+            child_aux = Aux.unpack(child_record.aux) if child_record else None
+            parent_live = node not in db.cached_where
+            child_cold = (ptr.key not in db.cached_where and child_aux
+                          and child_aux.state is Protection.MERKLE)
+            if parent_live and child_cold:
+                if host_value_hash(child_value) != ptr.hash:
+                    report.violations.append(
+                        f"stale hash for cold child {ptr.key!r} at {node!r}")
+            if ptr.key.length < width:
+                stack.append((ptr.key, child_value))
+
+    return report

@@ -1,0 +1,67 @@
+"""Epoch control for deferred verification (§5.1, §5.3, §6).
+
+Concerto made Blum-style offline checking *recurring* by slicing time into
+epochs: every record protected by deferred verification is tagged with the
+epoch in which it was last evicted from a verifier cache, and verifying
+epoch ``e`` means (1) migrating every record still tagged ``<= e`` into a
+later epoch through some verifier cache, then (2) checking that the
+aggregated read-set hash of epoch ``e`` equals its aggregated write-set
+hash.
+
+:class:`EpochController` is the small piece of *trusted* shared state the
+verifier threads consult: the current epoch, the last verified epoch, and
+the rule that no operation may ever reference an already-verified epoch
+(that check is what stops a byzantine host from resurrecting records whose
+epoch has been settled).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EpochError
+
+
+class EpochController:
+    """Trusted epoch bookkeeping shared by all verifier threads."""
+
+    def __init__(self):
+        self.current = 0
+        self.verified = -1  # no epoch verified yet
+
+    def check_addable(self, epoch: int) -> None:
+        """A deferred add must name an epoch that is still open.
+
+        ``epoch <= verified`` would inject a read entry into a set-equality
+        check that has already been settled — classic replay of a dead
+        record — and ``epoch > current`` names an epoch that has not
+        produced any write entries yet, so nothing could honestly carry it.
+        """
+        if epoch <= self.verified:
+            raise EpochError(
+                f"add references epoch {epoch}, but epochs <= {self.verified} "
+                f"are already verified (record resurrection?)"
+            )
+        if epoch > self.current:
+            raise EpochError(
+                f"add references future epoch {epoch} (current {self.current})"
+            )
+
+    def stamp(self) -> int:
+        """The epoch tag given to records evicted right now."""
+        return self.current
+
+    def advance(self) -> int:
+        """Open the next epoch (done before migrating the old one)."""
+        self.current += 1
+        return self.current
+
+    def mark_verified(self, epoch: int) -> None:
+        """Record that epoch ``epoch`` passed its set-equality check."""
+        if epoch != self.verified + 1:
+            raise EpochError(
+                f"epochs verify in order: expected {self.verified + 1}, got {epoch}"
+            )
+        if epoch >= self.current:
+            raise EpochError(
+                f"epoch {epoch} cannot verify before a later epoch is opened"
+            )
+        self.verified = epoch

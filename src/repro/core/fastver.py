@@ -1,0 +1,965 @@
+"""FastVer: the verified key-value store (the paper's headline system).
+
+:class:`FastVer` is the *host-side* orchestrator of Figure 1. It wires
+together the FASTER-style store, the enclave-resident verifier group, the
+per-worker verification logs, and the host mirrors, and implements the
+hybrid protocol of §6–§7:
+
+* **Warm path** (record in deferred state): speculative 128-bit CAS on the
+  store's (value, aux) pair using the mirrored verifier clock, then an
+  asynchronous add/validate/evict triple in the worker's log (§5.3, §7).
+  O(1) work, no Merkle hashing, fully parallel across workers.
+* **Cold path** (record Merkle-protected): descend the sparse tree, pull
+  the record's ancestor chain into the routing verifier's cache (stopping
+  at the partition anchor, §6.2), validate, then evict the record to
+  deferred — it is warm from now until the next verification (§6.3).
+* **Partitioning**: Merkle records at the configured depth ``d`` are kept
+  permanently in deferred state. They "unshackle" their subtrees from the
+  root so Merkle work parallelizes across verifier threads (§6.2), at the
+  price of ``~2^d`` extra records to migrate per verification.
+* **verify()** (epoch close): sort the keys touched this epoch and apply
+  them back to Merkle protection in sorted order — manufacturing locality
+  so each Merkle ancestor is hashed once per batch, not once per update
+  (§6.3) — then migrate the anchors and check the aggregated read/write
+  set hashes (§5.3). Client-visible results are provisional until the
+  epoch receipt lands (§5.1).
+
+Everything in this class is untrusted: bugs here can cause spurious
+integrity alarms or lost availability but can never make the verifier
+accept a wrong result (the adversary tests drive that point home).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.hostmirror import (
+    VIA_DEFERRED,
+    VIA_MERKLE,
+    VIA_PINNED,
+    VerifierMirror,
+    host_value_hash,
+)
+from repro.core.keys import KEY_BITS, BitKey
+from repro.core.log import VerificationLog
+from repro.core.multiverifier import VerifierGroup
+from repro.core.protocol import Client, EpochReceipt, OpReceipt
+from repro.core.records import Aux, DataValue, MerkleValue, Pointer, Protection, Value
+from repro.crypto.hashing import hash_key_to_data_key_bytes
+from repro.crypto.mac import MacKey
+from repro.crypto.prf import Prf
+from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
+from repro.enclave.enclave import SimulatedEnclave
+from repro.errors import ProtocolError, StoreError
+from repro.instrument import COUNTERS
+from repro.merkle.sparse import ABSENT_NULL, FOUND, lookup
+from repro.store.atomic import NO_CONTENTION, ContentionInjector
+from repro.store.faster import FasterKV
+
+
+@dataclass
+class FastVerConfig:
+    """Tuning knobs of the hybrid scheme (§8's experimental parameters)."""
+
+    #: Data-key width in bits. The paper uses 256 (SHA-256 of client keys);
+    #: benchmarks default to 64 for speed — semantics are identical.
+    key_width: int = 64
+    #: Number of worker threads == verifier threads (§5.3 pairs them 1:1).
+    n_workers: int = 1
+    #: Verifier cache entries per thread (the paper's default is 512).
+    cache_capacity: int = 512
+    #: Merkle partition depth d (§6.2/§8.1): records at this depth stay in
+    #: deferred state. ``None`` disables partitioning (single chain from
+    #: the root — the configuration §6.2 argues does not parallelize).
+    partition_depth: int | None = None
+    #: Verification-log buffer entries per worker (enclave amortization, §7).
+    log_capacity: int = 256
+    #: Operations between automatic epoch verifications (§8.1's batching
+    #: parameter). ``None`` = only verify() on demand.
+    batch_ops: int | None = None
+    #: Multiset-hash combiner ("add" is multiset-secure; "xor" for ablation).
+    combiner: str = "add"
+    #: Apply Merkle re-protection in sorted key order (§6.3). Disabling it
+    #: (ablation A2) applies updates in arbitrary order, destroying the
+    #: manufactured locality of reference.
+    sorted_merkle_updates: bool = True
+    #: Keep data records resident in the verifier cache after an access
+    #: (§6.1's top tier: "caching is ideal for hot records"). Repeat hits
+    #: then cost no hashing and no multiset work at all; the LRU returns
+    #: cooling records to deferred protection. Off by default to match
+    #: §7's per-operation add/validate/evict worker loop.
+    cache_hot_records: bool = False
+    #: Enclave cost profile (simulated / sgx / none) for the cost model.
+    enclave_profile: EnclaveCostProfile = SIMULATED
+    #: Host store in-memory budget (records) before hybrid-log spill.
+    memory_budget_records: int = 1 << 30
+    #: Injected CAS contention (used by the concurrency model).
+    contention: ContentionInjector = NO_CONTENTION
+
+    def validate(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if self.key_width < 4 or self.key_width > KEY_BITS:
+            raise ValueError(f"key_width must be 4..{KEY_BITS}")
+        if self.cache_capacity < self.key_width + 8:
+            raise ValueError(
+                "cache_capacity must exceed key_width + 8 so a full "
+                "root-to-leaf chain plus working records fit"
+            )
+        if self.partition_depth is not None and not (
+                1 <= self.partition_depth < self.key_width):
+            raise ValueError(
+                "partition_depth must be in [1, key_width): the root is "
+                "pinned and data keys must lie below the boundary"
+            )
+        if self.batch_ops is not None and self.batch_ops < 1:
+            raise ValueError("batch_ops must be >= 1")
+
+
+@dataclass
+class OpResult:
+    """What a client-level operation returns to the caller."""
+
+    payload: bytes | None
+    nonce: int
+    worker: int
+
+
+@dataclass
+class FastVerCheckpoint:
+    """A durable checkpoint: CPR store token + sealed verifier blob (§7).
+
+    The blob lives on untrusted storage — replaying an older one trips the
+    enclave's sealed anti-rollback slot. ``anchors`` is host metadata
+    (untrusted routing hints; lying in it breaks availability, never
+    integrity)."""
+
+    version: int
+    store_token: object
+    verifier_blob: bytes
+    anchors: dict
+
+
+@dataclass
+class VerifyReport:
+    """Summary of one epoch verification."""
+
+    epoch: int
+    migrated_data: int
+    migrated_anchors: int
+    receipts: dict[int, EpochReceipt] = field(repr=False, default_factory=dict)
+
+
+class FastVer:
+    """The verified key-value store."""
+
+    def __init__(self, config: FastVerConfig | None = None,
+                 items: list[tuple[int, bytes]] | None = None):
+        self.config = config or FastVerConfig()
+        self.config.validate()
+        cfg = self.config
+        # Enclave identity keys: in real TEEs these derive from the CPU +
+        # enclave measurement, so a rebooted enclave recovers the same
+        # keys. The host process holds the objects but never uses them
+        # outside the enclave factory (the adversary harness respects
+        # this, per the threat model).
+        identity_prf = Prf.generate()
+        identity_seal = MacKey.generate("seal")
+        self.enclave = SimulatedEnclave(
+            lambda sealed: VerifierGroup(
+                sealed, n_threads=cfg.n_workers,
+                cache_capacity=cfg.cache_capacity, combiner=cfg.combiner,
+                prf=identity_prf, sealing_key=identity_seal,
+            ),
+            profile=cfg.enclave_profile,
+        )
+        self.store = FasterKV(ordered_width=cfg.key_width,
+                              memory_budget_records=cfg.memory_budget_records,
+                              contention=cfg.contention)
+        self.logs = [VerificationLog(self.enclave, i, cfg.log_capacity)
+                     for i in range(cfg.n_workers)]
+        self.mirrors = [VerifierMirror(i, cfg.cache_capacity)
+                        for i in range(cfg.n_workers)]
+        self.clients: dict[int, Client] = {}
+        self.current_epoch = 0
+        self.ops_since_close = 0
+        #: key -> (timestamp, epoch) for every record in DEFERRED state.
+        self.deferred_index: dict[BitKey, tuple[int, int]] = {}
+        #: anchor key -> preferred verifier (partition ownership, §6.2).
+        self.anchors: dict[BitKey, int] = {}
+        #: key -> verifier id for records currently in a verifier cache.
+        self.cached_where: dict[BitKey, int] = {}
+        #: per-worker queue of predicted (ts, epoch) evict results, checked
+        #: against the verifier's actual returns at drain time.
+        self._expected_evicts: list[deque] = [deque() for _ in range(cfg.n_workers)]
+        self._load(items or [])
+
+    # ==================================================================
+    # Setup
+    # ==================================================================
+    def register_client(self, client: Client) -> None:
+        """Authorize a client: its MAC key is installed in the enclave."""
+        self.enclave.ecall("register_client", client.client_id,
+                           client.key.key_bytes())
+        self.clients[client.client_id] = client
+
+    def data_key(self, key: int | bytes) -> BitKey:
+        """Map a client key to a data-width BitKey.
+
+        Integers are the benchmark convention (0..N-1, zero-padded to the
+        key width, as §8 does with 8-byte YCSB keys). Arbitrary byte keys
+        are hashed with SHA-256 first (§2.1) and truncated to the width.
+        """
+        if isinstance(key, bytes):
+            digest = hash_key_to_data_key_bytes(key)
+            value = int.from_bytes(digest, "big") >> (256 - self.config.key_width)
+            return BitKey.data_key(value, self.config.key_width)
+        return BitKey.data_key(key, self.config.key_width)
+
+    def _load(self, items: list[tuple[int, bytes]]) -> None:
+        width = self.config.key_width
+        if items:
+            pairs = [(BitKey.data_key(k, width), payload) for k, payload in items]
+            root_value, records = self.enclave.ecall("bulk_load", pairs)
+            for key, value in records:
+                self.store.upsert(key, value, Aux.merkle().pack())
+        else:
+            root_value = self.enclave.ecall("start_empty")
+        root = BitKey.root()
+        self.mirrors[0].add(root, root_value, VIA_PINNED, None)
+        self.cached_where[root] = 0
+        if self.config.partition_depth is not None:
+            self._setup_partitions()
+
+    def _discover_anchors(self) -> list[BitKey]:
+        """Find the ~2^d partition frontier for the current tree shape."""
+        import heapq
+
+        target = 1 << self.config.partition_depth
+        root_value = self._host_value(BitKey.root())
+        assert isinstance(root_value, MerkleValue)
+        heap: list[tuple[int, int, BitKey]] = []
+        leaves: list[BitKey] = []
+        for side in (0, 1):
+            ptr = root_value.pointer(side)
+            if ptr is not None:
+                heapq.heappush(heap, (ptr.key.length, ptr.key.bits, ptr.key))
+        while heap and len(heap) + len(leaves) < target:
+            _, _, node = heapq.heappop(heap)
+            value = self._host_value(node)
+            if not isinstance(value, MerkleValue):
+                leaves.append(node)
+                continue
+            for side in (0, 1):
+                ptr = value.pointer(side)
+                if ptr is not None:
+                    heapq.heappush(heap, (ptr.key.length, ptr.key.bits, ptr.key))
+        return sorted(leaves + [key for _, _, key in heap])
+
+    def flush_caches(self) -> None:
+        """Evict every non-pinned record from every verifier cache.
+
+        Maintenance operation (used before partition rebalancing): records
+        return to their natural protection (anchors to deferred, merkle
+        chain records to merkle). Evicts leaf-first so every Merkle evict
+        still finds its parent cached.
+        """
+        for vid, mirror in enumerate(self.mirrors):
+            while True:
+                victims = [e for e in mirror.entries.values()
+                           if e.via != VIA_PINNED and e.children_cached == 0]
+                if not victims:
+                    break
+                for victim in victims:
+                    if victim.via == VIA_MERKLE and victim.key not in self.anchors:
+                        self._evict_to_merkle(vid, victim.key)
+                    else:
+                        self._evict_to_deferred(vid, victim.key)
+        self._drain_all()
+
+    def rebalance_partitions(self) -> tuple[int, int]:
+        """Recompute the partition frontier for the current tree (§6.2).
+
+        As inserts grow the tree, the load-time frontier drifts: subtrees
+        grow unevenly and fresh branch points appear above old anchors.
+        Call right after :meth:`verify` (when only anchors remain
+        deferred). Demoted anchors return to Merkle protection; promoted
+        ones move to deferred. Returns ``(demoted, promoted)``.
+        """
+        if self.config.partition_depth is None:
+            return (0, 0)
+        if any(k for k in self.deferred_index if k not in self.anchors):
+            raise ProtocolError(
+                "rebalance requires a quiescent store: call verify() first")
+        self.flush_caches()
+        new_frontier = set(self._discover_anchors())
+        old_frontier = set(self.anchors)
+        demoted = sorted(old_frontier - new_frontier)
+        promoted = sorted(new_frontier - old_frontier)
+        for key in demoted:
+            # Bring the record back under its Merkle parent via thread 0
+            # (the only cache that can chain from the pinned root).
+            result = lookup(self._host_value, key)
+            if result.kind != FOUND:
+                raise ProtocolError(f"anchor {key!r} fell out of the tree")
+            del self.anchors[key]
+            locked = set(result.path) | {key}
+            self._cache_chain(0, result.path, locked)
+            ts, epoch = self.deferred_index[key]
+            record = self.store.read_record(key)
+            mirror = self.mirrors[0]
+            self._make_room(0, 1, locked)
+            self.logs[0].append("add_deferred", key, record.value, ts, epoch)
+            mirror.observe_add(ts)
+            mirror.add(key, record.value, VIA_MERKLE, result.terminal)
+            del self.deferred_index[key]
+            self.cached_where[key] = 0
+            self._evict_to_merkle(0, key)
+        # Demotion chains leave frozen-zone records cached in mirror 0,
+        # possibly including keys about to be promoted; start promotions
+        # from empty caches so every chain builds cleanly.
+        self.flush_caches()
+        for i, key in enumerate(promoted):
+            record = self.store.read_record(key)
+            if record is None:
+                raise ProtocolError(f"new anchor {key!r} is not in the store")
+            if Aux.unpack(record.aux).state is Protection.DEFERRED:
+                # Already deferred (e.g., a cooled hot record): it is in
+                # the right protection tier — registering it as an anchor
+                # is purely a host-side routing change. Pulling it through
+                # the Merkle path instead would orphan its write entry.
+                self.anchors[key] = i % self.config.n_workers
+                continue
+            result = lookup(self._host_value, key)
+            if result.kind != FOUND:
+                raise ProtocolError(f"new anchor {key!r} is not in the tree")
+            locked = set(result.path) | {key}
+            self._cache_chain(0, result.path, locked)
+            self._cache_merkle_record(0, key, result.terminal, locked)
+            self._evict_to_deferred(0, key)
+            self.anchors[key] = i % self.config.n_workers
+        self._drain_all()
+        return (len(demoted), len(promoted))
+
+    def _setup_partitions(self) -> None:
+        """Move every partition anchor into deferred state (§6.2).
+
+        ``partition_depth = d`` asks for ~2^d partitions: the tree is cut
+        along a frontier of anchors found by repeatedly expanding the
+        shallowest Merkle node until the frontier holds 2^d subtree roots
+        (or the tree runs out of branch nodes). This realizes the paper's
+        "merkle records at depth d are kept in deferred state" for real
+        Patricia shapes, where long shared prefixes compress away the
+        upper levels. Each anchor gets a round-robin owner; the transition
+        runs through thread 0 (the only cache that can chain from the
+        pinned root).
+        """
+        import heapq
+
+        target = 1 << self.config.partition_depth
+        root_value = self._host_value(BitKey.root())
+        assert isinstance(root_value, MerkleValue)
+        heap: list[tuple[int, int, BitKey]] = []
+        leaves: list[BitKey] = []  # data keys hit by the frontier
+        for side in (0, 1):
+            ptr = root_value.pointer(side)
+            if ptr is not None:
+                heapq.heappush(heap, (ptr.key.length, ptr.key.bits, ptr.key))
+        while heap and len(heap) + len(leaves) < target:
+            _, _, node = heapq.heappop(heap)
+            value = self._host_value(node)
+            if not isinstance(value, MerkleValue):
+                leaves.append(node)  # cannot expand a data record
+                continue
+            for side in (0, 1):
+                ptr = value.pointer(side)
+                if ptr is not None:
+                    heapq.heappush(heap, (ptr.key.length, ptr.key.bits, ptr.key))
+        anchors = sorted(leaves + [key for _, _, key in heap])
+        for i, anchor in enumerate(anchors):
+            self.anchors[anchor] = i % self.config.n_workers
+        for anchor in anchors:
+            result = lookup(self._host_value, anchor)
+            if result.kind != FOUND:
+                raise ProtocolError(f"anchor {anchor!r} vanished during setup")
+            locked = set(result.path) | {anchor}
+            self._cache_chain(0, result.path, locked)
+            self._cache_merkle_record(0, anchor, result.terminal, locked)
+            self._evict_to_deferred(0, anchor)
+        self._drain_all()
+
+    # ==================================================================
+    # Host-view navigation helpers
+    # ==================================================================
+    def _host_value(self, key: BitKey) -> Value | None:
+        """The host's best view of a record: shadow if cached, else store."""
+        vid = self.cached_where.get(key)
+        if vid is not None:
+            return self.mirrors[vid].entries[key].value
+        record = self.store.read_record(key)
+        return record.value if record is not None else None
+
+    def _route(self, path: list[BitKey]) -> tuple[int, int]:
+        """(verifier id, index of first node to cache) for a lookup path.
+
+        The chain starts at the highest partition anchor on the path (its
+        owner's verifier) or at the pinned root (thread 0) when the path
+        never crosses the partition boundary.
+        """
+        for i, node in enumerate(path):
+            if node in self.anchors:
+                return self.anchors[node], i
+        return 0, 0
+
+    # ==================================================================
+    # Cache plumbing: adds, evicts, room-making
+    # ==================================================================
+    def _make_room(self, vid: int, need: int, locked: set[BitKey]) -> None:
+        mirror = self.mirrors[vid]
+        while mirror.free < need:
+            victim = mirror.victims(locked, 1)[0]
+            # Anchors must stay in deferred state (the partitioning of §6.2
+            # depends on it); everything merkle-added goes back to merkle.
+            if victim.via == VIA_MERKLE and victim.key not in self.anchors:
+                self._evict_to_merkle(vid, victim.key)
+            else:
+                self._evict_to_deferred(vid, victim.key)
+
+    def _cache_chain(self, vid: int, path: list[BitKey],
+                     locked: set[BitKey]) -> None:
+        """Ensure every node of ``path[start:]`` is in verifier ``vid``'s
+        cache, adding via the mode each record's aux dictates."""
+        _, start = self._route(path)
+        mirror = self.mirrors[vid]
+        for i in range(start, len(path)):
+            node = path[i]
+            if node in mirror:
+                mirror.touch(node)
+                continue
+            if node.is_root:
+                raise ProtocolError(
+                    f"chain for verifier {vid} reached the root, which is "
+                    f"pinned in verifier 0 only"
+                )
+            record = self.store.read_record(node)
+            if record is None:
+                raise StoreError(f"chain node {node!r} missing from store")
+            aux = Aux.unpack(record.aux)
+            if aux.state is Protection.DEFERRED:
+                self._cache_deferred_record(vid, node, record.value)
+            elif aux.state is Protection.MERKLE:
+                self._cache_merkle_record(vid, node, path[i - 1], locked,
+                                          value=record.value)
+            else:
+                raise ProtocolError(
+                    f"chain node {node!r} marked cached but absent from "
+                    f"shadow {vid} (cross-cache conflict)"
+                )
+
+    def _cache_deferred_record(self, vid: int, key: BitKey, value: Value) -> None:
+        """Pull a deferred-state record into verifier ``vid``'s cache."""
+        ts, epoch = self.deferred_index[key]
+        mirror = self.mirrors[vid]
+        self._make_room(vid, 1, {key})
+        self.logs[vid].append("add_deferred", key, value, ts, epoch)
+        mirror.observe_add(ts)
+        entry = mirror.add(key, value, VIA_DEFERRED, None)
+        del self.deferred_index[key]
+        self.cached_where[key] = vid
+        self.store.upsert(key, value, Aux.cached(vid, entry.slot).pack())
+        COUNTERS.cache_misses += 1
+
+    def _cache_merkle_record(self, vid: int, key: BitKey, parent: BitKey,
+                             locked: set[BitKey], value: Value | None = None) -> None:
+        """Pull a Merkle-state record into the cache (parent already there)."""
+        if value is None:
+            record = self.store.read_record(key)
+            if record is None:
+                raise StoreError(f"merkle record {key!r} missing from store")
+            value = record.value
+        mirror = self.mirrors[vid]
+        self._make_room(vid, 1, locked | {key, parent})
+        self.logs[vid].append("add_merkle", key, value, parent)
+        entry = mirror.add(key, value, VIA_MERKLE, parent)
+        self.cached_where[key] = vid
+        self.store.upsert(key, value, Aux.cached(vid, entry.slot).pack())
+        COUNTERS.cache_misses += 1
+
+    def _evict_to_deferred(self, vid: int, key: BitKey) -> tuple[int, int]:
+        """Evict a cached record into deferred protection; returns (ts, e)."""
+        mirror = self.mirrors[vid]
+        entry = mirror.remove(key)
+        ts = mirror.predict_evict()
+        epoch = self.current_epoch
+        self.logs[vid].append("evict_deferred", key)
+        self._expected_evicts[vid].append((ts, epoch))
+        del self.cached_where[key]
+        self.deferred_index[key] = (ts, epoch)
+        self.store.upsert(key, entry.value, Aux.deferred(ts, epoch).pack())
+        return ts, epoch
+
+    def _evict_to_merkle(self, vid: int, key: BitKey) -> None:
+        """Evict a cached record into Merkle protection (parent cached)."""
+        mirror = self.mirrors[vid]
+        entry = mirror.entries[key]
+        parent_key = entry.parent_key
+        if parent_key is None:
+            raise ProtocolError(f"{key!r} has no mirrored parent; cannot "
+                                f"evict to merkle")
+        mirror.remove(key)
+        self.logs[vid].append("evict_merkle", key, parent_key)
+        del self.cached_where[key]
+        self.store.upsert(key, entry.value, Aux.merkle().pack())
+        # Mirror the verifier's lazy parent update (§4.3.1).
+        parent = mirror.entries[parent_key]
+        side = key.direction_from(parent_key)
+        ptr = parent.value.pointer(side)
+        if ptr is None or ptr.key != key:
+            raise ProtocolError(f"shadow parent {parent_key!r} does not "
+                                f"point at {key!r}")
+        new_hash = host_value_hash(entry.value)
+        parent.value = parent.value.with_pointer(side, ptr.with_hash(new_hash))
+
+    # ==================================================================
+    # Receipt plumbing
+    # ==================================================================
+    def _drain_all(self) -> None:
+        """Flush all logs, deliver receipts to clients, audit predictions."""
+        for vid, log in enumerate(self.logs):
+            expected = self._expected_evicts[vid]
+            for result in log.drain():
+                if isinstance(result, OpReceipt):
+                    # Untrusted transport; the client's accept() checks.
+                    client = self.clients.get(result.client_id)
+                    if client is not None:
+                        client.accept(result)
+                elif isinstance(result, tuple) and len(result) == 2:
+                    if not expected:
+                        raise ProtocolError(
+                            f"verifier {vid} returned an unpredicted evict"
+                        )
+                    predicted = expected.popleft()
+                    if predicted != result:
+                        raise ProtocolError(
+                            f"clock mirror drift on verifier {vid}: "
+                            f"predicted {predicted}, verifier says {result}"
+                        )
+
+    # ==================================================================
+    # Public API
+    # ==================================================================
+    def get(self, client: Client, key: int | bytes, worker: int = 0) -> OpResult:
+        """Validated read. Returns the payload (None if absent/deleted)."""
+        bk = self.data_key(key)
+        nonce = client.next_nonce()
+        payload = self._data_op(worker, client, bk, "get", nonce=nonce)
+        self._after_op()
+        return OpResult(payload, nonce, worker)
+
+    def put(self, client: Client, key: int | bytes, payload: bytes | None,
+            worker: int = 0) -> OpResult:
+        """Authorized write (``payload=None`` deletes). Returns the nonce."""
+        bk = self.data_key(key)
+        request = client.make_put(bk, payload)
+        self._data_op(worker, client, bk, "put", nonce=request.nonce,
+                      payload=payload, tag=request.tag)
+        self._after_op()
+        return OpResult(payload, request.nonce, worker)
+
+    def scan(self, client: Client, start_key: int | bytes, count: int,
+             worker: int = 0) -> list[tuple[int, bytes]]:
+        """Ordered scan: per-key validated reads over the key directory
+        (§8.1: scans are not atomic; per-key rate is what is measured)."""
+        start = self.data_key(start_key)
+        out: list[tuple[int, bytes]] = []
+        for bk in self.store.directory.range_from(start, count):
+            nonce = client.next_nonce()
+            payload = self._data_op(worker, client, bk, "get", nonce=nonce)
+            self._after_op()
+            if payload is not None:
+                out.append((bk.bits, payload))
+        return out
+
+    def flush(self) -> None:
+        """Flush all verification logs and deliver pending receipts."""
+        self._drain_all()
+
+    def verify(self) -> VerifyReport:
+        """Close the current epoch: sorted Merkle re-application, anchor
+        migration, aggregated set-hash check, epoch receipts (§6.3, §5.3)."""
+        self._drain_all()
+        closing = self.enclave.ecall("start_epoch_close")
+        if closing != self.current_epoch:
+            raise ProtocolError("epoch mirror drift")
+        self.current_epoch += 1
+        width = self.config.key_width
+
+        # 1. Sorted Merkle updates (§6.3): every deferred *data* record that
+        # is not itself a partition anchor returns to Merkle protection.
+        data_keys = [
+            k for k in self.deferred_index
+            if k.length == width and k not in self.anchors
+        ]
+        if self.config.sorted_merkle_updates:
+            data_keys.sort()
+        for key in data_keys:
+            ts, epoch = self.deferred_index[key]
+            result = lookup(self._host_value, key)
+            if result.kind != FOUND:
+                raise ProtocolError(f"deferred record {key!r} fell out of the tree")
+            vid, _ = self._route(result.path)
+            locked = set(result.path) | {key}
+            self._cache_chain(vid, result.path, locked)
+            record = self.store.read_record(key)
+            mirror = self.mirrors[vid]
+            self._make_room(vid, 1, locked)
+            self.logs[vid].append("add_deferred", key, record.value, ts, epoch)
+            mirror.observe_add(ts)
+            mirror.add(key, record.value, VIA_MERKLE, result.terminal)
+            del self.deferred_index[key]
+            self.cached_where[key] = vid
+            self._evict_to_merkle(vid, key)
+
+        # 2. Anchor migration: deferred anchors tagged <= closing move to
+        # the new epoch (cache-resident anchors are ignored, §5.2).
+        migrated_anchors = 0
+        for anchor in sorted(self.anchors):
+            if anchor in self.cached_where:
+                continue
+            ts, epoch = self.deferred_index[anchor]
+            if epoch > closing:
+                continue
+            vid = self.anchors[anchor]
+            record = self.store.read_record(anchor)
+            self._cache_deferred_record(vid, anchor, record.value)
+            self._evict_to_deferred(vid, anchor)
+            migrated_anchors += 1
+
+        self._drain_all()
+        receipts = self.enclave.ecall("finish_epoch_close", closing)
+        for client_id, receipt in receipts.items():
+            client = self.clients.get(client_id)
+            if client is not None:
+                client.accept_epoch(receipt)
+        self.ops_since_close = 0
+        return VerifyReport(closing, len(data_keys), migrated_anchors, receipts)
+
+    # ==================================================================
+    # The operation engine
+    # ==================================================================
+    def _after_op(self) -> None:
+        COUNTERS.ops += 1
+        self.ops_since_close += 1
+        if (self.config.batch_ops is not None
+                and self.ops_since_close >= self.config.batch_ops):
+            self.verify()
+
+    def _data_op(self, worker: int, client: Client, key: BitKey, kind: str,
+                 nonce: int, payload: bytes | None = None,
+                 tag: bytes | None = None) -> bytes | None:
+        """One validated get/put on a data key; returns the result payload."""
+        for _attempt in range(64):
+            vid_cached = self.cached_where.get(key)
+            if vid_cached is not None:
+                if self.config.cache_hot_records and key.length == \
+                        self.config.key_width:
+                    # §6.1 top tier: the record is verifier-resident —
+                    # validate directly, no hashing, no set updates.
+                    return self._cached_op(vid_cached, client, key, kind,
+                                           nonce, payload, tag)
+                # Otherwise (e.g., a singleton-anchor data key caught
+                # mid-migration): evict to deferred and retry warm.
+                self._evict_to_deferred(vid_cached, key)
+                continue
+            record = self.store.read_record(key)
+            if record is None:
+                return self._absent_op(worker, client, key, kind, nonce,
+                                       payload, tag)
+            aux = Aux.unpack(record.aux)
+            if aux.state is Protection.DEFERRED:
+                done = self._warm_op(worker, client, key, record, aux, kind,
+                                     nonce, payload, tag)
+                if done is not None:
+                    return done[0]
+                continue  # CAS lost; retry
+            if aux.state is Protection.MERKLE:
+                return self._cold_op(worker, client, key, kind, nonce,
+                                     payload, tag)
+            raise ProtocolError(f"aux says CACHED but host lost track of {key!r}")
+        raise ProtocolError(f"operation on {key!r} starved after 64 CAS retries")
+
+    def _cached_op(self, vid: int, client: Client, key: BitKey, kind: str,
+                   nonce: int, payload: bytes | None,
+                   tag: bytes | None) -> bytes | None:
+        """Cache-hit path: the record is inside verifier ``vid``'s cache.
+
+        Zero hash computations, zero multiset updates, zero store CAS —
+        exactly the §6.1 claim for the hierarchy's top tier. Only the
+        validation (MAC + nonce) crosses the log.
+        """
+        mirror = self.mirrors[vid]
+        entry = mirror.touch(key)
+        log = self.logs[vid]
+        COUNTERS.cache_hits += 1
+        if kind == "get":
+            log.append("validate_get", client.client_id, key, nonce)
+            return entry.value.payload
+        log.append("validate_put_update", client.client_id, key, payload,
+                   nonce, tag)
+        entry.value = DataValue(payload)
+        return payload
+
+    def _retain_after_op(self, vid: int, key: BitKey, value: Value) -> None:
+        """cache_hot_records mode: keep the record verifier-resident after
+        its op instead of evicting it (the LRU will cool it later)."""
+        mirror = self.mirrors[vid]
+        entry = mirror.add(key, value, VIA_DEFERRED, None)
+        self.cached_where[key] = vid
+        self.deferred_index.pop(key, None)
+        self.store.upsert(key, value, Aux.cached(vid, entry.slot).pack())
+
+    def _warm_op(self, worker: int, client: Client, key: BitKey, record,
+                 aux: Aux, kind: str, nonce: int, payload: bytes | None,
+                 tag: bytes | None):
+        """Deferred-state fast path (§7 worker inner loop)."""
+        mirror = self.mirrors[worker]
+        # Reserve a slot for the transient add/validate/evict triple first:
+        # any victim evictions must precede this op in both the log and the
+        # clock-prediction stream. The freelist round-trips across the
+        # triple, so slot mirroring stays aligned.
+        self._make_room(worker, 1, {key})
+        old_value = record.value
+        new_value = old_value if kind == "get" else DataValue(payload)
+        if self.config.cache_hot_records:
+            # Admit and *retain*: the record climbs to the hierarchy's top
+            # tier; no evict, no write-set entry, no CAS race window (the
+            # admission itself moves the record out of deferred state).
+            mirror.observe_add(aux.timestamp)
+            log = self.logs[worker]
+            log.append("add_deferred", key, old_value, aux.timestamp,
+                       aux.epoch)
+            if kind == "get":
+                log.append("validate_get", client.client_id, key, nonce)
+            else:
+                log.append("validate_put_update", client.client_id, key,
+                           payload, nonce, tag)
+            self._retain_after_op(worker, key, new_value)
+            result = old_value.payload if kind == "get" else payload
+            return (result,)
+        ts_pred = max(mirror.clock, aux.timestamp) + 1
+        new_aux = Aux.deferred(ts_pred, self.current_epoch)
+        if not self.store.try_cas(key, old_value, record.aux,
+                                  new_value, new_aux.pack()):
+            return None  # lost the race (§5.3 Example 5.2): caller retries
+        mirror.observe_add(aux.timestamp)
+        confirmed = mirror.predict_evict()
+        if confirmed != ts_pred:
+            raise ProtocolError("clock mirror drift in warm path")
+        log = self.logs[worker]
+        log.append("add_deferred", key, old_value, aux.timestamp, aux.epoch)
+        if kind == "get":
+            log.append("validate_get", client.client_id, key, nonce)
+        else:
+            log.append("validate_put_update", client.client_id, key, payload,
+                       nonce, tag)
+        log.append("evict_deferred", key)
+        self._expected_evicts[worker].append((ts_pred, self.current_epoch))
+        self.deferred_index[key] = (ts_pred, self.current_epoch)
+        result = old_value.payload if kind == "get" else payload
+        COUNTERS.cache_hits += 1  # no Merkle work: the deferred fast path
+        return (result,)
+
+    def _cold_op(self, worker: int, client: Client, key: BitKey, kind: str,
+                 nonce: int, payload: bytes | None,
+                 tag: bytes | None) -> bytes | None:
+        """Merkle-state slow path: chain in, validate, evict to deferred."""
+        result = lookup(self._host_value, key)
+        if result.kind != FOUND:
+            raise ProtocolError(f"aux says MERKLE but {key!r} not in tree")
+        vid, _ = self._route(result.path)
+        locked = set(result.path) | {key}
+        self._cache_chain(vid, result.path, locked)
+        value = self.store.read_record(key).value
+        self._cache_merkle_record(vid, key, result.terminal, locked, value=value)
+        log = self.logs[vid]
+        if kind == "get":
+            log.append("validate_get", client.client_id, key, nonce)
+            out = value.payload
+        else:
+            log.append("validate_put_update", client.client_id, key, payload,
+                       nonce, tag)
+            self.mirrors[vid].entries[key].value = DataValue(payload)
+            out = payload
+        if self.config.cache_hot_records:
+            return out  # retain: first touch already promotes to cached
+        self._evict_to_deferred(vid, key)
+        return out
+
+    def _absent_op(self, worker: int, client: Client, key: BitKey, kind: str,
+                   nonce: int, payload: bytes | None,
+                   tag: bytes | None) -> bytes | None:
+        """The key is not in the tree: prove absence, or insert (§4.2)."""
+        result = lookup(self._host_value, key)
+        if result.kind == FOUND:
+            raise ProtocolError(f"store lost record {key!r} that the tree has")
+        vid, _ = self._route(result.path)
+        locked = set(result.path) | {key}
+        self._cache_chain(vid, result.path, locked)
+        log = self.logs[vid]
+        if kind == "get":
+            log.append("validate_get_absent", client.client_id, key,
+                       result.terminal, nonce)
+            return None
+        if payload is None:
+            # Deleting an absent key: prove absence instead of inserting.
+            log.append("validate_get_absent", client.client_id, key,
+                       result.terminal, nonce)
+            return None
+        mirror = self.mirrors[vid]
+        terminal = result.terminal
+        if result.kind == ABSENT_NULL:
+            self._make_room(vid, 1, locked)
+            log.append("validate_put_extend", client.client_id, key, payload,
+                       nonce, tag, terminal)
+            leaf_value = DataValue(payload)
+            entry = mirror.add(key, leaf_value, VIA_MERKLE, terminal)
+            self.cached_where[key] = vid
+            self.store.upsert(key, leaf_value, Aux.cached(vid, entry.slot).pack())
+            # Mirror the verifier's pointer write at the terminal.
+            term_entry = mirror.entries[terminal]
+            side = key.direction_from(terminal)
+            term_entry.value = term_entry.value.with_pointer(
+                side, Pointer(key, host_value_hash(leaf_value)))
+            self._evict_to_deferred(vid, key)
+            return payload
+        # ABSENT_SPLIT: a new internal node at lca(key, bypass).
+        self._make_room(vid, 2, locked)
+        log.append("validate_put_split", client.client_id, key, payload,
+                   nonce, tag, terminal)
+        bypass = result.bypass
+        mid = key.lca(bypass)
+        leaf_value = DataValue(payload)
+        term_entry = mirror.entries[terminal]
+        side = key.direction_from(terminal)
+        old_ptr = term_entry.value.pointer(side)
+        mid_value = MerkleValue()
+        mid_value = mid_value.with_pointer(bypass.direction_from(mid), old_ptr)
+        mid_value = mid_value.with_pointer(
+            key.direction_from(mid), Pointer(key, host_value_hash(leaf_value)))
+        mid_entry = mirror.add(mid, mid_value, VIA_MERKLE, terminal)
+        leaf_entry = mirror.add(key, leaf_value, VIA_MERKLE, mid)
+        self.cached_where[mid] = vid
+        self.cached_where[key] = vid
+        self.store.upsert(mid, mid_value, Aux.cached(vid, mid_entry.slot).pack())
+        self.store.upsert(key, leaf_value, Aux.cached(vid, leaf_entry.slot).pack())
+        term_entry.value = term_entry.value.with_pointer(
+            side, Pointer(mid, host_value_hash(mid_value)))
+        mirror.reparent(bypass, mid)
+        self._evict_to_deferred(vid, key)
+        return payload
+
+    # ==================================================================
+    # Durability (§7): epoch-synchronized checkpoint and recovery
+    # ==================================================================
+    def checkpoint(self) -> "FastVerCheckpoint":
+        """Take a durable checkpoint: CPR-flush the store, seal the
+        verifier state. Call at a quiescent point (ideally right after
+        ``verify()``, aligning with the paper's epoch-synchronized CPR)."""
+        self._drain_all()
+        for mirror, expected in zip(self.mirrors, self._expected_evicts):
+            if expected:
+                raise ProtocolError("checkpoint with unconfirmed predictions")
+        self._ckpt_version = getattr(self, "_ckpt_version", 0) + 1
+        from repro.store.checkpoint import take_checkpoint
+        token = take_checkpoint(self.store, self._ckpt_version)
+        blob = self.enclave.ecall("checkpoint_state")
+        return FastVerCheckpoint(
+            version=self._ckpt_version,
+            store_token=token,
+            verifier_blob=blob,
+            anchors=dict(self.anchors),
+        )
+
+    def recover(self, checkpoint: "FastVerCheckpoint") -> None:
+        """Rebuild all volatile state after a crash/reboot from a
+        checkpoint. The enclave detects rollback (an old checkpoint) via
+        its sealed slot; the untrusted side is rebuilt from the store's
+        aux words and the verifier's (non-confidential) cache dump."""
+        from repro.store.checkpoint import recover as store_recover
+        self.enclave.reboot()
+        self.enclave.ecall("restore_state", checkpoint.verifier_blob)
+        for client in self.clients.values():
+            self.enclave.ecall("register_client", client.client_id,
+                               client.key.key_bytes())
+        self.store = store_recover(checkpoint.store_token, self.store.log.device)
+        self.current_epoch = self.enclave.ecall("current_epoch")
+        self.anchors = dict(checkpoint.anchors)
+        self.deferred_index = {}
+        for key, _value, aux_word in self.store.items():
+            aux = Aux.unpack(aux_word)
+            if aux.state is Protection.DEFERRED:
+                self.deferred_index[key] = (aux.timestamp, aux.epoch)
+        # Rebuild mirrors from the enclave's cache dumps; entries re-add in
+        # the same order the verifier re-added them at restore, so slot
+        # numbering realigns automatically.
+        cfg = self.config
+        self.mirrors = [VerifierMirror(i, cfg.cache_capacity)
+                        for i in range(cfg.n_workers)]
+        self.cached_where = {}
+        self._expected_evicts = [deque() for _ in range(cfg.n_workers)]
+        clocks = self.enclave.ecall("clocks")
+        for vid, mirror in enumerate(self.mirrors):
+            mirror.clock = clocks[vid]
+            entries = self.enclave.ecall("dump_cache", vid)
+            for key, value in entries:
+                if key.is_root:
+                    mirror.add(key, value, VIA_PINNED, None)
+                elif key in self.anchors or not isinstance(value, MerkleValue):
+                    mirror.add(key, value, VIA_DEFERRED, None)
+                else:
+                    mirror.add(key, value, VIA_DEFERRED, None)
+                self.cached_where[key] = vid
+        # Recompute merkle parent links for cached merkle records so LRU
+        # evictions pick the right mode again.
+        for vid, mirror in enumerate(self.mirrors):
+            for key in list(mirror.entries):
+                entry = mirror.entries[key]
+                if key.is_root or key in self.anchors:
+                    continue
+                if not isinstance(entry.value, MerkleValue) and \
+                        key.length != cfg.key_width:
+                    continue
+                parent = self._find_cached_parent(mirror, key)
+                if parent is not None:
+                    entry.via = VIA_MERKLE
+                    entry.parent_key = parent
+                    mirror.entries[parent].children_cached += 1
+        self.logs = [VerificationLog(self.enclave, i, cfg.log_capacity)
+                     for i in range(cfg.n_workers)]
+        self.ops_since_close = 0
+
+    @staticmethod
+    def _find_cached_parent(mirror: VerifierMirror, key: BitKey) -> BitKey | None:
+        """The cached ancestor whose pointer targets ``key``, if any."""
+        best = None
+        for candidate, entry in mirror.entries.items():
+            if not isinstance(entry.value, MerkleValue):
+                continue
+            if not candidate.is_proper_ancestor_of(key):
+                continue
+            ptr = entry.value.pointer(key.direction_from(candidate))
+            if ptr is not None and ptr.key == key:
+                best = candidate
+        return best
+
+    # ==================================================================
+    # Introspection
+    # ==================================================================
+    def deferred_population(self) -> int:
+        """Records currently protected by deferred verification — the
+        quantity verification latency is linear in (§5.4)."""
+        return len(self.deferred_index)
+
+    def verified_epoch(self) -> int:
+        return self.enclave.ecall("verified_epoch")

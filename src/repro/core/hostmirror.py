@@ -1,0 +1,178 @@
+"""Host-side mirrors of verifier state (§5.3, §7).
+
+Verifier clocks and cache contents are *protected* (tamper-proof) but not
+*confidential*, and they evolve deterministically from the command stream
+the host itself produces. FastVer exploits this: each host worker mirrors
+its verifier's clock to predict evict timestamps without a round trip, and
+mirrors the cache contents to navigate the tree and write evicted records
+back to the store.
+
+:class:`VerifierMirror` is that shadow for one verifier thread. It also
+carries the host's cache *policy* metadata — LRU ticks, parent links, and
+cached-children counts — which the verifier itself never needs: the policy
+only exists so the host evicts records in an order that keeps every
+eviction executable (a Merkle evict needs the parent still cached).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.keys import BitKey
+from repro.core.records import Value, encode_value
+from repro.errors import ProtocolError
+from repro.instrument import COUNTERS
+
+#: How a shadow entry entered the cache (host policy metadata).
+VIA_MERKLE = "merkle"
+VIA_DEFERRED = "deferred"
+VIA_PINNED = "pinned"
+
+
+def host_value_hash(value: Value) -> bytes:
+    """The host's own copy of H(v), for mirroring parent-pointer updates.
+
+    Untrusted duplicate of the verifier's hash — if the host computed it
+    wrong its next ``add_merkle`` would fail — counted separately so the
+    cost model can price host-side hashing apart from verifier hashing.
+    """
+    blob = encode_value(value)
+    COUNTERS.host_merkle_hashes += 1
+    COUNTERS.host_merkle_hash_bytes += len(blob)
+    return hashlib.blake2b(blob, digest_size=32).digest()
+
+
+class ShadowEntry:
+    """Host's view of one verifier-cached record."""
+
+    __slots__ = ("key", "value", "via", "parent_key", "children_cached",
+                 "tick", "slot")
+
+    def __init__(self, key: BitKey, value: Value, via: str,
+                 parent_key: BitKey | None, tick: int, slot: int):
+        self.key = key
+        self.value = value
+        self.via = via
+        self.parent_key = parent_key
+        self.children_cached = 0
+        self.tick = tick
+        self.slot = slot
+
+
+class VerifierMirror:
+    """Host shadow of one verifier thread: clock + cache + policy state."""
+
+    def __init__(self, verifier_id: int, capacity: int):
+        self.verifier_id = verifier_id
+        self.capacity = capacity
+        self.clock = 0
+        self.entries: dict[BitKey, ShadowEntry] = {}
+        self._tick = 0
+        # Replica of the verifier cache's slot freelist (same arithmetic as
+        # VerifierCache, so predicted slots match the enclave's).
+        self._free_slots: list[int] = list(range(capacity - 1, -1, -1))
+
+    # ------------------------------------------------------------------
+    # Clock mirroring (the §5.3 prediction trick)
+    # ------------------------------------------------------------------
+    def observe_add(self, timestamp: int) -> None:
+        """Mirror the verifier's Lamport rule on a deferred add."""
+        if timestamp > self.clock:
+            self.clock = timestamp
+
+    def predict_evict(self) -> int:
+        """The timestamp the verifier *will* stamp on the next deferred
+        evict; advances the mirror so the prediction is consumed."""
+        self.clock += 1
+        return self.clock
+
+    # ------------------------------------------------------------------
+    # Shadow cache maintenance
+    # ------------------------------------------------------------------
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def __contains__(self, key: BitKey) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self.entries)
+
+    def get(self, key: BitKey) -> ShadowEntry:
+        entry = self.entries.get(key)
+        if entry is None:
+            raise ProtocolError(f"{key!r} not in shadow cache {self.verifier_id}")
+        return entry
+
+    def touch(self, key: BitKey) -> ShadowEntry:
+        entry = self.get(key)
+        entry.tick = self._next_tick()
+        return entry
+
+    def add(self, key: BitKey, value: Value, via: str,
+            parent_key: BitKey | None = None) -> ShadowEntry:
+        if key in self.entries:
+            raise ProtocolError(f"shadow double-add of {key!r}")
+        if len(self.entries) >= self.capacity:
+            raise ProtocolError(f"shadow cache {self.verifier_id} overflow")
+        slot = self._free_slots.pop()
+        entry = ShadowEntry(key, value, via, parent_key, self._next_tick(), slot)
+        self.entries[key] = entry
+        if via == VIA_MERKLE and parent_key is not None:
+            self.get(parent_key).children_cached += 1
+        return entry
+
+    def remove(self, key: BitKey) -> ShadowEntry:
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            raise ProtocolError(f"shadow evict of absent {key!r}")
+        if entry.children_cached:
+            self.entries[key] = entry
+            raise ProtocolError(f"shadow evict of {key!r} with cached children")
+        if entry.via == VIA_MERKLE and entry.parent_key is not None:
+            parent = self.entries.get(entry.parent_key)
+            if parent is not None:
+                parent.children_cached -= 1
+        self._free_slots.append(entry.slot)
+        return entry
+
+    def reparent(self, key: BitKey, new_parent: BitKey) -> None:
+        """Fix a cached child's parent link after an edge split."""
+        entry = self.entries.get(key)
+        if entry is None or entry.via != VIA_MERKLE:
+            return
+        old_parent = self.entries.get(entry.parent_key) if entry.parent_key else None
+        if old_parent is not None:
+            old_parent.children_cached -= 1
+        entry.parent_key = new_parent
+        self.get(new_parent).children_cached += 1
+
+    def victims(self, locked: set[BitKey], need: int) -> list[ShadowEntry]:
+        """Pick up to ``need`` evictable entries in LRU order.
+
+        Evictable: not pinned, not locked by the in-flight operation, and
+        no cached Merkle children (so a Merkle evict stays executable).
+        """
+        if need <= 0:
+            return []
+        order = sorted(self.entries.values(), key=lambda e: e.tick)
+        out: list[ShadowEntry] = []
+        for entry in order:
+            if len(out) >= need:
+                break
+            if entry.via == VIA_PINNED or entry.key in locked:
+                continue
+            if entry.children_cached:
+                continue
+            out.append(entry)
+        if len(out) < need:
+            raise ProtocolError(
+                f"cache {self.verifier_id} cannot free {need} slots "
+                f"(capacity {self.capacity} too small for the working chain)"
+            )
+        return out

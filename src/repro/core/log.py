@@ -1,0 +1,69 @@
+"""The host↔verifier verification log (§5.3, §7).
+
+Workers never call the verifier synchronously per operation: each worker
+serializes verifier calls into a private log buffer and crosses into the
+enclave only when the buffer fills, amortizing the world-switch cost over
+many operations. Because each worker owns its buffer (and the paper pairs
+each host thread with its verifier thread on the same OS thread), there is
+no producer/consumer contention on the log.
+
+The host does not need return values synchronously — it *predicts* evict
+timestamps by mirroring the verifier clock (§5.3) — so buffering is safe;
+validation receipts are collected when the batch flushes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.enclave.enclave import SimulatedEnclave
+from repro.instrument import COUNTERS
+
+#: A log entry: (method name, args tuple).
+LogEntry = tuple[str, tuple]
+
+
+class VerificationLog:
+    """One worker's buffered command stream to its verifier thread."""
+
+    def __init__(self, enclave: SimulatedEnclave, verifier_id: int,
+                 capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("log capacity must be >= 1")
+        self.enclave = enclave
+        self.verifier_id = verifier_id
+        self.capacity = capacity
+        self._buffer: list[LogEntry] = []
+        self._results: list[Any] = []
+        self.flushes = 0
+
+    def append(self, method: str, *args) -> None:
+        """Queue one verifier call; flushes automatically when full."""
+        COUNTERS.log_entries += 1
+        self._buffer.append((method, args))
+        if len(self._buffer) >= self.capacity:
+            self.flush()
+
+    def flush(self) -> list[Any]:
+        """Enter the enclave once and process every buffered entry.
+
+        Returns the batch's results (receipts for validations, None for
+        bookkeeping calls) and also retains them until :meth:`drain`.
+        """
+        if not self._buffer:
+            return []
+        batch, self._buffer = self._buffer, []
+        self.flushes += 1
+        results = self.enclave.ecall("process_batch", self.verifier_id, batch)
+        self._results.extend(results)
+        return results
+
+    def drain(self) -> list[Any]:
+        """Flush and hand back everything accumulated since the last drain."""
+        self.flush()
+        results, self._results = self._results, []
+        return results
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,350 @@
+"""The verifier group: everything that runs inside the enclave.
+
+This is the trusted program of Figure 1. It owns:
+
+* ``n`` minimally-interacting :class:`~repro.core.verifier.VerifierThread`
+  instances (§5.3) — each with its own clock, cache, and read/write set
+  hashes; they interact *only* at epoch close, when their 16-byte set
+  hashes are aggregated;
+* the shared :class:`~repro.core.epochs.EpochController`;
+* the client table (authorized MAC keys + replay nonces, §2.1);
+* receipt issuance (provisional op receipts + epoch batch receipts);
+* verifier-state checkpointing sealed against rollback (§2.2, §7).
+
+The ecall surface deliberately does **not** expose raw record updates or
+inserts: logical data changes only happen through ``validate_put*``
+entries carrying a client MAC, which is what makes the host unable to
+modify data unilaterally.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.epochs import EpochController
+from repro.core.keys import BitKey
+from repro.core.protocol import (
+    EPOCH,
+    GET,
+    GET_ABSENT,
+    PUT,
+    ClientTable,
+    EpochReceipt,
+    OpReceipt,
+    _payload_bytes,
+)
+from repro.core.records import DataValue, MerkleValue, Value, decode_value, encode_value
+from repro.core.verifier import VerifierThread
+from repro.crypto.hashing import decode_fields, encode_fields
+from repro.crypto.mac import MacKey
+from repro.crypto.multiset import aggregate
+from repro.crypto.prf import Prf
+from repro.enclave.sealed import SealedSlot, seal_hash
+from repro.errors import (
+    EpochError,
+    ProtocolError,
+    SetHashMismatchError,
+    SignatureError,
+    StructuralError,
+)
+from repro.instrument import COUNTERS
+from repro.merkle.sparse import build_tree
+
+#: Thread methods a host may invoke directly (integrity-neutral plumbing).
+_RAW_METHODS = frozenset(
+    {"add_merkle", "evict_merkle", "add_deferred", "evict_deferred",
+     "refresh_hash"}
+)
+
+
+class VerifierGroup:
+    """The enclave-resident verifier (trusted computing base)."""
+
+    def __init__(self, sealed: SealedSlot, n_threads: int = 1,
+                 cache_capacity: int = 512, combiner: str = "add",
+                 prf: Prf | None = None, sealing_key: MacKey | None = None):
+        if n_threads < 1:
+            raise ValueError("need at least one verifier thread")
+        self.sealed = sealed
+        self.prf = prf if prf is not None else Prf.generate()
+        self.sealing_key = sealing_key if sealing_key is not None else MacKey.generate("seal")
+        self.epochs = EpochController()
+        self.clients = ClientTable()
+        self.threads = [
+            VerifierThread(i, self.prf, self.epochs,
+                           cache_capacity=cache_capacity, combiner=combiner)
+            for i in range(n_threads)
+        ]
+        self._combiner = combiner
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Setup ecalls
+    # ------------------------------------------------------------------
+    def register_client(self, client_id: int, key_bytes: bytes) -> None:
+        self.clients.register(client_id, MacKey(key_bytes, name=f"client-{client_id}"))
+
+    def bulk_load(self, items: list[tuple[BitKey, bytes]]) -> tuple[MerkleValue, list[tuple[BitKey, Value]]]:
+        """Trusted initial load: build the sparse Merkle tree inside the
+        enclave, pin the root in thread 0, and hand every other record back
+        to the host for storage.
+
+        The load is client-initiated (the data owner ships its dataset
+        through the enclave once); afterwards all mutation goes through
+        authorized puts. Returns the (non-confidential) root value — the
+        host mirrors it — plus all records to store.
+        """
+        if self._loaded:
+            raise ProtocolError("database already loaded")
+        data = sorted((k, DataValue(p)) for k, p in items)
+        merkle_records, root_value = build_tree(data)
+        self.threads[0].pin_root(root_value)
+        self._loaded = True
+        out: list[tuple[BitKey, Value]] = [(k, v) for k, v in merkle_records.items()]
+        out.extend(data)
+        return root_value, out
+
+    def start_empty(self) -> MerkleValue:
+        """Initialize an empty database (root with two null pointers)."""
+        if self._loaded:
+            raise ProtocolError("database already loaded")
+        root_value = MerkleValue(None, None)
+        self.threads[0].pin_root(root_value)
+        self._loaded = True
+        return root_value
+
+    # ------------------------------------------------------------------
+    # The batched command stream (one ecall per log-buffer flush, §7)
+    # ------------------------------------------------------------------
+    def process_batch(self, verifier_id: int, entries: list[tuple[str, tuple]]) -> list[Any]:
+        """Execute a worker's buffered verifier calls in order."""
+        if not 0 <= verifier_id < len(self.threads):
+            raise ProtocolError(f"no verifier thread {verifier_id}")
+        thread = self.threads[verifier_id]
+        results: list[Any] = []
+        for method, args in entries:
+            if method in _RAW_METHODS:
+                results.append(getattr(thread, method)(*args))
+            elif method == "validate_get":
+                results.append(self._validate_get(thread, *args))
+            elif method == "validate_get_absent":
+                results.append(self._validate_get_absent(thread, *args))
+            elif method == "validate_put_update":
+                results.append(self._validate_put(thread, "update", *args))
+            elif method == "validate_put_extend":
+                results.append(self._validate_put(thread, "extend", *args))
+            elif method == "validate_put_split":
+                results.append(self._validate_put(thread, "split", *args))
+            else:
+                raise ProtocolError(f"unknown verifier entry {method!r}")
+        return results
+
+    # -- validations -----------------------------------------------------
+    def _receipt(self, client_id: int, kind: bytes, key: BitKey,
+                 payload: bytes | None, nonce: int) -> OpReceipt:
+        epoch = self.epochs.current
+        receipt = OpReceipt(client_id, kind, key, payload, nonce, epoch, b"")
+        receipt.tag = self.clients.key_for(client_id).sign(*receipt.mac_fields())
+        return receipt
+
+    def _validate_get(self, thread: VerifierThread, client_id: int,
+                      key: BitKey, nonce: int) -> OpReceipt:
+        self.clients.check_nonce(client_id, nonce)
+        value = thread.read(key)
+        if not isinstance(value, DataValue):
+            raise StructuralError(f"get validated against non-data record {key!r}")
+        return self._receipt(client_id, GET, key, value.payload, nonce)
+
+    def _validate_get_absent(self, thread: VerifierThread, client_id: int,
+                             key: BitKey, ancestor: BitKey, nonce: int) -> OpReceipt:
+        self.clients.check_nonce(client_id, nonce)
+        thread.check_absent(key, ancestor)
+        return self._receipt(client_id, GET_ABSENT, key, None, nonce)
+
+    def _validate_put(self, thread: VerifierThread, mode: str, client_id: int,
+                      key: BitKey, payload: bytes | None, nonce: int, tag: bytes,
+                      parent_key: BitKey | None = None) -> OpReceipt:
+        # Client authorization first: the host cannot manufacture puts.
+        client_key = self.clients.key_for(client_id)
+        try:
+            client_key.verify(tag, PUT, key.to_bytes(), _payload_bytes(payload),
+                              nonce.to_bytes(8, "big"))
+        except SignatureError:
+            raise SignatureError(
+                f"put on {key!r} lacks a valid client-{client_id} signature"
+            ) from None
+        self.clients.check_nonce(client_id, nonce)
+        value = DataValue(payload)
+        if mode == "update":
+            thread.update(key, value)
+        elif mode == "extend":
+            thread.insert_extend(key, value, parent_key)
+        elif mode == "split":
+            thread.insert_split(key, value, parent_key)
+        else:  # pragma: no cover - internal dispatch only
+            raise ProtocolError(f"unknown put mode {mode!r}")
+        return self._receipt(client_id, PUT, key, payload, nonce)
+
+    # ------------------------------------------------------------------
+    # Epoch close (§5.3 aggregation + §5.1 batch validation)
+    # ------------------------------------------------------------------
+    def start_epoch_close(self) -> int:
+        """Open the next epoch; returns the epoch now being closed.
+
+        After this, every evict stamps the new epoch, so migrating the old
+        epoch's records moves them forward.
+        """
+        closing = self.epochs.current
+        self.epochs.advance()
+        return closing
+
+    def finish_epoch_close(self, epoch: int) -> dict[int, EpochReceipt]:
+        """Aggregate per-thread set hashes and settle the epoch.
+
+        Raises :class:`SetHashMismatchError` if the aggregated read and
+        write hashes differ — the deferred-verification tamper alarm.
+        Returns one epoch receipt per registered client.
+        """
+        if epoch >= self.epochs.current:
+            raise EpochError(f"epoch {epoch} is still open; advance first")
+        reads: list[int] = []
+        writes: list[int] = []
+        for thread in self.threads:
+            r, w = thread.take_epoch_hashes(epoch)
+            reads.append(r)
+            writes.append(w)
+        COUNTERS.epoch_verifications += 1
+        if aggregate(reads, self._combiner) != aggregate(writes, self._combiner):
+            raise SetHashMismatchError(
+                f"epoch {epoch}: aggregated read-set and write-set hashes "
+                f"differ — tampering with a deferred record detected"
+            )
+        self.epochs.mark_verified(epoch)
+        receipts: dict[int, EpochReceipt] = {}
+        for client_id in self.clients.nonces():
+            receipt = EpochReceipt(epoch, b"")
+            receipt.tag = self.clients.key_for(client_id).sign(*receipt.mac_fields())
+            receipts[client_id] = receipt
+        return receipts
+
+    # -- host-visible (non-confidential) status ---------------------------
+    def current_epoch(self) -> int:
+        return self.epochs.current
+
+    def verified_epoch(self) -> int:
+        return self.epochs.verified
+
+    def clocks(self) -> list[int]:
+        """Per-thread clocks — protected state, but not confidential (§5.3):
+        the host mirrors them anyway, and needs them after recovery."""
+        return [t.clock for t in self.threads]
+
+    def dump_cache(self, verifier_id: int) -> list[tuple[BitKey, Value]]:
+        """Cache contents of one thread (host rebuilds its mirror after
+        recovery; again protected-but-not-confidential)."""
+        if not 0 <= verifier_id < len(self.threads):
+            raise ProtocolError(f"no verifier thread {verifier_id}")
+        return self.threads[verifier_id].cache.items()
+
+    # ------------------------------------------------------------------
+    # Verifier-state checkpoint / restore (§7 durability, §2.2 rollback)
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> bytes:
+        """Serialize all trusted state, MAC it, and advance the sealed slot.
+
+        The blob lives on untrusted storage; the sealed (version, hash)
+        pair is what makes replaying an *older* blob detectable.
+        """
+        parts: list[bytes] = [
+            self.epochs.current.to_bytes(8, "big"),
+            self.epochs.verified.to_bytes(8, "big", signed=True),
+            self._encode_nonces(),
+        ]
+        for thread in self.threads:
+            parts.append(self._encode_thread(thread))
+        body = encode_fields(*parts)
+        tag = self.sealing_key.sign(body)
+        blob = encode_fields(body, tag)
+        self.sealed.advance(seal_hash(blob))
+        return blob
+
+    def restore_state(self, blob: bytes) -> None:
+        """Rebuild trusted state from a checkpoint blob (post-reboot).
+
+        Checks the MAC (forgery) and the sealed slot (rollback) before
+        touching any state.
+        """
+        outer = decode_fields(blob)
+        if len(outer) != 2:
+            raise ProtocolError("malformed verifier checkpoint")
+        body, tag = outer
+        self.sealing_key.verify(tag, body)
+        self.sealed.check_latest(seal_hash(blob))
+        parts = decode_fields(body)
+        expected = 3 + len(self.threads)
+        if len(parts) != expected:
+            raise ProtocolError("verifier checkpoint has wrong thread count")
+        self.epochs.current = int.from_bytes(parts[0], "big")
+        self.epochs.verified = int.from_bytes(parts[1], "big", signed=True)
+        self._decode_nonces(parts[2])
+        for thread, chunk in zip(self.threads, parts[3:]):
+            self._decode_thread(thread, chunk)
+        self._loaded = True
+
+    def _encode_nonces(self) -> bytes:
+        fields: list[bytes] = []
+        for client_id, nonce in sorted(self.clients.nonces().items()):
+            fields.append(client_id.to_bytes(8, "big") + nonce.to_bytes(8, "big"))
+        return encode_fields(*fields)
+
+    def _decode_nonces(self, blob: bytes) -> None:
+        nonces: dict[int, int] = {}
+        for field in decode_fields(blob):
+            nonces[int.from_bytes(field[:8], "big")] = int.from_bytes(field[8:], "big")
+        self.clients.restore_nonces(nonces)
+
+    def _encode_thread(self, thread: VerifierThread) -> bytes:
+        fields: list[bytes] = [thread.clock.to_bytes(8, "big")]
+        epoch_parts: list[bytes] = []
+        for epoch in sorted(thread.open_epochs()):
+            rs = thread._read_sets.get(epoch)
+            ws = thread._write_sets.get(epoch)
+            epoch_parts.append(
+                epoch.to_bytes(8, "big")
+                + (rs.value if rs else 0).to_bytes(16, "big")
+                + (ws.value if ws else 0).to_bytes(16, "big")
+            )
+        fields.append(encode_fields(*epoch_parts))
+        cache_parts: list[bytes] = []
+        for key, value in thread.cache.items():
+            cache_parts.append(encode_fields(key.to_bytes(), encode_value(value)))
+        fields.append(encode_fields(*cache_parts))
+        return encode_fields(*fields)
+
+    def _decode_thread(self, thread: VerifierThread, blob: bytes) -> None:
+        clock_b, epochs_b, cache_b = decode_fields(blob)
+        thread.clock = int.from_bytes(clock_b, "big")
+        thread._read_sets.clear()
+        thread._write_sets.clear()
+        for part in decode_fields(epochs_b):
+            epoch = int.from_bytes(part[:8], "big")
+            rs_val = int.from_bytes(part[8:24], "big")
+            ws_val = int.from_bytes(part[24:40], "big")
+            if rs_val:
+                thread._set_hash(thread._read_sets, epoch).value = rs_val
+            if ws_val:
+                thread._set_hash(thread._write_sets, epoch).value = ws_val
+        for part in decode_fields(cache_b):
+            key_b, value_b = decode_fields(part)
+            key = BitKey.from_encoded(key_b)
+            value = decode_value(value_b)
+            if key.is_root:
+                thread.pin_root(value)
+            else:
+                thread.cache.add(key, value)
+
+    # ------------------------------------------------------------------
+    # Enclave memory accounting
+    # ------------------------------------------------------------------
+    def trusted_memory_bytes(self) -> int:
+        return sum(t.trusted_memory_bytes() for t in self.threads) + 4096

@@ -1,0 +1,213 @@
+"""The client/verifier protocol of §2.1: nonces, MACs, receipts.
+
+Clients never trust anything the host says on its own. Every request
+carries a nonce; every *put* carries a client MAC binding (key, value,
+nonce) so the host cannot forge updates; every result must come back with
+a verifier receipt binding the result to the nonce, so the host cannot
+replay a stale-but-once-valid answer.
+
+Receipts are **provisional** in the hybrid scheme: an operation is settled
+only once the verifier also issues the *epoch receipt* for the epoch named
+in the op receipt (§5.1's provisional + batch validation). The
+:class:`Client` tracks both halves and exposes ``settled()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.keys import BitKey
+from repro.crypto.mac import MacKey
+from repro.errors import ProtocolError, ReplayError
+
+# Operation kind tags (domain separation inside MACs).
+GET = b"GET"
+GET_ABSENT = b"GET_ABSENT"
+PUT = b"PUT"
+EPOCH = b"EPOCH"
+
+
+def _payload_bytes(payload: bytes | None) -> bytes:
+    return b"\x00absent" if payload is None else b"\x01" + payload
+
+
+@dataclass
+class OpReceipt:
+    """A verifier validation of one operation (provisional until epoch)."""
+
+    client_id: int
+    kind: bytes
+    key: BitKey
+    payload: bytes | None       # get result / put value; None for absent
+    nonce: int
+    epoch: int                  # the epoch whose batch receipt settles this
+    tag: bytes
+
+    def mac_fields(self) -> tuple:
+        return (
+            self.client_id.to_bytes(8, "big"),
+            self.kind,
+            self.key.to_bytes(),
+            _payload_bytes(self.payload),
+            self.nonce.to_bytes(8, "big"),
+            self.epoch.to_bytes(8, "big"),
+        )
+
+
+@dataclass
+class EpochReceipt:
+    """The batch validation s_v(e): epoch ``epoch`` passed verification."""
+
+    epoch: int
+    tag: bytes
+
+    def mac_fields(self) -> tuple:
+        return (EPOCH, self.epoch.to_bytes(8, "big"))
+
+
+@dataclass
+class PutRequest:
+    """A client-authorized update: the verifier rejects puts without a
+    valid client tag, so the host cannot unilaterally modify data (§2.1)."""
+
+    client_id: int
+    key: BitKey
+    payload: bytes | None
+    nonce: int
+    tag: bytes
+
+
+class Client:
+    """A trusted client endpoint: issues requests, checks receipts."""
+
+    def __init__(self, client_id: int, key: MacKey):
+        self.client_id = client_id
+        self.key = key
+        self._next_nonce = 1
+        self._pending: dict[int, OpReceipt] = {}   # nonce -> accepted receipt
+        self._settled_epoch = -1
+
+    # ------------------------------------------------------------------
+    # Request construction
+    # ------------------------------------------------------------------
+    def next_nonce(self) -> int:
+        nonce = self._next_nonce
+        self._next_nonce += 1
+        return nonce
+
+    def make_put(self, key: BitKey, payload: bytes | None) -> PutRequest:
+        """An authorized put; ``payload=None`` is a delete (tombstone)."""
+        nonce = self.next_nonce()
+        tag = self.key.sign(PUT, key.to_bytes(), _payload_bytes(payload),
+                            nonce.to_bytes(8, "big"))
+        return PutRequest(self.client_id, key, payload, nonce, tag)
+
+    # ------------------------------------------------------------------
+    # Receipt checking
+    # ------------------------------------------------------------------
+    def accept(self, receipt: OpReceipt) -> None:
+        """Validate a verifier receipt for one of our operations.
+
+        Raises on a bad MAC or a nonce we never issued / already settled
+        (the untrusted host replaying receipts is the attack here).
+        """
+        if receipt.client_id != self.client_id:
+            raise ProtocolError(
+                f"receipt for client {receipt.client_id} delivered to "
+                f"client {self.client_id}"
+            )
+        if not 0 < receipt.nonce < self._next_nonce:
+            raise ReplayError(f"receipt for unknown nonce {receipt.nonce}")
+        self.key.verify(receipt.tag, *receipt.mac_fields())
+        self._pending[receipt.nonce] = receipt
+
+    def accept_epoch(self, receipt: EpochReceipt) -> None:
+        self.key.verify(receipt.tag, *receipt.mac_fields())
+        if receipt.epoch > self._settled_epoch:
+            self._settled_epoch = receipt.epoch
+
+    def settled(self, nonce: int) -> bool:
+        """Is the operation fully validated (op receipt + epoch receipt)?"""
+        receipt = self._pending.get(nonce)
+        if receipt is None:
+            return False
+        return receipt.epoch <= self._settled_epoch
+
+    @property
+    def settled_epoch(self) -> int:
+        return self._settled_epoch
+
+
+class ClientTable:
+    """Verifier-side registry of authorized clients (trusted state).
+
+    Replay defense (§2.1): a client numbers its requests with a counter.
+    Because one client's requests can be validated by different verifier
+    threads whose log buffers flush at different times, nonces arrive
+    slightly out of order even in honest runs, so strict "greater than
+    last" would misfire. We use the standard sliding-window discipline
+    (as in DTLS/IPsec anti-replay): track the maximum nonce plus the set
+    of nonces seen inside a window below it. A nonce is admitted iff it
+    has never been seen and is not older than the window. The window must
+    exceed the number of operations that can be in flight across all log
+    buffers — far smaller than the default.
+    """
+
+    #: Sliding-window size in nonces.
+    WINDOW = 1 << 20
+
+    def __init__(self):
+        self._keys: dict[int, MacKey] = {}
+        self._max_nonce: dict[int, int] = {}
+        self._seen: dict[int, set[int]] = {}
+
+    def register(self, client_id: int, key: MacKey) -> None:
+        if client_id in self._keys:
+            raise ProtocolError(f"client {client_id} already registered")
+        self._keys[client_id] = key
+        self._max_nonce[client_id] = 0
+        self._seen[client_id] = set()
+
+    def key_for(self, client_id: int) -> MacKey:
+        key = self._keys.get(client_id)
+        if key is None:
+            raise ProtocolError(f"unknown client {client_id}")
+        return key
+
+    def check_nonce(self, client_id: int, nonce: int) -> None:
+        """Admit a nonce iff it was never admitted and is inside the window."""
+        if client_id not in self._keys:
+            raise ProtocolError(f"unknown client {client_id}")
+        top = self._max_nonce[client_id]
+        seen = self._seen[client_id]
+        floor = top - self.WINDOW
+        if nonce <= floor:
+            raise ReplayError(
+                f"client {client_id} nonce {nonce} is older than the "
+                f"anti-replay window (max seen {top})"
+            )
+        if nonce in seen:
+            raise ReplayError(f"client {client_id} nonce {nonce} replayed")
+        seen.add(nonce)
+        if nonce > top:
+            self._max_nonce[client_id] = nonce
+            new_floor = nonce - self.WINDOW
+            if new_floor > floor and len(seen) > self.WINDOW:
+                self._seen[client_id] = {n for n in seen if n > new_floor}
+
+    def nonces(self) -> dict[int, int]:
+        """Per-client high-water marks (used by verifier checkpoints).
+
+        Restoring only the high-water mark is safe: every nonce at or
+        below it is treated as spent after restore (see restore_nonces).
+        """
+        return dict(self._max_nonce)
+
+    def restore_nonces(self, nonces: dict[int, int]) -> None:
+        """Post-restore, conservatively burn everything <= the high-water
+        mark: in-window reordering is lost across a reboot, so honest
+        clients simply continue from fresh nonces."""
+        for client_id, nonce in nonces.items():
+            if client_id in self._max_nonce:
+                self._max_nonce[client_id] = nonce + self.WINDOW
+                self._seen[client_id] = set()

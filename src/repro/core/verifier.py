@@ -1,0 +1,349 @@
+"""The verifier thread state machine — the technical core of FastVer.
+
+One :class:`VerifierThread` reproduces the per-thread verifier of §5.3–§6:
+a bounded record cache, a Lamport-style logical clock, and per-epoch
+read/write multiset-hash accumulators. Its methods are exactly the
+operations the F*-verified state machine of the paper exposes, with every
+structural check the correctness argument (§4.3.2, §6.4) relies on:
+
+* **Merkle add** (§4.3): adding record ``(k, v)`` requires its tree parent
+  in *this* cache, the parent's pointer to target ``k`` exactly, and the
+  stored hash to equal ``H(v)``.
+* **Merkle evict with lazy updates** (§4.3.1): eviction writes ``H(v)``
+  into the (cached) parent and propagates no further.
+* **Structure changes**: inserting a new key either fills a null pointer
+  (*extend*) or splits an edge through the new LCA (*split*), with the
+  proper-ancestor checks that stop a host from hiding an existing subtree.
+* **Deferred add/evict** (§5): read entries join the epoch-tagged read
+  set, evictions stamp a fresh timestamp from the local clock and join the
+  write set; the Lamport rule ``clock = max(clock, ts)`` on add keeps
+  timestamps strictly increasing per record across threads.
+* **Non-existence checks** (§4.2, Example 4.1): a null or bypassing
+  pointer at a cached ancestor proves a key absent.
+
+A byzantine host can call any method with any arguments; the guarantee is
+that dishonesty either raises an :class:`~repro.errors.IntegrityError`
+immediately or unbalances an epoch's read/write sets so the next epoch
+close fails. Honest drivers never trigger either (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import VerifierCache
+from repro.core.epochs import EpochController
+from repro.core.keys import BitKey
+from repro.core.records import (
+    DataValue,
+    MerkleValue,
+    Pointer,
+    Value,
+    entry_fields,
+    value_hash,
+)
+from repro.crypto.multiset import MultisetHasher
+from repro.crypto.prf import Prf
+from repro.errors import (
+    CacheStateError,
+    CapacityError,
+    HashMismatchError,
+    ParentNotInCacheError,
+    StructuralError,
+)
+from repro.instrument import COUNTERS
+
+
+class VerifierThread:
+    """One minimally-interacting verifier (§5.3)."""
+
+    def __init__(self, verifier_id: int, prf: Prf, epochs: EpochController,
+                 cache_capacity: int = 512, combiner: str = "add",
+                 counters=None):
+        self.verifier_id = verifier_id
+        self.cache = VerifierCache(cache_capacity)
+        self.clock = 0
+        self.epochs = epochs
+        self._prf = prf
+        self._combiner = combiner
+        self._counters = counters if counters is not None else COUNTERS
+        # Per-epoch read/write multiset-hash accumulators, created lazily.
+        self._read_sets: dict[int, MultisetHasher] = {}
+        self._write_sets: dict[int, MultisetHasher] = {}
+
+    # ------------------------------------------------------------------
+    # Root handling
+    # ------------------------------------------------------------------
+    def pin_root(self, root_value: MerkleValue) -> int:
+        """Install the root record, pinned (never evicted). Done once, at
+        initialization or state restore, by trusted code."""
+        return self.cache.add(BitKey.root(), root_value, pinned=True)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _parent_pointer(self, key: BitKey, parent_key: BitKey) -> tuple[MerkleValue, int, Pointer | None]:
+        """Fetch the cached parent's value and its pointer on key's side,
+        after the ancestry checks every Merkle operation needs."""
+        if parent_key not in self.cache:
+            raise ParentNotInCacheError(
+                f"claimed parent {parent_key!r} of {key!r} is not cached"
+            )
+        if not parent_key.is_proper_ancestor_of(key):
+            raise StructuralError(f"{parent_key!r} is not an ancestor of {key!r}")
+        parent_value = self.cache.get(parent_key).value
+        if not isinstance(parent_value, MerkleValue):
+            raise StructuralError(f"claimed parent {parent_key!r} is not a merkle record")
+        side = key.direction_from(parent_key)
+        return parent_value, side, parent_value.pointer(side)
+
+    def _require_admittable(self, key: BitKey, slots: int = 1) -> None:
+        """All cache-admission preconditions, checked *before* any state
+        mutates: a rejected call must leave the verifier unchanged (the
+        differential spec tests enforce this no-side-effect discipline).
+        """
+        if key in self.cache:
+            raise CacheStateError(f"duplicate add of {key!r} to one cache")
+        if len(self.cache) + slots > self.cache.capacity:
+            raise CapacityError("verifier cache is full; evict first")
+
+    def _set_hash(self, table: dict[int, MultisetHasher], epoch: int) -> MultisetHasher:
+        hasher = table.get(epoch)
+        if hasher is None:
+            hasher = MultisetHasher(self._prf, combiner=self._combiner,
+                                    counters=self._counters)
+            table[epoch] = hasher
+        return hasher
+
+    # ------------------------------------------------------------------
+    # Merkle-mode add / evict (§4.3)
+    # ------------------------------------------------------------------
+    def add_merkle(self, key: BitKey, value: Value, parent_key: BitKey) -> int:
+        """Admit a Merkle-protected record into the cache; returns its slot.
+
+        The parent pointer is the single source of truth: it must target
+        ``key`` itself (a pointer to anything else means the host lied
+        about the structure) and carry exactly ``H(value)``.
+        """
+        self._require_admittable(key)
+        _, _, ptr = self._parent_pointer(key, parent_key)
+        if ptr is None or ptr.key != key:
+            raise StructuralError(
+                f"parent {parent_key!r} does not point at {key!r}; "
+                f"host presented a wrong parent or a phantom record"
+            )
+        if value_hash(value, counters=self._counters) != ptr.hash:
+            raise HashMismatchError(f"hash mismatch admitting {key!r}")
+        self._counters.merkle_adds += 1
+        return self.cache.add(key, value)
+
+    def evict_merkle(self, key: BitKey, parent_key: BitKey) -> None:
+        """Evict to Merkle protection: store H(current value) at the parent.
+
+        Lazy updates (§4.3.1): only the immediate parent is touched; hashes
+        at higher ancestors stay stale until the parent itself evicts.
+        """
+        parent_value, side, ptr = self._parent_pointer(key, parent_key)
+        if ptr is None or ptr.key != key:
+            raise StructuralError(
+                f"cannot evict {key!r}: parent {parent_key!r} does not point at it"
+            )
+        value = self.cache.remove(key)
+        new_hash = value_hash(value, counters=self._counters)
+        self.cache.update(parent_key,
+                          parent_value.with_pointer(side, ptr.with_hash(new_hash)))
+        self._counters.merkle_evicts += 1
+
+    # ------------------------------------------------------------------
+    # Deferred-mode add / evict (§5)
+    # ------------------------------------------------------------------
+    def add_deferred(self, key: BitKey, value: Value, timestamp: int,
+                     epoch: int) -> int:
+        """Admit a deferred-protected record; returns its slot.
+
+        No integrity check happens *now*: the (key, value, timestamp,
+        epoch) entry joins the epoch's read set, and tampering surfaces as
+        a read/write set inequality when that epoch closes. The Lamport
+        rule keeps this thread's clock ahead of the record's timestamp so
+        the eventual evict stamps a strictly larger one.
+        """
+        self.epochs.check_addable(epoch)
+        self._require_admittable(key)
+        self._set_hash(self._read_sets, epoch).insert_entry(
+            *entry_fields(key, value, timestamp, epoch)
+        )
+        if timestamp > self.clock:
+            self.clock = timestamp
+        self._counters.deferred_adds += 1
+        return self.cache.add(key, value)
+
+    def evict_deferred(self, key: BitKey) -> tuple[int, int]:
+        """Evict to deferred protection; returns (timestamp, epoch).
+
+        The record's new guardian is the current epoch's write set; the
+        host must store the returned pair in the record's aux word and
+        present it verbatim at the next add.
+        """
+        value = self.cache.remove(key)
+        self.clock += 1
+        epoch = self.epochs.stamp()
+        self._set_hash(self._write_sets, epoch).insert_entry(
+            *entry_fields(key, value, self.clock, epoch)
+        )
+        self._counters.deferred_evicts += 1
+        return self.clock, epoch
+
+    def refresh_hash(self, key: BitKey, parent_key: BitKey) -> None:
+        """Recompute the parent's stored hash for a *cached* child.
+
+        Not used by the hybrid scheme (lazy updates make it unnecessary);
+        it exists to model VeritasDB-style eager propagation (§8.5's MV
+        baseline), where every put pushes hash updates all the way to the
+        root. Integrity-neutral: both records are cached.
+        """
+        parent_value, side, ptr = self._parent_pointer(key, parent_key)
+        if ptr is None or ptr.key != key:
+            raise StructuralError(
+                f"cannot refresh {key!r}: parent {parent_key!r} does not point at it"
+            )
+        value = self.cache.get(key).value
+        new_hash = value_hash(value, counters=self._counters)
+        self.cache.update(parent_key,
+                          parent_value.with_pointer(side, ptr.with_hash(new_hash)))
+
+    # ------------------------------------------------------------------
+    # Structure changes (inserts)
+    # ------------------------------------------------------------------
+    def insert_extend(self, key: BitKey, value: DataValue,
+                      parent_key: BitKey) -> int:
+        """Insert a new key below a null pointer side; returns its slot.
+
+        Soundness: a null pointer at the cached parent proves no key of the
+        tree lives in that subtree, so ``key`` is genuinely new.
+        """
+        self._require_admittable(key)
+        parent_value, side, ptr = self._parent_pointer(key, parent_key)
+        if ptr is not None:
+            raise StructuralError(
+                f"insert_extend at {parent_key!r} side {side} but pointer is not null"
+            )
+        if not isinstance(value, DataValue):
+            raise StructuralError("inserted leaves must be data records")
+        new_ptr = Pointer(key, value_hash(value, counters=self._counters))
+        self.cache.update(parent_key, parent_value.with_pointer(side, new_ptr))
+        return self.cache.add(key, value)
+
+    def insert_split(self, key: BitKey, value: DataValue,
+                     parent_key: BitKey) -> tuple[BitKey, int, int]:
+        """Insert a new key by splitting the parent's existing edge.
+
+        The parent's pointer targets some ``other`` that neither equals nor
+        is an ancestor of ``key``. A new internal node at
+        ``m = lca(key, other)`` takes over the edge: one side inherits the
+        old pointer (hash carried over unchanged — ``other``'s protection
+        story is untouched), the other points at the new leaf.
+
+        Checks (the "subtle additional checks" of §6.4): ``m`` must be a
+        *proper* ancestor of both keys — ``m == other`` would mean ``key``
+        lives under an existing subtree the host is trying to bypass, and
+        is rejected, forcing an honest descent instead.
+
+        Returns ``(m, slot_of_m, slot_of_key)``; both new records start
+        life cached (the new node dirty, to be evicted like any other).
+        """
+        self._require_admittable(key, slots=2)
+        parent_value, side, ptr = self._parent_pointer(key, parent_key)
+        if ptr is None:
+            raise StructuralError("insert_split needs an existing pointer to split")
+        other = ptr.key
+        if other == key:
+            raise StructuralError(f"{key!r} already exists; split is a lie")
+        mid = key.lca(other)
+        if mid in self.cache:
+            raise CacheStateError(f"split point {mid!r} already cached")
+        if not (mid.is_proper_ancestor_of(key) and mid.is_proper_ancestor_of(other)):
+            raise StructuralError(
+                f"split point {mid!r} must be a proper ancestor of both "
+                f"{key!r} and {other!r}; descend instead"
+            )
+        if not parent_key.is_proper_ancestor_of(mid):
+            raise StructuralError(f"split point {mid!r} escapes parent {parent_key!r}")
+        if not isinstance(value, DataValue):
+            raise StructuralError("inserted leaves must be data records")
+        mid_value = MerkleValue()
+        mid_value = mid_value.with_pointer(other.direction_from(mid), ptr)
+        leaf_ptr = Pointer(key, value_hash(value, counters=self._counters))
+        mid_value = mid_value.with_pointer(key.direction_from(mid), leaf_ptr)
+        mid_hash = value_hash(mid_value, counters=self._counters)
+        mid_slot = self.cache.add(mid, mid_value)
+        leaf_slot = self.cache.add(key, value)
+        self.cache.update(
+            parent_key, parent_value.with_pointer(side, Pointer(mid, mid_hash))
+        )
+        return mid, mid_slot, leaf_slot
+
+    # ------------------------------------------------------------------
+    # Operations on cached records
+    # ------------------------------------------------------------------
+    def read(self, key: BitKey) -> Value:
+        """The value of a cached record (validation of a get)."""
+        return self.cache.get(key).value
+
+    def update(self, key: BitKey, value: Value) -> None:
+        """Overwrite a cached record's value (validation of a put).
+
+        Data records take data values; Merkle records are never updated
+        through this path (their values change only via evictions of their
+        children or structure changes).
+        """
+        current = self.cache.get(key).value
+        if isinstance(current, MerkleValue) or not isinstance(value, DataValue):
+            raise StructuralError("update applies only to data records")
+        self.cache.update(key, value)
+
+    def check_absent(self, key: BitKey, ancestor_key: BitKey) -> None:
+        """Prove ``key`` is not in the tree from a cached ancestor.
+
+        Sound when the pointer on ``key``'s side is null, or bypasses
+        ``key`` (targets something that is neither ``key`` nor an ancestor
+        of it — Patricia compression guarantees nothing else can be below).
+        """
+        _, _, ptr = self._parent_pointer(key, ancestor_key)
+        if ptr is None:
+            return
+        if ptr.key == key:
+            raise StructuralError(f"{key!r} exists; absence claim is false")
+        if ptr.key.is_proper_ancestor_of(key):
+            raise StructuralError(
+                f"absence of {key!r} undecided at {ancestor_key!r}: "
+                f"must descend into {ptr.key!r}"
+            )
+        # Pointer bypasses the key: genuinely absent.
+
+    # ------------------------------------------------------------------
+    # Epoch aggregation support
+    # ------------------------------------------------------------------
+    def take_epoch_hashes(self, epoch: int) -> tuple[int, int]:
+        """Remove and return (read_hash, write_hash) for an epoch (§5.3).
+
+        Called by the verifier group when closing the epoch; missing
+        accumulators mean this thread saw no traffic for it (empty hash).
+        """
+        rs = self._read_sets.pop(epoch, None)
+        ws = self._write_sets.pop(epoch, None)
+        return (rs.value if rs else 0, ws.value if ws else 0)
+
+    def open_epochs(self) -> set[int]:
+        """Epochs this thread still holds accumulators for."""
+        return set(self._read_sets) | set(self._write_sets)
+
+    # ------------------------------------------------------------------
+    # State size (for enclave memory accounting)
+    # ------------------------------------------------------------------
+    def trusted_memory_bytes(self) -> int:
+        """Rough footprint: the cache slab is *reserved* at its configured
+        capacity (enclave memory must be allocated up front), resident
+        entries add their payloads, set hashes are O(1)."""
+        per_slot = 64    # slot table + freelist reservation
+        per_entry = 128  # key + value payload, order of magnitude
+        sets = (len(self._read_sets) + len(self._write_sets)) * 16
+        return (self.cache.capacity * per_slot
+                + len(self.cache) * per_entry + sets + 64)

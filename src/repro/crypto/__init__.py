@@ -1,0 +1,34 @@
+"""Cryptographic primitives: hashing, multiset hashing, PRFs, MACs.
+
+See DESIGN.md for the substitutions relative to the paper (blake2b for
+Blake3, keyed blake2b for AES-CMAC, HMAC for digital signatures) and why
+they preserve the verification semantics.
+"""
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    NULL_HASH,
+    encode_fields,
+    hash_bytes,
+    hash_fields,
+    hash_key_to_data_key_bytes,
+)
+from repro.crypto.mac import TAG_SIZE, MacKey
+from repro.crypto.multiset import EMPTY_HASH, MultisetHasher, aggregate
+from repro.crypto.prf import PRF_SIZE, Prf
+
+__all__ = [
+    "DIGEST_SIZE",
+    "NULL_HASH",
+    "encode_fields",
+    "hash_bytes",
+    "hash_fields",
+    "hash_key_to_data_key_bytes",
+    "TAG_SIZE",
+    "MacKey",
+    "EMPTY_HASH",
+    "MultisetHasher",
+    "aggregate",
+    "PRF_SIZE",
+    "Prf",
+]

@@ -1,0 +1,21 @@
+"""Simulated Trusted Execution Environment (enclave) substrate.
+
+Provides the trusted location of Figure 1: bounded trusted memory, a call
+gate with modelled crossing costs, adversarial reboot, and sealed
+anti-rollback state.
+"""
+
+from repro.enclave.costmodel import NONE, PROFILES, SGX, SIMULATED, EnclaveCostProfile
+from repro.enclave.enclave import SimulatedEnclave
+from repro.enclave.sealed import SealedSlot, seal_hash
+
+__all__ = [
+    "NONE",
+    "PROFILES",
+    "SGX",
+    "SIMULATED",
+    "EnclaveCostProfile",
+    "SimulatedEnclave",
+    "SealedSlot",
+    "seal_hash",
+]

@@ -1,0 +1,60 @@
+"""Enclave cost profiles (§8, "Systems Evaluated" and Fig 13b).
+
+The paper evaluates FastVer mostly on *simulated* enclaves — verifier calls
+are regular function calls with added delays modelling enclave switching —
+and separately on a real SGX machine, observing real-enclave throughput at
+~90% of simulated (Fig 13b), attributed to unmodelled memory-access
+overheads inside the EPC.
+
+We reproduce both as cost profiles. The numbers feed the simulated-time
+executor (:mod:`repro.sim`); they never gate correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnclaveCostProfile:
+    """Cost parameters for one enclave technology."""
+
+    name: str
+    #: Cost of one call-gate crossing (world switch), in nanoseconds.
+    crossing_ns: float
+    #: Multiplier applied to all in-enclave compute, modelling EPC memory
+    #: overheads (1.0 = none). Fig 13b's ~90% real-vs-simulated throughput
+    #: corresponds to ~1.11x compute inside the enclave.
+    compute_multiplier: float
+    #: Trusted memory available to the verifier, in bytes. Intel Coffee
+    #: Lake SGX exposes <200 MB for code+data (§3).
+    trusted_memory_bytes: int
+
+
+#: The paper's simulated enclave: crossings cost ~microseconds, compute
+#: runs at native speed, memory modelled as plentiful (512 GB host RAM).
+SIMULATED = EnclaveCostProfile(
+    name="simulated",
+    crossing_ns=8_000.0,
+    compute_multiplier=1.0,
+    trusted_memory_bytes=8 << 30,
+)
+
+#: Intel SGX (Coffee Lake-era, as on the Azure DC8_v2 VM of §8.2).
+SGX = EnclaveCostProfile(
+    name="sgx",
+    crossing_ns=12_000.0,
+    compute_multiplier=1.11,
+    trusted_memory_bytes=192 << 20,
+)
+
+#: No enclave at all — used by the FASTER baseline, where verifier work is
+#: absent and the profile only exists so code paths stay uniform.
+NONE = EnclaveCostProfile(
+    name="none",
+    crossing_ns=0.0,
+    compute_multiplier=1.0,
+    trusted_memory_bytes=1 << 62,
+)
+
+PROFILES = {p.name: p for p in (SIMULATED, SGX, NONE)}

@@ -1,0 +1,93 @@
+"""A simulated Trusted Execution Environment (§1, §2.2).
+
+The enclave is a protected region holding code and data behind a narrow
+call gate. We simulate exactly the properties the paper uses:
+
+* **Isolation** — the host reaches the resident program only through
+  :meth:`SimulatedEnclave.ecall`; the program object itself is created by a
+  factory inside the enclave and never escapes (tests enforce access
+  discipline through this API).
+* **Bounded trusted memory** — the program reports its memory footprint and
+  the enclave refuses to exceed the profile's EPC size (this is what makes
+  the trusted-database approach of §3 fail performance goal P1).
+* **Crossing costs** — every ecall bumps the ``enclave_entries`` counter;
+  the cost model charges the profile's crossing cost, which is why FastVer
+  batches verifier calls in a log buffer (§7).
+* **Reboot** — the adversary can reset the enclave; the resident program is
+  rebuilt from scratch by its factory, keeping only the sealed slot, and
+  must detect rollback on restore (§2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
+from repro.enclave.sealed import SealedSlot
+from repro.errors import CapacityError, EnclaveError
+from repro.instrument import COUNTERS
+
+
+class SimulatedEnclave:
+    """Hosts one trusted program behind a call gate.
+
+    ``program_factory`` builds the resident program; it receives the
+    enclave's :class:`SealedSlot` so the program can implement rollback
+    protection across reboots.
+    """
+
+    def __init__(self, program_factory: Callable[[SealedSlot], Any],
+                 profile: EnclaveCostProfile = SIMULATED):
+        self.profile = profile
+        self.sealed = SealedSlot()
+        self._factory = program_factory
+        self._program = program_factory(self.sealed)
+        self._alive = True
+        self.reboots = 0
+
+    # ------------------------------------------------------------------
+    # Call gate
+    # ------------------------------------------------------------------
+    def ecall(self, method: str, *args, **kwargs):
+        """Cross into the enclave and invoke ``method`` on the program.
+
+        One ecall is one world switch; FastVer amortizes these by batching
+        many verifier operations per call (§7), so counters here directly
+        expose the batching benefit.
+        """
+        if not self._alive:
+            raise EnclaveError("enclave has been torn down")
+        COUNTERS.enclave_entries += 1
+        fn = getattr(self._program, method, None)
+        if fn is None or method.startswith("_"):
+            raise EnclaveError(f"no such enclave entry point: {method!r}")
+        result = fn(*args, **kwargs)
+        self._check_memory()
+        return result
+
+    def _check_memory(self) -> None:
+        usage = getattr(self._program, "trusted_memory_bytes", None)
+        if usage is None:
+            return
+        used = usage() if callable(usage) else usage
+        if used > self.profile.trusted_memory_bytes:
+            raise CapacityError(
+                f"trusted program uses {used} bytes, enclave provides "
+                f"{self.profile.trusted_memory_bytes}"
+            )
+
+    # ------------------------------------------------------------------
+    # Adversarial surface
+    # ------------------------------------------------------------------
+    def reboot(self) -> None:
+        """Adversary resets the enclave; volatile program state is lost.
+
+        The sealed slot survives — it is the only persistence the threat
+        model grants the verifier (§2.2).
+        """
+        self.reboots += 1
+        self._program = self._factory(self.sealed)
+
+    def teardown(self) -> None:
+        """Adversary destroys the enclave entirely (availability attack)."""
+        self._alive = False

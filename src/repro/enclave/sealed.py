@@ -1,0 +1,63 @@
+"""Sealed persistent verifier state and anti-rollback protection (§2.2, §7).
+
+The threat model lets the adversary reboot the enclave, resetting the
+verifier to its initial state, and also destroy or replay old checkpoints.
+The paper defends with "a small amount of persistent state to hold a single
+hash value" (implementable with a TPM monotonic counter or Memoir).
+
+:class:`SealedSlot` models that facility: a tamper-proof cell holding a
+(version, hash) pair that only the enclave can advance. On restore, the
+verifier compares the checkpoint it is given against the sealed hash; an
+old (rolled-back) checkpoint fails the comparison.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import hash_fields
+from repro.errors import RollbackError
+
+
+class SealedSlot:
+    """A monotonic, tamper-proof (version, hash) cell outside the enclave.
+
+    The adversary can *read* it (it holds no secrets) but cannot write it;
+    only :meth:`advance` — called from inside the enclave — mutates it.
+    """
+
+    __slots__ = ("version", "state_hash")
+
+    def __init__(self):
+        self.version = 0
+        self.state_hash = b"\x00" * 32
+
+    def advance(self, state_hash: bytes) -> int:
+        """Record a new sealed state hash; returns the new version."""
+        self.version += 1
+        self.state_hash = state_hash
+        return self.version
+
+    def check(self, version: int, state_hash: bytes) -> None:
+        """Validate a checkpoint the host claims is the latest.
+
+        Raises :class:`RollbackError` unless (version, hash) matches the
+        sealed cell exactly — an older checkpoint has an older version, a
+        forged one has the wrong hash.
+        """
+        if version != self.version or state_hash != self.state_hash:
+            raise RollbackError(
+                f"checkpoint (v{version}) does not match sealed state "
+                f"(v{self.version}): rollback or forgery"
+            )
+
+    def check_latest(self, state_hash: bytes) -> None:
+        """Validate that a blob hash IS the sealed latest (rollback gate)."""
+        if state_hash != self.state_hash:
+            raise RollbackError(
+                f"presented checkpoint is not the sealed latest "
+                f"(sealed v{self.version}): rollback or forgery"
+            )
+
+
+def seal_hash(*fields: bytes) -> bytes:
+    """Hash a tuple of serialized verifier-state fields for sealing."""
+    return hash_fields(*fields)

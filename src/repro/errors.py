@@ -1,0 +1,100 @@
+"""Exception hierarchy for the FastVer reproduction.
+
+Every failure the verifier can signal derives from :class:`IntegrityError`,
+so callers that only care about "did someone tamper with my data" can catch
+one type. Operational errors (bad arguments, capacity, protocol misuse by an
+honest caller) derive from :class:`ReproError` but not ``IntegrityError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IntegrityError(ReproError):
+    """The verifier detected evidence of tampering or byzantine host behavior.
+
+    Raising this is the *success* mode of the integrity machinery: a malicious
+    host tried something and got caught. It is never raised during honest
+    execution (tests assert this).
+    """
+
+
+class HashMismatchError(IntegrityError):
+    """A record's value hash did not match the hash stored at its parent."""
+
+
+class ParentNotInCacheError(IntegrityError):
+    """A Merkle add/evict named a parent record that is not verifier-cached.
+
+    An honest host always caches the parent first, so hitting this means the
+    host either skipped the protocol step or lied about the tree structure.
+    """
+
+
+class StructuralError(IntegrityError):
+    """The host presented an inconsistent view of the sparse Merkle tree.
+
+    Examples: a claimed parent that is not an ancestor of the key, a pointer
+    that does not point at the key being added, or an LCA that does not cover
+    both keys during an insert split.
+    """
+
+
+class TimestampError(IntegrityError):
+    """A deferred-mode timestamp violated the verifier clock discipline."""
+
+
+class EpochError(IntegrityError):
+    """An epoch rule was violated (e.g., a record skipped epoch migration)."""
+
+
+class SetHashMismatchError(IntegrityError):
+    """The aggregated read-set and write-set hashes differ at epoch close.
+
+    This is the deferred-verification catch-all: *any* value/timestamp
+    tampering of a deferred record that escaped per-operation checks lands
+    here at the next verification scan.
+    """
+
+
+class ReplayError(IntegrityError):
+    """A client nonce was replayed or went backwards."""
+
+
+class SignatureError(IntegrityError):
+    """A message authentication code failed to verify."""
+
+
+class RollbackError(IntegrityError):
+    """Verifier state on restore is older than the sealed anti-rollback state."""
+
+
+class CacheStateError(IntegrityError):
+    """The host referenced a cache slot inconsistently (wrong key / free slot)."""
+
+
+class ProtocolError(ReproError):
+    """An honest-caller misuse of the verifier API (not an integrity failure)."""
+
+
+class CapacityError(ReproError):
+    """A fixed-size resource (verifier cache, enclave memory) is exhausted."""
+
+
+class EnclaveError(ReproError):
+    """Errors in the simulated enclave runtime (bad call gate usage, etc.)."""
+
+
+class StoreError(ReproError):
+    """Errors inside the FASTER-style host store substrate."""
+
+
+class CheckpointError(StoreError):
+    """A checkpoint could not be taken or restored."""
+
+
+class RecoveryError(StoreError):
+    """Recovery from a checkpoint + log failed."""

@@ -1,0 +1,110 @@
+"""Global instrumentation counters.
+
+The reproduction's performance story rests on *counting real work*: the
+actual verifier/store/crypto code paths bump these counters as they execute,
+and :mod:`repro.sim.costs` converts counts into simulated time using rates
+calibrated to the paper (§8.5). Keeping the counters in one flat object makes
+the accounting auditable — every figure's numbers trace back to counts you
+can print.
+
+Usage::
+
+    from repro.instrument import COUNTERS
+    with COUNTERS.scoped() as snap:
+        ... run workload ...
+    print(snap.merkle_hashes, snap.multiset_updates)
+
+The default instance is process-global (the library is single-process; the
+paper's multi-threading is reproduced by the simulated executor, which gives
+each logical worker its own ``Counters``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Counters:
+    """Flat bag of monotonically increasing work counters."""
+
+    # Crypto work
+    merkle_hashes: int = 0          # collision-resistant hash invocations
+    merkle_hash_bytes: int = 0      # bytes fed to the Merkle hash
+    multiset_updates: int = 0       # multiset-hash element insertions
+    multiset_hash_bytes: int = 0    # bytes fed to the multiset PRF
+    mac_ops: int = 0                # MAC sign/verify operations
+
+    # Enclave interaction
+    enclave_entries: int = 0        # call-gate crossings into the enclave
+    log_entries: int = 0            # records serialized to a verification log
+
+    # Host store work
+    store_reads: int = 0            # record lookups in the host store
+    store_writes: int = 0           # record installs/updates in the host store
+    cas_attempts: int = 0           # optimistic value+aux update attempts
+    cas_failures: int = 0           # attempts that lost a race and retried
+
+    # Verifier work
+    cache_hits: int = 0             # operation found its record verifier-cached
+    cache_misses: int = 0           # record had to be added to a verifier cache
+    merkle_adds: int = 0            # cache adds checked via the Merkle parent
+    merkle_evicts: int = 0          # evicts that wrote a hash into the parent
+    deferred_adds: int = 0          # cache adds checked via read-set bookkeeping
+    deferred_evicts: int = 0        # evicts recorded in the write-set
+    scan_records: int = 0           # records migrated by verification scans
+    epoch_verifications: int = 0    # completed epoch verifications
+
+    # Host-side bookkeeping crypto (untrusted mirror of verifier hashing;
+    # runs outside the enclave and in parallel with it)
+    host_merkle_hashes: int = 0
+    host_merkle_hash_bytes: int = 0
+
+    # Workload
+    ops: int = 0                    # client-level key-value operations
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "Counters":
+        """An independent copy of the current values."""
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def diff(self, baseline: "Counters") -> "Counters":
+        """Per-field difference ``self - baseline`` (for scoped measurement)."""
+        return Counters(
+            **{
+                f.name: getattr(self, f.name) - getattr(baseline, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def add(self, other: "Counters") -> None:
+        """Accumulate another counter bag into this one (per-worker merge)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @contextmanager
+    def scoped(self):
+        """Yield a ``Counters`` that, after the block, holds the block's work."""
+        before = self.snapshot()
+        delta = Counters()
+        try:
+            yield delta
+        finally:
+            current = self.snapshot().diff(before)
+            delta.add(current)
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"Counters({nonzero})"
+
+
+#: Process-global default counter bag.
+COUNTERS = Counters()

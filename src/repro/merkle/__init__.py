@@ -1,0 +1,33 @@
+"""Sparse Merkle trees encoded as records, plus the classic dense baseline."""
+
+from repro.merkle.plain import PlainMerkleStore, PlainMerkleTree, PlainMerkleVerifier
+from repro.merkle.proofs import PathProof, generate_proof, verify_proof
+from repro.merkle.sparse import (
+    ABSENT_NULL,
+    ABSENT_SPLIT,
+    FOUND,
+    LookupResult,
+    build_tree,
+    check_invariants,
+    lookup,
+    merkle_parent_of,
+    path_to_root,
+)
+
+__all__ = [
+    "PlainMerkleStore",
+    "PlainMerkleTree",
+    "PlainMerkleVerifier",
+    "PathProof",
+    "generate_proof",
+    "verify_proof",
+    "ABSENT_NULL",
+    "ABSENT_SPLIT",
+    "FOUND",
+    "LookupResult",
+    "build_tree",
+    "check_invariants",
+    "lookup",
+    "merkle_parent_of",
+    "path_to_root",
+]

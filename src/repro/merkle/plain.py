@@ -1,0 +1,149 @@
+"""Classic dense Merkle tree — the "M" baseline of §8.5 and §4.1.
+
+A complete binary hash tree over an integer key domain ``0..capacity-1``.
+The verifier holds only the root hash; every read is validated against a
+sibling path (log n hashes) and every update recomputes the root (log n
+hashes) — with the root as the global serialization point the paper calls
+out as the Merkle bottleneck (performance goals P2/P4).
+
+This is deliberately the textbook construction, kept separate from the
+record-encoded sparse tree so the drill-down benchmark (Fig 14b) compares
+the real thing.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import hash_fields
+from repro.errors import HashMismatchError
+from repro.instrument import COUNTERS
+
+
+def _leaf_hash(index: int, payload: bytes | None) -> bytes:
+    tag = b"absent" if payload is None else payload
+    return hash_fields(b"leaf", index.to_bytes(8, "big"), tag)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hash_fields(b"node", left, right)
+
+
+class PlainMerkleTree:
+    """Host-side dense Merkle tree (untrusted storage of all hashes)."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.depth = max(1, (capacity - 1).bit_length())
+        self._leaves = 1 << self.depth
+        # levels[0] = leaf hashes, levels[depth] = [root]
+        self._values: list[bytes | None] = [None] * self.capacity
+        base = [_leaf_hash(i, None) for i in range(self._leaves)]
+        self.levels: list[list[bytes]] = [base]
+        while len(self.levels[-1]) > 1:
+            prev = self.levels[-1]
+            self.levels.append(
+                [_node_hash(prev[2 * i], prev[2 * i + 1])
+                 for i in range(len(prev) // 2)]
+            )
+
+    @property
+    def root_hash(self) -> bytes:
+        return self.levels[-1][0]
+
+    # ------------------------------------------------------------------
+    # Host operations
+    # ------------------------------------------------------------------
+    def value(self, index: int) -> bytes | None:
+        self._check_index(index)
+        return self._values[index]
+
+    def proof(self, index: int) -> list[bytes]:
+        """Sibling hashes from leaf level to just below the root."""
+        self._check_index(index)
+        path: list[bytes] = []
+        pos = index
+        for level in self.levels[:-1]:
+            path.append(level[pos ^ 1])
+            pos //= 2
+        return path
+
+    def apply_update(self, index: int, payload: bytes | None) -> None:
+        """Install a new leaf payload and recompute the hash path."""
+        self._check_index(index)
+        self._values[index] = payload
+        h = _leaf_hash(index, payload)
+        pos = index
+        for depth, level in enumerate(self.levels[:-1]):
+            level[pos] = h
+            sibling = level[pos ^ 1]
+            left, right = (h, sibling) if pos % 2 == 0 else (sibling, h)
+            h = _node_hash(left, right)
+            pos //= 2
+        self.levels[-1][0] = h
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"index {index} out of range 0..{self.capacity - 1}")
+
+
+class PlainMerkleVerifier:
+    """Trusted side: the root hash plus stateless path checking."""
+
+    def __init__(self, root_hash: bytes):
+        self.root_hash = root_hash
+
+    def verify_read(self, index: int, payload: bytes | None,
+                    proof: list[bytes]) -> None:
+        """Check a claimed (index, payload) against the pinned root."""
+        if self._fold(index, payload, proof) != self.root_hash:
+            raise HashMismatchError(f"merkle path check failed for index {index}")
+
+    def apply_update(self, index: int, old_payload: bytes | None,
+                     new_payload: bytes | None, proof: list[bytes]) -> None:
+        """Validate the old value, then advance the root to the new one.
+
+        This is the serialized root update of §4.1 — every writer funnels
+        through this method, which is exactly the contention the paper's
+        enhancements remove.
+        """
+        self.verify_read(index, old_payload, proof)
+        self.root_hash = self._fold(index, new_payload, proof)
+
+    @staticmethod
+    def _fold(index: int, payload: bytes | None, proof: list[bytes]) -> bytes:
+        h = _leaf_hash(index, payload)
+        pos = index
+        for sibling in proof:
+            left, right = (h, sibling) if pos % 2 == 0 else (sibling, h)
+            h = _node_hash(left, right)
+            pos //= 2
+        return h
+
+
+class PlainMerkleStore:
+    """End-to-end "M" baseline: host tree + trusted root, no caching.
+
+    ``get``/``put`` run the full path protocol per operation; hash work is
+    counted through the global counters so the drill-down benchmark can
+    price it.
+    """
+
+    def __init__(self, capacity: int):
+        self.host = PlainMerkleTree(capacity)
+        self.verifier = PlainMerkleVerifier(self.host.root_hash)
+
+    def get(self, index: int) -> bytes | None:
+        COUNTERS.ops += 1
+        payload = self.host.value(index)
+        self.verifier.verify_read(index, payload, self.host.proof(index))
+        return payload
+
+    def put(self, index: int, payload: bytes) -> None:
+        COUNTERS.ops += 1
+        old = self.host.value(index)
+        proof = self.host.proof(index)
+        self.verifier.apply_update(index, old, payload, proof)
+        self.host.apply_update(index, payload)
+        if self.host.root_hash != self.verifier.root_hash:
+            raise HashMismatchError("host/verifier root divergence after update")

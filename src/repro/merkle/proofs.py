@@ -1,0 +1,90 @@
+"""Path proofs over the record-encoded sparse Merkle tree (Example 4.1).
+
+Before verifier caching, the way to validate a read is: the host ships the
+records along the root-to-leaf path, and the verifier — holding only the
+root record — checks each hash link. This module implements that stateless
+protocol. FastVer proper replaces it with cached add/evict (§4.3); these
+proofs remain useful for auditing, for the non-cached baseline, and for
+cross-checking the record encoding in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.keys import BitKey
+from repro.core.records import DataValue, MerkleValue, Value, value_hash
+from repro.errors import HashMismatchError, StructuralError
+from repro.merkle.sparse import ABSENT_NULL, ABSENT_SPLIT, FOUND, RecordSource, lookup
+
+
+@dataclass
+class PathProof:
+    """A proof about data key ``key`` against a pinned root record value.
+
+    ``records`` lists (merkle_key, merkle_value) along the descent, root
+    excluded; for FOUND proofs ``leaf_value`` is the data value; for
+    ABSENT_SPLIT the last visited pointer (bypassing the key) is evidence
+    of absence.
+    """
+
+    key: BitKey
+    kind: str
+    records: list[tuple[BitKey, MerkleValue]]
+    leaf_value: DataValue | None = None
+
+
+def generate_proof(source: RecordSource, key: BitKey) -> PathProof:
+    """Honest host: assemble the proof for a data key."""
+    result = lookup(source, key)
+    records: list[tuple[BitKey, MerkleValue]] = []
+    for node in result.path[1:]:  # root excluded: verifier has it
+        value = source(node)
+        assert isinstance(value, MerkleValue)
+        records.append((node, value))
+    leaf: DataValue | None = None
+    if result.kind == FOUND:
+        v = source(key)
+        if not isinstance(v, DataValue):
+            raise StructuralError(f"leaf {key!r} is not a data record")
+        leaf = v
+    return PathProof(key, result.kind, records, leaf)
+
+
+def verify_proof(root_value: MerkleValue, proof: PathProof) -> DataValue | None:
+    """Trusted side: check a proof against the pinned root record value.
+
+    Returns the proven value (None when the proof shows absence). Raises on
+    any inconsistency — a wrong hash, a structural lie, or a proof whose
+    shape does not actually decide the key.
+    """
+    key = proof.key
+    supplied = dict(proof.records)
+    node = BitKey.root()
+    node_value: Value = root_value
+    while True:
+        assert isinstance(node_value, MerkleValue)
+        side = key.direction_from(node)
+        ptr = node_value.pointer(side)
+        if ptr is None:
+            if proof.kind != ABSENT_NULL:
+                raise StructuralError("proof kind disagrees with null pointer")
+            return None
+        if ptr.key == key:
+            if proof.kind != FOUND or proof.leaf_value is None:
+                raise StructuralError("proof kind disagrees with found pointer")
+            if value_hash(proof.leaf_value) != ptr.hash:
+                raise HashMismatchError(f"leaf hash mismatch for {key!r}")
+            return proof.leaf_value
+        if ptr.key.is_proper_ancestor_of(key):
+            if ptr.key not in supplied:
+                raise StructuralError(f"proof missing record for {ptr.key!r}")
+            child_value = supplied[ptr.key]
+            if value_hash(child_value) != ptr.hash:
+                raise HashMismatchError(f"hash mismatch at {ptr.key!r}")
+            node, node_value = ptr.key, child_value
+            continue
+        # Pointer bypasses the key: absence by split evidence.
+        if proof.kind != ABSENT_SPLIT:
+            raise StructuralError("proof kind disagrees with split evidence")
+        return None

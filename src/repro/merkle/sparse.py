@@ -1,0 +1,197 @@
+"""Host-side sparse Merkle tree logic over record encoding (§4.1–4.2).
+
+The *records* of the tree live in the untrusted store; this module contains
+the navigation an honest host performs to serve operations:
+
+* :func:`lookup` — descend from the root along pointers to classify a data
+  key as present / absent-at-null-side / absent-needs-split, returning the
+  Merkle path that a verifier interaction will need;
+* :func:`build_tree` — bulk-construct the Patricia tree for a sorted batch
+  of records (O(n) hash computations), used to initialize large databases
+  without pushing every record through the verifier cache machinery.
+
+Nothing here is trusted: the verifier re-checks every structural claim
+(`repro.core.merkle_mode`), and the adversary tests feed it corrupted
+navigation results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.keys import BitKey
+from repro.core.records import DataValue, MerkleValue, Pointer, Value, value_hash
+from repro.errors import StoreError
+
+#: How a lookup terminated.
+FOUND = "found"
+ABSENT_NULL = "absent-null"        # the covering pointer side is null
+ABSENT_SPLIT = "absent-split"      # a pointer exists but bypasses the key
+
+RecordSource = Callable[[BitKey], Value | None]
+
+
+@dataclass
+class LookupResult:
+    """Outcome of descending the tree toward ``key``.
+
+    ``path`` lists the Merkle keys visited, root first; ``terminal`` is the
+    last Merkle node examined (the tree parent for FOUND, the insertion
+    point otherwise); ``bypass`` is the pointer target that proves absence
+    in the ABSENT_SPLIT case.
+    """
+
+    kind: str
+    key: BitKey
+    path: list[BitKey]
+    terminal: BitKey
+    bypass: BitKey | None = None
+
+
+def lookup(source: RecordSource, key: BitKey) -> LookupResult:
+    """Descend from the root following pointers toward a data key."""
+    node = BitKey.root()
+    path = [node]
+    while True:
+        value = source(node)
+        if not isinstance(value, MerkleValue):
+            raise StoreError(f"merkle record missing or malformed at {node!r}")
+        side = key.direction_from(node)
+        ptr = value.pointer(side)
+        if ptr is None:
+            return LookupResult(ABSENT_NULL, key, path, node)
+        if ptr.key == key:
+            return LookupResult(FOUND, key, path, node)
+        if ptr.key.is_proper_ancestor_of(key):
+            node = ptr.key
+            path.append(node)
+            continue
+        return LookupResult(ABSENT_SPLIT, key, path, node, bypass=ptr.key)
+
+
+def merkle_parent_of(source: RecordSource, key: BitKey) -> BitKey:
+    """The tree parent (the Merkle node whose pointer targets ``key``).
+
+    Works for data keys and Merkle keys alike; raises if the key is not in
+    the tree (the root has no parent).
+    """
+    if key.is_root:
+        raise StoreError("the root has no tree parent")
+    node = BitKey.root()
+    while True:
+        value = source(node)
+        if not isinstance(value, MerkleValue):
+            raise StoreError(f"merkle record missing or malformed at {node!r}")
+        ptr = value.pointer(key.direction_from(node))
+        if ptr is None:
+            raise StoreError(f"{key!r} is not reachable in the tree")
+        if ptr.key == key:
+            return node
+        if ptr.key.is_proper_ancestor_of(key):
+            node = ptr.key
+            continue
+        raise StoreError(f"{key!r} is not reachable in the tree")
+
+
+def path_to_root(source: RecordSource, key: BitKey) -> list[BitKey]:
+    """Merkle keys from the root down to (excluding) ``key``.
+
+    Works for data keys and internal Merkle keys; the key must be in the
+    tree (the descent follows pointers, so it also works while child hashes
+    are lazily stale — only the *structure* is read).
+    """
+    if key.is_root:
+        return []
+    result = lookup(source, key)
+    if result.kind != FOUND:
+        raise StoreError(f"{key!r} is not in the tree")
+    return result.path
+
+
+def build_tree(items: list[tuple[BitKey, DataValue]],
+               counters=None) -> tuple[dict[BitKey, MerkleValue], MerkleValue]:
+    """Construct the Patricia sparse Merkle tree for sorted data records.
+
+    Returns ``(merkle_records, root_value)`` where ``merkle_records`` maps
+    each internal Merkle key (root excluded) to its value, and
+    ``root_value`` is the root record's value the verifier will pin.
+    One :func:`value_hash` per node/leaf — O(n) total.
+    """
+    keys = [k for k, _ in items]
+    if keys != sorted(keys):
+        raise ValueError("build_tree requires items sorted by key")
+    if len(set(keys)) != len(keys):
+        raise ValueError("build_tree requires distinct keys")
+    values = dict(items)
+    records: dict[BitKey, MerkleValue] = {}
+
+    def build_slice(lo: int, hi: int) -> Pointer:
+        """Build the subtree for keys[lo:hi] (non-empty); return the pointer
+        a parent should hold for it."""
+        if hi - lo == 1:
+            key = keys[lo]
+            return Pointer(key, value_hash(values[key], counters=counters))
+        node = keys[lo].lca(keys[hi - 1])
+        # Partition at the branch bit: left half has 0 at depth len(node).
+        split = lo
+        while split < hi and keys[split].bit(node.length) == 0:
+            split += 1
+        if split == lo or split == hi:
+            raise ValueError("LCA computation failed to split the slice")
+        value = MerkleValue(build_slice(lo, split), build_slice(split, hi))
+        records[node] = value
+        return Pointer(node, value_hash(value, counters=counters))
+
+    if not keys:
+        return records, MerkleValue(None, None)
+    # Partition the full set at the root's branch bit (depth 0).
+    split = 0
+    while split < len(keys) and keys[split].bit(0) == 0:
+        split += 1
+    ptr0 = build_slice(0, split) if split > 0 else None
+    ptr1 = build_slice(split, len(keys)) if split < len(keys) else None
+    return records, MerkleValue(ptr0, ptr1)
+
+
+def check_invariants(source: RecordSource, root_value: MerkleValue,
+                     data_width: int) -> int:
+    """Validate Patricia invariants over the whole tree; returns node count.
+
+    Checks, for every reachable pointer ``(m, side) -> (k, h)``:
+    ``m`` is a proper ancestor of ``k``; ``k`` descends on ``side``; ``h``
+    equals the hash of ``k``'s record; internal nodes have two children
+    (Patricia minimality) except possibly the root; leaves are data-width.
+    Used by tests and the consistency checker, not by the hot path.
+    """
+    count = 0
+    stack: list[tuple[BitKey, MerkleValue]] = [(BitKey.root(), root_value)]
+    while stack:
+        node, value = stack.pop()
+        count += 1
+        children = 0
+        for side in (0, 1):
+            ptr = value.pointer(side)
+            if ptr is None:
+                continue
+            children += 1
+            if not node.is_proper_ancestor_of(ptr.key):
+                raise StoreError(f"{node!r} points to non-descendant {ptr.key!r}")
+            if ptr.key.direction_from(node) != side:
+                raise StoreError(f"{ptr.key!r} on wrong side of {node!r}")
+            child_value = source(ptr.key)
+            if child_value is None:
+                raise StoreError(f"dangling pointer to {ptr.key!r}")
+            if value_hash(child_value) != ptr.hash:
+                raise StoreError(f"stale hash for {ptr.key!r} at {node!r}")
+            if ptr.key.length == data_width:
+                if not isinstance(child_value, DataValue):
+                    raise StoreError(f"leaf {ptr.key!r} is not a data record")
+                count += 1
+            else:
+                if not isinstance(child_value, MerkleValue):
+                    raise StoreError(f"internal {ptr.key!r} is not a merkle record")
+                stack.append((ptr.key, child_value))
+        if children < 2 and not node.is_root:
+            raise StoreError(f"non-root internal node {node!r} has {children} child")
+    return count

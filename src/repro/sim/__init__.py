@@ -1,0 +1,18 @@
+"""Cost-model-driven performance simulation (see DESIGN.md methodology)."""
+
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.executor import RunResult, SimulatedExecutor
+from repro.sim.metrics import MetricsBuilder, PhaseTiming, RunMetrics
+from repro.sim.tuning import LatencyTuner, run_with_budget
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "CostModel",
+    "RunResult",
+    "SimulatedExecutor",
+    "MetricsBuilder",
+    "PhaseTiming",
+    "RunMetrics",
+    "LatencyTuner",
+    "run_with_budget",
+]

@@ -1,0 +1,110 @@
+"""The measured workload executor.
+
+Drives a store with a YCSB stream while separating *operation-phase* work
+from *verification-phase* work in the global counters, then hands both to
+the cost model. Workers are logical — operations round-robin across worker
+ids exactly as the paper's identical worker loops do — and the cost
+model's parallel-speedup term converts the summed serial work into wall
+time (see ``repro.sim.costs``).
+
+The executor works with any store exposing the common API
+(``get``/``put``/``scan``/``verify``/``flush`` — FastVer and all
+baselines), so every figure's systems run under identical measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
+from repro.instrument import COUNTERS
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.metrics import MetricsBuilder, RunMetrics
+from repro.workloads.ycsb import OP_GET, OP_INSERT, OP_PUT, OP_SCAN, YcsbGenerator
+
+
+@dataclass
+class RunResult:
+    """Everything a bench needs to print one table row."""
+
+    metrics: RunMetrics
+    deferred_population: int
+
+    @property
+    def throughput_mops(self) -> float:
+        return self.metrics.throughput_mops
+
+    @property
+    def verification_latency_s(self) -> float:
+        return self.metrics.verification_latency_s
+
+
+class SimulatedExecutor:
+    """Runs a workload against a store under cost-model measurement."""
+
+    def __init__(self, db, client, n_workers: int, modeled_db_records: int,
+                 profile: EnclaveCostProfile = SIMULATED,
+                 costs: CostModel = DEFAULT_COSTS):
+        self.db = db
+        self.client = client
+        self.n_workers = n_workers
+        self.modeled_db_records = modeled_db_records
+        self.profile = profile
+        self.costs = costs
+
+    def run(self, generator: YcsbGenerator, count: int,
+            verify_every: int | None = None,
+            final_verify: bool = True) -> RunResult:
+        """Execute ``count`` stream entries, verifying every
+        ``verify_every`` key operations. ``final_verify=False`` skips the
+        trailing verification (ops-phase-only measurement, used by bars
+        that amortize verification across much larger batches)."""
+        builder = MetricsBuilder(self.n_workers, self.modeled_db_records,
+                                 self.profile, self.costs)
+        ops_since_verify = 0
+        before = COUNTERS.snapshot()
+        key_ops_in_phase = 0
+        for i, (kind, key, arg) in enumerate(generator.operations(count)):
+            worker = i % self.n_workers
+            if kind == OP_GET:
+                self.db.get(self.client, key, worker=worker)
+                done = 1
+            elif kind in (OP_PUT, OP_INSERT):
+                self.db.put(self.client, key, arg, worker=worker)
+                done = 1
+            else:
+                done = max(1, len(self.db.scan(self.client, key, arg,
+                                               worker=worker)))
+            ops_since_verify += done
+            key_ops_in_phase += done
+            if verify_every is not None and ops_since_verify >= verify_every:
+                before, key_ops_in_phase = self._verify_phase(
+                    builder, before, key_ops_in_phase)
+                ops_since_verify = 0
+        if final_verify and hasattr(self.db, "verify") and ops_since_verify > 0:
+            before, key_ops_in_phase = self._verify_phase(
+                builder, before, key_ops_in_phase)
+        else:
+            self._flush_phase(builder, before, key_ops_in_phase)
+        metrics = builder.build()
+        population = (self.db.deferred_population()
+                      if hasattr(self.db, "deferred_population") else 0)
+        return RunResult(metrics, population)
+
+    def _verify_phase(self, builder: MetricsBuilder, before, key_ops: int):
+        """Close an op phase, run verification, attribute its counters."""
+        if hasattr(self.db, "flush"):
+            self.db.flush()
+        ops_delta = COUNTERS.snapshot().diff(before)
+        builder.add_ops(ops_delta, key_ops)
+        v_before = COUNTERS.snapshot()
+        self.db.verify()
+        if hasattr(self.db, "flush"):
+            self.db.flush()
+        builder.add_verification(COUNTERS.snapshot().diff(v_before))
+        return COUNTERS.snapshot(), 0
+
+    def _flush_phase(self, builder: MetricsBuilder, before, key_ops: int):
+        if hasattr(self.db, "flush"):
+            self.db.flush()
+        builder.add_ops(COUNTERS.snapshot().diff(before), key_ops)

@@ -1,0 +1,119 @@
+"""Run-level metrics: throughput and verification latency (§8.1).
+
+A FastVer benchmark run alternates *operation phases* (B operations across
+n workers) with *verification phases* (epoch close: sorted Merkle updates,
+anchor migration, set-hash aggregation). The two headline metrics are:
+
+* **throughput** — key operations per simulated second, counting both
+  phases (verification is not free time);
+* **verification latency** — the simulated duration of one verification
+  phase: how stale a provisional result can be before its epoch receipt
+  arrives, the quantity the client's latency budget bounds (P3).
+
+Both derive from counters via the cost model; see DESIGN.md for why this
+preserves the paper's comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
+from repro.instrument import Counters
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+
+
+@dataclass
+class PhaseTiming:
+    """Simulated timing of one phase (ops or verification)."""
+
+    serial_ns: float
+    wall_ns: float
+    verifier_ns: float
+    host_ns: float
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate result of a measured run."""
+
+    key_ops: int
+    op_wall_ns: float
+    verify_wall_ns: float
+    n_verifications: int
+    verifier_fraction: float
+
+    @property
+    def total_wall_ns(self) -> float:
+        return self.op_wall_ns + self.verify_wall_ns
+
+    @property
+    def throughput_mops(self) -> float:
+        """Millions of key operations per simulated second."""
+        if self.total_wall_ns == 0:
+            return 0.0
+        return self.key_ops / (self.total_wall_ns / 1e9) / 1e6
+
+    @property
+    def verification_latency_s(self) -> float:
+        """Average simulated duration of one verification phase."""
+        if self.n_verifications == 0:
+            return 0.0
+        return self.verify_wall_ns / self.n_verifications / 1e9
+
+
+class MetricsBuilder:
+    """Accumulates phase counters and produces :class:`RunMetrics`."""
+
+    def __init__(self, n_workers: int, modeled_db_records: int,
+                 profile: EnclaveCostProfile = SIMULATED,
+                 costs: CostModel = DEFAULT_COSTS,
+                 serial_verifier: bool = False):
+        self.n_workers = n_workers
+        self.modeled_db_records = modeled_db_records
+        self.profile = profile
+        self.costs = costs
+        #: Concerto-style deployments funnel all verifier work through one
+        #: thread (§5.3); when set, verifier time does not parallelize.
+        self.serial_verifier = serial_verifier
+        self.op_counters = Counters()
+        self.verify_counters = Counters()
+        self.key_ops = 0
+        self.n_verifications = 0
+
+    def _phase(self, c: Counters) -> PhaseTiming:
+        verifier = self.costs.verifier_ns(c, self.profile)
+        host = self.costs.host_ns(c, self.modeled_db_records)
+        serial = verifier + host
+        if self.serial_verifier:
+            # Host work spreads across workers; the single verifier thread
+            # is the ceiling (plus it serializes against host handoff).
+            wall = max(self.costs.parallel_ns(host, self.n_workers), verifier) \
+                + min(host, verifier) * 0.05
+        else:
+            wall = self.costs.parallel_ns(serial, self.n_workers)
+        return PhaseTiming(serial, wall, verifier, host)
+
+    def add_ops(self, counters: Counters, key_ops: int) -> None:
+        self.op_counters.add(counters)
+        self.key_ops += key_ops
+
+    def add_verification(self, counters: Counters) -> None:
+        self.verify_counters.add(counters)
+        self.n_verifications += 1
+
+    def build(self) -> RunMetrics:
+        ops = self._phase(self.op_counters)
+        ver = self._phase(self.verify_counters)
+        combined = Counters()
+        combined.add(self.op_counters)
+        combined.add(self.verify_counters)
+        fraction = self.costs.verifier_fraction(
+            combined, self.profile, self.modeled_db_records)
+        return RunMetrics(
+            key_ops=self.key_ops,
+            op_wall_ns=ops.wall_ns,
+            verify_wall_ns=ver.wall_ns,
+            n_verifications=self.n_verifications,
+            verifier_fraction=fraction,
+        )

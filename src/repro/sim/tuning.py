@@ -1,0 +1,135 @@
+"""Latency-budget control (performance goal P3, §2.3 and §8.1).
+
+The paper's desideratum P3: "a solution approach for verified databases
+should allow the client application to control latency, e.g., specify a
+latency bound of one second" — and FastVer exposes exactly two knobs, the
+batch size between verifications and the partition depth d. This module
+closes the loop: :class:`LatencyTuner` watches each verification's
+simulated duration and resizes the batch so the measured verification
+latency converges to the requested budget.
+
+The controller is multiplicative-increase/multiplicative-decrease on the
+batch size with damping, which converges quickly because verification
+latency is roughly proportional to the number of records touched per
+epoch, which is monotone in the batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
+from repro.instrument import COUNTERS, Counters
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+
+
+@dataclass
+class TunerState:
+    """One observation of a completed verification."""
+
+    batch: int
+    latency_s: float
+
+
+class LatencyTuner:
+    """Adapts the ops-per-epoch batch toward a verification-latency budget."""
+
+    def __init__(self, target_latency_s: float, n_workers: int,
+                 modeled_db_records: int,
+                 profile: EnclaveCostProfile = SIMULATED,
+                 costs: CostModel = DEFAULT_COSTS,
+                 initial_batch: int = 1_000,
+                 min_batch: int = 100, max_batch: int = 1 << 24,
+                 damping: float = 0.5):
+        if target_latency_s <= 0:
+            raise ValueError("latency budget must be positive")
+        if not 0 < damping <= 1:
+            raise ValueError("damping must be in (0, 1]")
+        self.target = target_latency_s
+        self.n_workers = n_workers
+        self.modeled_db_records = modeled_db_records
+        self.profile = profile
+        self.costs = costs
+        self.batch = initial_batch
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.damping = damping
+        self.history: list[TunerState] = []
+
+    def latency_of(self, verify_counters: Counters) -> float:
+        """Simulated duration of one verification phase, in seconds."""
+        serial = self.costs.total_ns(verify_counters, self.profile,
+                                     self.modeled_db_records)
+        return self.costs.parallel_ns(serial, self.n_workers) / 1e9
+
+    def observe(self, verify_counters: Counters) -> float:
+        """Record a verification and retune the batch. Returns its latency."""
+        latency = self.latency_of(verify_counters)
+        self.history.append(TunerState(self.batch, latency))
+        if latency > 0:
+            ratio = self.target / latency
+            # Damped multiplicative step; cap the per-epoch move so one
+            # noisy epoch cannot slam the batch to an extreme.
+            step = max(0.25, min(4.0, ratio ** self.damping))
+            self.batch = int(self.batch * step)
+        else:
+            self.batch *= 2
+        self.batch = max(self.min_batch, min(self.max_batch, self.batch))
+        return latency
+
+    @property
+    def converged(self) -> bool:
+        """Within 2x of the budget on the last observation."""
+        if not self.history:
+            return False
+        last = self.history[-1].latency_s
+        return self.target / 2 <= last <= self.target * 2
+
+
+def run_with_budget(db, client, generator, total_ops: int,
+                    target_latency_s: float, n_workers: int,
+                    modeled_db_records: int,
+                    profile: EnclaveCostProfile = SIMULATED,
+                    costs: CostModel = DEFAULT_COSTS,
+                    initial_batch: int = 1_000):
+    """Drive a FastVer store under a latency budget.
+
+    Returns ``(tuner, metrics)`` where metrics is the run's
+    :class:`~repro.sim.metrics.RunMetrics`. Operation scheduling matches
+    the measured executor; only the epoch boundary is chosen adaptively.
+    """
+    from repro.sim.metrics import MetricsBuilder
+    from repro.workloads.ycsb import OP_GET, OP_INSERT, OP_PUT
+
+    tuner = LatencyTuner(target_latency_s, n_workers, modeled_db_records,
+                         profile=profile, costs=costs,
+                         initial_batch=initial_batch)
+    builder = MetricsBuilder(n_workers, modeled_db_records, profile, costs)
+    done = 0
+    stream = generator.operations(total_ops)
+    before = COUNTERS.snapshot()
+    while done < total_ops:
+        batch_target = min(tuner.batch, total_ops - done)
+        in_batch = 0
+        for kind, key, arg in stream:
+            worker = done % n_workers
+            if kind == OP_GET:
+                db.get(client, key, worker=worker)
+            elif kind in (OP_PUT, OP_INSERT):
+                db.put(client, key, arg, worker=worker)
+            else:
+                db.scan(client, key, arg, worker=worker)
+            done += 1
+            in_batch += 1
+            if in_batch >= batch_target:
+                break
+        db.flush()
+        builder.add_ops(COUNTERS.snapshot().diff(before), in_batch)
+        v_before = COUNTERS.snapshot()
+        db.verify()
+        db.flush()
+        delta = COUNTERS.snapshot().diff(v_before)
+        builder.add_verification(delta)
+        tuner.observe(delta)
+        before = COUNTERS.snapshot()
+    return tuner, builder.build()

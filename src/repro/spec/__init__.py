@@ -1,0 +1,5 @@
+"""Executable specification of the verifier (differential-testing model)."""
+
+from repro.spec.model import SpecVerifier, spec_epoch_balanced
+
+__all__ = ["SpecVerifier", "spec_epoch_balanced"]

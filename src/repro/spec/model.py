@@ -1,0 +1,242 @@
+"""An executable specification of the verifier state machine.
+
+The paper's distinguishing contribution is a machine-checked proof (in F*,
+~20K lines) that the hybrid verifier is correct. We cannot port a proof,
+but we can port its *method*: a high-level model that is obviously correct
+by construction, against which the optimized implementation is checked on
+randomized honest and byzantine traces (differential testing — the
+executable analogue of the refinement the proof establishes).
+
+:class:`SpecVerifier` implements the same API as
+:class:`~repro.core.verifier.VerifierThread` but with none of the
+engineering: it materializes the *full* read and write multisets (real
+``Counter`` objects, no hashing), stores cached records in a plain dict,
+and re-derives every structural judgment from first principles on each
+call. Where the production verifier compares 16-byte set hashes, the spec
+compares actual multisets; where production checks one parent pointer, the
+spec re-validates the whole claim. Every method returns/raises exactly
+like production — the differential tests in
+``tests/test_spec_equivalence.py`` drive both with identical call
+sequences and demand identical observable behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.epochs import EpochController
+from repro.core.keys import BitKey
+from repro.core.records import (
+    DataValue,
+    MerkleValue,
+    Pointer,
+    Value,
+    encode_value,
+    entry_fields,
+    value_hash,
+)
+from repro.crypto.hashing import encode_fields
+from repro.errors import (
+    CacheStateError,
+    CapacityError,
+    EpochError,
+    HashMismatchError,
+    ParentNotInCacheError,
+    StructuralError,
+)
+
+
+def _entry(key: BitKey, value: Value, ts: int, epoch: int) -> bytes:
+    """Canonical multiset element (same identity as production hashes)."""
+    return encode_fields(*entry_fields(key, value, ts, epoch))
+
+
+class SpecVerifier:
+    """The obviously-correct reference verifier (one thread)."""
+
+    def __init__(self, verifier_id: int, epochs: EpochController,
+                 cache_capacity: int = 512):
+        self.verifier_id = verifier_id
+        self.epochs = epochs
+        self.cache_capacity = cache_capacity
+        self.clock = 0
+        self.cache: dict[BitKey, Value] = {}
+        self.pinned: set[BitKey] = set()
+        # Materialized multisets, per epoch.
+        self.read_sets: dict[int, Counter] = {}
+        self.write_sets: dict[int, Counter] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _require_free_slot(self) -> None:
+        if len(self.cache) >= self.cache_capacity:
+            raise CapacityError("spec cache full")
+
+    def _require_absent(self, key: BitKey) -> None:
+        if key in self.cache:
+            raise CacheStateError(f"spec: duplicate add of {key!r}")
+
+    def _parent_pointer(self, key: BitKey, parent_key: BitKey):
+        if parent_key not in self.cache:
+            raise ParentNotInCacheError(f"spec: parent {parent_key!r} not cached")
+        if not parent_key.is_proper_ancestor_of(key):
+            raise StructuralError(f"spec: {parent_key!r} not ancestor of {key!r}")
+        parent_value = self.cache[parent_key]
+        if not isinstance(parent_value, MerkleValue):
+            raise StructuralError(f"spec: parent {parent_key!r} not merkle")
+        side = key.direction_from(parent_key)
+        return parent_value, side, parent_value.pointer(side)
+
+    # ------------------------------------------------------------------
+    # API mirror
+    # ------------------------------------------------------------------
+    def pin_root(self, root_value: MerkleValue) -> int:
+        self._require_absent(BitKey.root())
+        self._require_free_slot()
+        self.cache[BitKey.root()] = root_value
+        self.pinned.add(BitKey.root())
+        return 0
+
+    def add_merkle(self, key: BitKey, value: Value, parent_key: BitKey) -> int:
+        # Check order mirrors production exactly, so hostile inputs draw
+        # the same error class from both implementations.
+        self._require_absent(key)
+        self._require_free_slot()
+        _, _, ptr = self._parent_pointer(key, parent_key)
+        if ptr is None or ptr.key != key:
+            raise StructuralError("spec: parent does not point at key")
+        if value_hash(value) != ptr.hash:
+            raise HashMismatchError("spec: hash mismatch")
+        self.cache[key] = value
+        return 0
+
+    def evict_merkle(self, key: BitKey, parent_key: BitKey) -> None:
+        parent_value, side, ptr = self._parent_pointer(key, parent_key)
+        if ptr is None or ptr.key != key:
+            raise StructuralError("spec: parent does not point at key")
+        if key in self.pinned:
+            raise CacheStateError("spec: pinned")
+        if key not in self.cache:
+            raise CacheStateError("spec: not cached")
+        value = self.cache.pop(key)
+        self.cache[parent_key] = parent_value.with_pointer(
+            side, ptr.with_hash(value_hash(value)))
+
+    def add_deferred(self, key: BitKey, value: Value, timestamp: int,
+                     epoch: int) -> int:
+        self.epochs.check_addable(epoch)
+        self._require_absent(key)
+        self._require_free_slot()
+        self.read_sets.setdefault(epoch, Counter())[
+            _entry(key, value, timestamp, epoch)] += 1
+        if timestamp > self.clock:
+            self.clock = timestamp
+        self.cache[key] = value
+        return 0
+
+    def evict_deferred(self, key: BitKey) -> tuple[int, int]:
+        if key in self.pinned:
+            raise CacheStateError("spec: pinned")
+        if key not in self.cache:
+            raise CacheStateError("spec: not cached")
+        value = self.cache.pop(key)
+        self.clock += 1
+        epoch = self.epochs.stamp()
+        self.write_sets.setdefault(epoch, Counter())[
+            _entry(key, value, self.clock, epoch)] += 1
+        return self.clock, epoch
+
+    def refresh_hash(self, key: BitKey, parent_key: BitKey) -> None:
+        parent_value, side, ptr = self._parent_pointer(key, parent_key)
+        if ptr is None or ptr.key != key:
+            raise StructuralError("spec: parent does not point at key")
+        if key not in self.cache:
+            raise CacheStateError("spec: not cached")
+        self.cache[parent_key] = parent_value.with_pointer(
+            side, ptr.with_hash(value_hash(self.cache[key])))
+
+    def insert_extend(self, key: BitKey, value: DataValue,
+                      parent_key: BitKey) -> int:
+        self._require_absent(key)
+        self._require_free_slot()
+        parent_value, side, ptr = self._parent_pointer(key, parent_key)
+        if ptr is not None:
+            raise StructuralError("spec: side not null")
+        if not isinstance(value, DataValue):
+            raise StructuralError("spec: leaf must be data")
+        self.cache[parent_key] = parent_value.with_pointer(
+            side, Pointer(key, value_hash(value)))
+        self.cache[key] = value
+        return 0
+
+    def insert_split(self, key: BitKey, value: DataValue,
+                     parent_key: BitKey) -> tuple[BitKey, int, int]:
+        self._require_absent(key)
+        if len(self.cache) + 2 > self.cache_capacity:
+            raise CapacityError("spec cache full")
+        parent_value, side, ptr = self._parent_pointer(key, parent_key)
+        if ptr is None:
+            raise StructuralError("spec: nothing to split")
+        other = ptr.key
+        if other == key:
+            raise StructuralError("spec: key exists")
+        mid = key.lca(other)
+        self._require_absent(mid)
+        if not (mid.is_proper_ancestor_of(key)
+                and mid.is_proper_ancestor_of(other)):
+            raise StructuralError("spec: must descend")
+        if not parent_key.is_proper_ancestor_of(mid):
+            raise StructuralError("spec: split escapes parent")
+        if not isinstance(value, DataValue):
+            raise StructuralError("spec: leaf must be data")
+        mid_value = MerkleValue()
+        mid_value = mid_value.with_pointer(other.direction_from(mid), ptr)
+        mid_value = mid_value.with_pointer(
+            key.direction_from(mid), Pointer(key, value_hash(value)))
+        self.cache[mid] = mid_value
+        self.cache[key] = value
+        self.cache[parent_key] = parent_value.with_pointer(
+            side, Pointer(mid, value_hash(mid_value)))
+        return mid, 0, 0
+
+    def read(self, key: BitKey) -> Value:
+        if key not in self.cache:
+            raise CacheStateError("spec: not cached")
+        return self.cache[key]
+
+    def update(self, key: BitKey, value: Value) -> None:
+        if key not in self.cache:
+            raise CacheStateError("spec: not cached")
+        if isinstance(self.cache[key], MerkleValue) or \
+                not isinstance(value, DataValue):
+            raise StructuralError("spec: update is data-only")
+        self.cache[key] = value
+
+    def check_absent(self, key: BitKey, ancestor_key: BitKey) -> None:
+        _, _, ptr = self._parent_pointer(key, ancestor_key)
+        if ptr is None:
+            return
+        if ptr.key == key:
+            raise StructuralError("spec: key exists")
+        if ptr.key.is_proper_ancestor_of(key):
+            raise StructuralError("spec: undecided, descend")
+
+    # ------------------------------------------------------------------
+    # Epoch settlement (materialized comparison, no hashing)
+    # ------------------------------------------------------------------
+    def take_epoch_sets(self, epoch: int) -> tuple[Counter, Counter]:
+        return (self.read_sets.pop(epoch, Counter()),
+                self.write_sets.pop(epoch, Counter()))
+
+
+def spec_epoch_balanced(specs: list[SpecVerifier], epoch: int) -> bool:
+    """Aggregate materialized multisets across threads and compare —
+    the ground truth the production set-hash equality approximates."""
+    reads: Counter = Counter()
+    writes: Counter = Counter()
+    for spec in specs:
+        r, w = spec.take_epoch_sets(epoch)
+        reads += r
+        writes += w
+    return reads == writes

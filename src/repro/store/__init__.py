@@ -1,0 +1,31 @@
+"""The FASTER-style untrusted host store substrate (§7).
+
+Hash index over a hybrid-log allocator with epoch protection, atomic
+(value, aux) updates, ordered scans, and CPR-style checkpoint/recovery.
+Everything in this package is *untrusted* in FastVer's threat model.
+"""
+
+from repro.store.atomic import NO_CONTENTION, ContentionInjector, compare_and_swap_pair
+from repro.store.checkpoint import CheckpointToken, recover, take_checkpoint
+from repro.store.epoch_protection import UNPROTECTED, LightEpoch
+from repro.store.faster import FasterKV, KeyDirectory
+from repro.store.hashindex import HashIndex
+from repro.store.hybridlog import NULL_ADDRESS, HybridLog, LogDevice, LogRecord
+
+__all__ = [
+    "NO_CONTENTION",
+    "ContentionInjector",
+    "compare_and_swap_pair",
+    "CheckpointToken",
+    "recover",
+    "take_checkpoint",
+    "UNPROTECTED",
+    "LightEpoch",
+    "FasterKV",
+    "KeyDirectory",
+    "HashIndex",
+    "NULL_ADDRESS",
+    "HybridLog",
+    "LogDevice",
+    "LogRecord",
+]

@@ -1,0 +1,101 @@
+"""CPR-style checkpointing (Prasaad et al., SIGMOD 2019; used per §7).
+
+FASTER's Concurrent Prefix Recovery takes fuzzy checkpoints that commit a
+*prefix* of each thread's operations. FastVer aligns its verification
+epochs with CPR epochs so that "epoch e verified" coincides with "epoch e's
+state persisted" (§7 Durability).
+
+A checkpoint consists of: a version number, the log tail address, a full
+flush of in-memory log records to the device, and an explicit binary
+serialization of the hash index. The verifier separately checkpoints its
+*own* state under a MAC (see ``repro.core.multiverifier``); this module
+only covers the untrusted database state.
+"""
+
+from __future__ import annotations
+
+from repro.core.keys import BitKey
+from repro.errors import CheckpointError, RecoveryError
+from repro.store.faster import FasterKV
+from repro.store.hybridlog import LogDevice
+
+
+class CheckpointToken:
+    """A durable database checkpoint."""
+
+    __slots__ = ("version", "tail_address", "index_blob", "ordered_width")
+
+    def __init__(self, version: int, tail_address: int, index_blob: bytes,
+                 ordered_width: int | None):
+        self.version = version
+        self.tail_address = tail_address
+        self.index_blob = index_blob
+        self.ordered_width = ordered_width
+
+
+def _serialize_index(entries: dict[BitKey, int]) -> bytes:
+    parts = [len(entries).to_bytes(8, "big")]
+    for key, address in entries.items():
+        enc = key.to_bytes()
+        parts.append(len(enc).to_bytes(4, "big"))
+        parts.append(enc)
+        parts.append(address.to_bytes(8, "big", signed=True))
+    return b"".join(parts)
+
+
+def _deserialize_index(blob: bytes) -> dict[BitKey, int]:
+    if len(blob) < 8:
+        raise RecoveryError("truncated index blob")
+    count = int.from_bytes(blob[:8], "big")
+    entries: dict[BitKey, int] = {}
+    off = 8
+    for _ in range(count):
+        klen = int.from_bytes(blob[off:off + 4], "big")
+        off += 4
+        key = BitKey.from_encoded(blob[off:off + klen])
+        off += klen
+        address = int.from_bytes(blob[off:off + 8], "big", signed=True)
+        off += 8
+        entries[key] = address
+    if off != len(blob):
+        raise RecoveryError("trailing bytes in index blob")
+    return entries
+
+
+_versions: dict[int, int] = {}
+
+
+def take_checkpoint(store: FasterKV, version: int) -> CheckpointToken:
+    """Persist the store: flush the log, snapshot the index."""
+    if version <= 0:
+        raise CheckpointError("checkpoint version must be positive")
+    store.log.flush_all()
+    blob = _serialize_index(store.index.snapshot())
+    return CheckpointToken(version, store.log.tail_address, blob,
+                           store.ordered_width)
+
+
+def recover(token: CheckpointToken, device: LogDevice) -> FasterKV:
+    """Rebuild a store from a checkpoint and its log device.
+
+    Every index entry must resolve on the device; a missing page means the
+    adversary destroyed the log (§7 notes durability cannot survive that —
+    the failure is *detected*, not repaired).
+    """
+    store = FasterKV(ordered_width=token.ordered_width, device=device)
+    entries = _deserialize_index(token.index_blob)
+    store.index.restore(entries)
+    store.log._next_address = token.tail_address
+    store.log.head_address = token.tail_address
+    store.log.read_only_address = token.tail_address
+    for key, address in entries.items():
+        if address not in device:
+            raise RecoveryError(f"log page {address} missing from device")
+        record = store.log.get(address)
+        if record.key != key:
+            raise RecoveryError(
+                f"index entry for {key!r} resolves to a record for {record.key!r}"
+            )
+        if not record.tombstone:
+            store._track(key, present=True)
+    return store

@@ -1,0 +1,98 @@
+"""FASTER-style epoch protection (Chandramouli et al., SIGMOD 2018).
+
+FASTER coordinates lazily-synchronized threads with an epoch framework: a
+global epoch counter, a per-thread table of the last epoch each thread has
+observed, and *trigger actions* that run once every thread has moved past
+the epoch in which the action was registered. FastVer reuses the framework
+to synchronize verification epochs with CPR checkpoints (§7).
+
+Our workers are logical (the simulated executor drives them round-robin),
+but the protocol is implemented faithfully: a drain action registered at
+epoch ``e`` runs only after every registered thread has refreshed to an
+epoch ``> e``, which is exactly the safety property FASTER relies on to
+reclaim memory and flip checkpoint phases.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ProtocolError
+
+#: Epoch value meaning "thread is not currently protecting anything".
+UNPROTECTED = 0
+
+
+class LightEpoch:
+    """Global epoch table with trigger (drain) actions."""
+
+    def __init__(self):
+        self.current = 1
+        self._thread_epochs: dict[int, int] = {}
+        self._drain_list: list[tuple[int, Callable[[], None]]] = []
+
+    # ------------------------------------------------------------------
+    # Thread registration
+    # ------------------------------------------------------------------
+    def register(self, thread_id: int) -> None:
+        """Announce a thread to the framework (idempotent)."""
+        self._thread_epochs.setdefault(thread_id, UNPROTECTED)
+
+    def unregister(self, thread_id: int) -> None:
+        """Remove a thread; it must not be holding protection."""
+        if self._thread_epochs.get(thread_id, UNPROTECTED) != UNPROTECTED:
+            raise ProtocolError(f"thread {thread_id} unregistered while protected")
+        self._thread_epochs.pop(thread_id, None)
+
+    # ------------------------------------------------------------------
+    # Protection
+    # ------------------------------------------------------------------
+    def protect(self, thread_id: int) -> int:
+        """Enter (or refresh) protection: observe the current epoch."""
+        if thread_id not in self._thread_epochs:
+            raise ProtocolError(f"thread {thread_id} is not registered")
+        self._thread_epochs[thread_id] = self.current
+        self._try_drain()
+        return self.current
+
+    def unprotect(self, thread_id: int) -> None:
+        """Leave protection; the thread no longer pins any epoch."""
+        if thread_id not in self._thread_epochs:
+            raise ProtocolError(f"thread {thread_id} is not registered")
+        self._thread_epochs[thread_id] = UNPROTECTED
+        self._try_drain()
+
+    # ------------------------------------------------------------------
+    # Epoch advancement
+    # ------------------------------------------------------------------
+    def bump(self, on_drain: Callable[[], None] | None = None) -> int:
+        """Advance the global epoch, optionally registering a drain action.
+
+        The action fires once no registered thread can still be inside the
+        pre-bump epoch (i.e., the *safe* epoch has passed it).
+        """
+        prior = self.current
+        self.current = prior + 1
+        if on_drain is not None:
+            self._drain_list.append((prior, on_drain))
+        self._try_drain()
+        return self.current
+
+    @property
+    def safe_epoch(self) -> int:
+        """The largest epoch strictly below every protected thread's view."""
+        protected = [e for e in self._thread_epochs.values() if e != UNPROTECTED]
+        if not protected:
+            return self.current - 1
+        return min(protected) - 1
+
+    def _try_drain(self) -> None:
+        safe = self.safe_epoch
+        ready = [a for e, a in self._drain_list if e <= safe]
+        self._drain_list = [(e, a) for e, a in self._drain_list if e > safe]
+        for action in ready:
+            action()
+
+    @property
+    def pending_drains(self) -> int:
+        return len(self._drain_list)

@@ -1,0 +1,245 @@
+"""FasterKV: the FASTER-style host key-value store (§7 substrate).
+
+This is the untrusted host database of Figure 1. It composes the hash
+index, hybrid-log allocator, and epoch-protection framework into the API
+FastVer builds on:
+
+* ``read`` / ``upsert`` / ``rmw`` / ``delete`` — point operations that keep
+  per-record (value, aux) pairs and update them in place in the mutable
+  region or by read-copy-update below it;
+* ``try_cas`` — the atomic (value, aux) swap the FastVer worker loop uses
+  for speculative updates (§5.3);
+* ``scan_from`` — ordered scans over data keys (YCSB-E);
+* checkpoint hooks used by the CPR module.
+
+The store is *byzantine* in the threat model: nothing here is trusted, and
+the adversary package mutates these structures directly in tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterator
+
+from repro.core.keys import BitKey
+from repro.core.records import Value
+from repro.errors import StoreError
+from repro.instrument import COUNTERS
+from repro.store.atomic import NO_CONTENTION, ContentionInjector, compare_and_swap_pair
+from repro.store.epoch_protection import LightEpoch
+from repro.store.hashindex import HashIndex
+from repro.store.hybridlog import NULL_ADDRESS, HybridLog, LogDevice, LogRecord
+
+
+class KeyDirectory:
+    """Sorted directory of data keys, supporting ordered scans.
+
+    FASTER itself is hash-organized; range scans in YCSB-E need key order,
+    so we keep a bisect-maintained sorted list of full-width keys. Inserts
+    are O(n) in the worst case, which is fine at YCSB-E's 5% insert rate.
+    """
+
+    def __init__(self):
+        self._sorted: list[BitKey] = []
+        self._members: set[BitKey] = set()
+
+    def add(self, key: BitKey) -> None:
+        if key in self._members:
+            return
+        bisect.insort(self._sorted, key)
+        self._members.add(key)
+
+    def remove(self, key: BitKey) -> None:
+        if key not in self._members:
+            return
+        self._members.remove(key)
+        idx = bisect.bisect_left(self._sorted, key)
+        del self._sorted[idx]
+
+    def range_from(self, start: BitKey, count: int) -> list[BitKey]:
+        """The first ``count`` keys >= ``start`` in key order."""
+        idx = bisect.bisect_left(self._sorted, start)
+        return self._sorted[idx:idx + count]
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    def __contains__(self, key: BitKey) -> bool:
+        return key in self._members
+
+    def keys(self) -> list[BitKey]:
+        return list(self._sorted)
+
+
+class FasterKV:
+    """The host store.
+
+    ``ordered_width`` selects which key length participates in the sorted
+    scan directory (FastVer passes its data-key width; Merkle keys stay out
+    of scan results).
+    """
+
+    def __init__(self, ordered_width: int | None = None,
+                 memory_budget_records: int = 1 << 30,
+                 mutable_fraction: float = 0.9,
+                 device: LogDevice | None = None,
+                 contention: ContentionInjector = NO_CONTENTION):
+        self.index = HashIndex()
+        self.log = HybridLog(mutable_fraction=mutable_fraction,
+                             memory_budget_records=memory_budget_records,
+                             device=device)
+        self.epochs = LightEpoch()
+        self.directory = KeyDirectory()
+        self.ordered_width = ordered_width
+        self.contention = contention
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def read(self, key: BitKey) -> tuple[Value, int] | None:
+        """Current (value, aux) for a key, or None if absent/tombstoned."""
+        record = self.read_record(key)
+        if record is None or record.tombstone:
+            return None
+        return record.value, record.aux
+
+    def read_record(self, key: BitKey) -> LogRecord | None:
+        """The latest record version (including tombstones), or None."""
+        address = self.index.lookup(key)
+        if address == NULL_ADDRESS:
+            return None
+        return self.log.get(address)
+
+    def contains(self, key: BitKey) -> bool:
+        record = self.read_record(key)
+        return record is not None and not record.tombstone
+
+    def upsert(self, key: BitKey, value: Value, aux: int = 0) -> None:
+        """Blind write: install (value, aux) as the key's latest version."""
+        while True:
+            address = self.index.lookup(key)
+            if address != NULL_ADDRESS and self.log.is_mutable(address):
+                self.log.update_in_place(address, value, aux)
+                record = self.log.get(address)
+                record.tombstone = False
+                break
+            record = LogRecord(key, value, aux, prev_address=address)
+            new_address = self.log.append(record)
+            if self.index.try_update(key, address, new_address):
+                break
+        self._track(key, present=True)
+
+    def rmw(self, key: BitKey,
+            update: Callable[[Value | None, int], tuple[Value, int]]) -> tuple[Value, int]:
+        """Read-modify-write: ``update(old_value_or_None, old_aux)`` returns
+        the new (value, aux); retried on index races. Returns the new pair."""
+        while True:
+            address = self.index.lookup(key)
+            if address != NULL_ADDRESS:
+                old = self.log.get(address)
+                old_value = None if old.tombstone else old.value
+                new_value, new_aux = update(old_value, old.aux)
+                if self.log.is_mutable(address):
+                    self.log.update_in_place(address, new_value, new_aux)
+                    old.tombstone = False
+                    self._track(key, present=True)
+                    return new_value, new_aux
+            else:
+                new_value, new_aux = update(None, 0)
+            record = LogRecord(key, new_value, new_aux, prev_address=address)
+            new_address = self.log.append(record)
+            if self.index.try_update(key, address, new_address):
+                self._track(key, present=True)
+                return new_value, new_aux
+
+    def delete(self, key: BitKey) -> bool:
+        """Tombstone a key; returns whether it was present."""
+        address = self.index.lookup(key)
+        if address == NULL_ADDRESS:
+            return False
+        record = LogRecord(key, self.log.get(address).value, 0,
+                           prev_address=address, tombstone=True)
+        new_address = self.log.append(record)
+        while not self.index.try_update(key, address, new_address):
+            address = self.index.lookup(key)
+        self._track(key, present=False)
+        return True
+
+    def try_cas(self, key: BitKey, expected_value: Value, expected_aux: int,
+                new_value: Value, new_aux: int) -> bool:
+        """Atomic (value, aux) swap on the latest version (§5.3, §7).
+
+        Only succeeds when the latest version is in the mutable region and
+        still holds the expected pair; callers fall back to ``upsert``-style
+        RCU (or retry) on failure, as the FastVer worker loop does.
+        """
+        address = self.index.lookup(key)
+        if address == NULL_ADDRESS:
+            COUNTERS.cas_attempts += 1
+            COUNTERS.cas_failures += 1
+            return False
+        if not self.log.is_mutable(address):
+            # RCU path: append a copy and CAS the index instead.
+            old = self.log.get(address)
+            if old.tombstone or old.value != expected_value or old.aux != expected_aux:
+                COUNTERS.cas_attempts += 1
+                COUNTERS.cas_failures += 1
+                return False
+            record = LogRecord(key, new_value, new_aux, prev_address=address)
+            new_address = self.log.append(record)
+            return self.index.try_update(key, address, new_address)
+        record = self.log.get(address)
+        if record.tombstone:
+            COUNTERS.cas_attempts += 1
+            COUNTERS.cas_failures += 1
+            return False
+        return compare_and_swap_pair(record, expected_value, expected_aux,
+                                     new_value, new_aux, self.contention)
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def scan_from(self, start: BitKey, count: int) -> list[tuple[BitKey, Value, int]]:
+        """The next ``count`` live data records in key order (YCSB-E)."""
+        out: list[tuple[BitKey, Value, int]] = []
+        for key in self.directory.range_from(start, count):
+            pair = self.read(key)
+            if pair is not None:
+                out.append((key, pair[0], pair[1]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Enumeration (verification scans, checkpoints)
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[BitKey, Value, int]]:
+        """All live (key, value, aux) triples, index order."""
+        for key, address in list(self.index.items()):
+            record = self.log.get(address)
+            if not record.tombstone:
+                yield key, record.value, record.aux
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _track(self, key: BitKey, present: bool) -> None:
+        if self.ordered_width is None or key.length != self.ordered_width:
+            return
+        if present:
+            self.directory.add(key)
+        else:
+            self.directory.remove(key)
+
+    def validate_chain(self, key: BitKey, limit: int = 64) -> list[int]:
+        """Walk the version chain of a key (debug/diagnostic helper)."""
+        addresses: list[int] = []
+        address = self.index.lookup(key)
+        while address != NULL_ADDRESS and len(addresses) < limit:
+            addresses.append(address)
+            record = self.log.get(address)
+            if record.prev_address == address:
+                raise StoreError(f"self-referential chain at address {address}")
+            address = record.prev_address
+        return addresses

@@ -1,0 +1,202 @@
+"""FASTER's hybrid-log record allocator, in Python.
+
+The hybrid log is one logical address space split into three regions:
+
+* **mutable tail** (``addr >= read_only_address``): records are updated in
+  place;
+* **read-only** (``head_address <= addr < read_only_address``): records are
+  immutable in memory — updates copy to the tail (read-copy-update);
+* **stable** (``addr < head_address``): records have been flushed to disk
+  and reading them performs (simulated) I/O.
+
+Addresses are allocated monotonically; each record carries the address of
+the *previous* version of the same key, forming the per-key chain FASTER's
+hash index points into. FastVer stores its 64-bit aux word inline in the
+record (§7), so a value+aux update is one record touch.
+
+The "disk" is a :class:`LogDevice` holding serialized records; a real file
+can back it, but the default is an in-memory device so tests are hermetic.
+"""
+
+from __future__ import annotations
+
+from repro.core.keys import BitKey
+from repro.core.records import Value, decode_value, encode_value
+from repro.errors import StoreError
+from repro.instrument import COUNTERS
+
+#: Address value meaning "no previous version".
+NULL_ADDRESS = -1
+
+
+class LogRecord:
+    """One record version in the log."""
+
+    __slots__ = ("key", "value", "aux", "prev_address", "tombstone")
+
+    def __init__(self, key: BitKey, value: Value, aux: int,
+                 prev_address: int = NULL_ADDRESS, tombstone: bool = False):
+        self.key = key
+        self.value = value
+        self.aux = aux
+        self.prev_address = prev_address
+        self.tombstone = tombstone
+
+    def serialize(self) -> bytes:
+        """Explicit binary encoding used when the record moves to disk."""
+        key_enc = self.key.to_bytes()
+        val_enc = encode_value(self.value)
+        flags = 1 if self.tombstone else 0
+        return b"".join(
+            (
+                flags.to_bytes(1, "big"),
+                self.aux.to_bytes(8, "big"),
+                self.prev_address.to_bytes(8, "big", signed=True),
+                len(key_enc).to_bytes(4, "big"),
+                key_enc,
+                len(val_enc).to_bytes(4, "big"),
+                val_enc,
+            )
+        )
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "LogRecord":
+        if len(blob) < 21:
+            raise StoreError("truncated log record")
+        flags = blob[0]
+        aux = int.from_bytes(blob[1:9], "big")
+        prev = int.from_bytes(blob[9:17], "big", signed=True)
+        klen = int.from_bytes(blob[17:21], "big")
+        key = BitKey.from_encoded(blob[21:21 + klen])
+        off = 21 + klen
+        vlen = int.from_bytes(blob[off:off + 4], "big")
+        value = decode_value(blob[off + 4:off + 4 + vlen])
+        return cls(key, value, aux, prev, tombstone=bool(flags & 1))
+
+
+class LogDevice:
+    """The stable-storage backing of the log (a page of bytes per address)."""
+
+    def __init__(self):
+        self._pages: dict[int, bytes] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def write(self, address: int, blob: bytes) -> None:
+        self.writes += 1
+        self._pages[address] = blob
+
+    def read(self, address: int) -> bytes:
+        self.reads += 1
+        try:
+            return self._pages[address]
+        except KeyError:
+            raise StoreError(f"address {address} not on device") from None
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
+class HybridLog:
+    """The three-region allocator."""
+
+    def __init__(self, mutable_fraction: float = 0.9,
+                 memory_budget_records: int = 1 << 30,
+                 device: LogDevice | None = None):
+        if not 0.0 < mutable_fraction <= 1.0:
+            raise ValueError("mutable_fraction must be in (0, 1]")
+        self._records: dict[int, LogRecord] = {}
+        self._next_address = 0
+        self.head_address = 0          # below: on device only
+        self.read_only_address = 0     # below: immutable in memory
+        self.mutable_fraction = mutable_fraction
+        self.memory_budget_records = memory_budget_records
+        self.device = device if device is not None else LogDevice()
+
+    # ------------------------------------------------------------------
+    # Allocation and access
+    # ------------------------------------------------------------------
+    @property
+    def tail_address(self) -> int:
+        return self._next_address
+
+    def append(self, record: LogRecord) -> int:
+        """Allocate the record at the tail; returns its address."""
+        address = self._next_address
+        self._next_address += 1
+        self._records[address] = record
+        COUNTERS.store_writes += 1
+        if len(self._records) > self.memory_budget_records:
+            self._shift_addresses()
+        return address
+
+    def get(self, address: int) -> LogRecord:
+        """Fetch the record at an address, reading from disk if evicted."""
+        COUNTERS.store_reads += 1
+        record = self._records.get(address)
+        if record is not None:
+            return record
+        if address < 0 or address >= self._next_address:
+            raise StoreError(f"address {address} was never allocated")
+        return LogRecord.deserialize(self.device.read(address))
+
+    def is_mutable(self, address: int) -> bool:
+        return address >= self.read_only_address
+
+    def in_memory(self, address: int) -> bool:
+        return address >= self.head_address
+
+    def update_in_place(self, address: int, value: Value, aux: int) -> None:
+        """Mutate a record in the mutable region (FASTER's hot path)."""
+        if not self.is_mutable(address):
+            raise StoreError(f"address {address} is not in the mutable region")
+        record = self._records[address]
+        record.value = value
+        record.aux = aux
+        COUNTERS.store_writes += 1
+
+    # ------------------------------------------------------------------
+    # Region management
+    # ------------------------------------------------------------------
+    def _shift_addresses(self) -> None:
+        """Advance head/read-only offsets to respect the memory budget."""
+        in_memory = self._next_address - self.head_address
+        excess = in_memory - self.memory_budget_records
+        if excess > 0:
+            self.flush_until(self.head_address + excess)
+        mutable_target = int(self.memory_budget_records * self.mutable_fraction)
+        new_ro = max(self.read_only_address, self._next_address - mutable_target)
+        self.read_only_address = min(new_ro, self._next_address)
+
+    def flush_until(self, new_head: int) -> int:
+        """Write all records below ``new_head`` to the device and drop them.
+
+        Returns the number of records flushed. Used both by the memory
+        budget and by CPR checkpoints (which flush the whole log).
+        """
+        new_head = min(new_head, self._next_address)
+        flushed = 0
+        for address in range(self.head_address, new_head):
+            record = self._records.pop(address, None)
+            if record is not None:
+                self.device.write(address, record.serialize())
+                flushed += 1
+        self.head_address = max(self.head_address, new_head)
+        self.read_only_address = max(self.read_only_address, self.head_address)
+        return flushed
+
+    def flush_all(self) -> int:
+        """Flush every in-memory record (checkpoint path). Keeps records
+        readable — flushed pages are re-read from the device on demand."""
+        flushed = 0
+        for address in sorted(self._records):
+            self.device.write(address, self._records[address].serialize())
+            flushed += 1
+        return flushed
+
+    @property
+    def in_memory_count(self) -> int:
+        return len(self._records)

@@ -1,0 +1,51 @@
+"""Log-scan recovery: rebuild the hash index from the device alone.
+
+CPR recovery normally restores the index from the checkpoint blob
+(:mod:`repro.store.checkpoint`). When the blob is lost or damaged but the
+log device survives, the index can be reconstructed by scanning the log:
+the newest version of each key is the one at the highest address (FASTER's
+version chains grow toward the tail). This is the classic recovery-by-
+replay path; FastVer's *integrity* does not depend on it (the verifier
+re-checks everything), but availability does.
+"""
+
+from __future__ import annotations
+
+from repro.core.keys import BitKey
+from repro.errors import RecoveryError
+from repro.store.faster import FasterKV
+from repro.store.hybridlog import LogDevice, LogRecord
+
+
+def rebuild_index_from_log(device: LogDevice, tail_address: int,
+                           ordered_width: int | None = None) -> FasterKV:
+    """Reconstruct a store by scanning every page below ``tail_address``.
+
+    Pages may be missing (never flushed, or destroyed); a key whose newest
+    surviving version is a tombstone stays deleted. Raises only on
+    undecodable pages — missing ones merely lose data, which the verifier
+    will flag when the client next touches an affected key.
+    """
+    if tail_address < 0:
+        raise RecoveryError("tail address cannot be negative")
+    store = FasterKV(ordered_width=ordered_width, device=device)
+    newest: dict[BitKey, tuple[int, LogRecord]] = {}
+    for address in range(tail_address):
+        if address not in device:
+            continue
+        try:
+            record = LogRecord.deserialize(device.read(address))
+        except Exception as exc:
+            raise RecoveryError(f"page {address} is undecodable: {exc}") from exc
+        current = newest.get(record.key)
+        if current is None or address > current[0]:
+            newest[record.key] = (address, record)
+    store.log._next_address = tail_address
+    store.log.head_address = tail_address
+    store.log.read_only_address = tail_address
+    from repro.store.hybridlog import NULL_ADDRESS
+    for key, (address, record) in newest.items():
+        store.index.try_update(key, NULL_ADDRESS, address)
+        if not record.tombstone:
+            store._track(key, present=True)
+    return store

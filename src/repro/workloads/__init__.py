@@ -1,0 +1,43 @@
+"""YCSB-style workload generation (§8 benchmark substrate)."""
+
+from repro.workloads.distributions import (
+    KeyDistribution,
+    SequentialKeys,
+    UniformKeys,
+    ZipfianKeys,
+    make_distribution,
+)
+from repro.workloads.ycsb import (
+    OP_GET,
+    OP_INSERT,
+    OP_PUT,
+    OP_SCAN,
+    WORKLOADS,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YCSB_E,
+    WorkloadSpec,
+    YcsbGenerator,
+    run_workload,
+)
+
+__all__ = [
+    "KeyDistribution",
+    "SequentialKeys",
+    "UniformKeys",
+    "ZipfianKeys",
+    "make_distribution",
+    "OP_GET",
+    "OP_INSERT",
+    "OP_PUT",
+    "OP_SCAN",
+    "WORKLOADS",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "YCSB_E",
+    "WorkloadSpec",
+    "YcsbGenerator",
+    "run_workload",
+]

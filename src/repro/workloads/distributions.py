@@ -1,0 +1,122 @@
+"""Key-selection distributions for the YCSB-style benchmarks (§8).
+
+The paper uses zipfian selection with θ = 0.9 (the YCSB default) for most
+experiments, uniform for others, and a sequential pattern for the M1K(seq)
+micro-benchmark of §8.5. The zipfian generator is the standard Gray et al.
+rejection-free construction YCSB itself uses, so skew behaviour matches.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Iterator
+
+
+class KeyDistribution:
+    """Interface: yields key indices in ``[0, n)``."""
+
+    def sample(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def stream(self, count: int) -> Iterator[int]:
+        for _ in range(count):
+            yield self.sample()
+
+
+class UniformKeys(KeyDistribution):
+    """Uniform selection over ``[0, n)`` (zipf θ = 0)."""
+
+    def __init__(self, n: int, seed: int = 0):
+        if n < 1:
+            raise ValueError("need a positive key-space size")
+        self.n = n
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        return self._rng.randrange(self.n)
+
+
+class ZipfianKeys(KeyDistribution):
+    """Zipfian selection (Gray et al. / YCSB's ZipfianGenerator).
+
+    ``theta`` is YCSB's skew constant; 0.99 would be YCSB stock, the paper
+    uses 0.9. Popular items are scattered across the key space via a
+    multiplicative hash, as YCSB's scrambled-zipfian does, so hot keys are
+    not numerically adjacent.
+    """
+
+    def __init__(self, n: int, theta: float = 0.9, seed: int = 0,
+                 scramble: bool = True):
+        if n < 1:
+            raise ValueError("need a positive key-space size")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self.n = n
+        self.theta = theta
+        self.scramble = scramble
+        self._rng = random.Random(seed)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta) if theta > 0 else 1.0
+        self._eta = ((1 - (2.0 / n) ** (1 - theta))
+                     / (1 - self._zeta2 / self._zetan)) if theta > 0 else 0.0
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; Euler-Maclaurin approximation for large n so
+        # construction is O(1)-ish instead of O(n) at 100M+ keys.
+        if n <= 100_000:
+            return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        head = sum(1.0 / (i ** theta) for i in range(1, 10_001))
+        # integral of x^-theta from 10000 to n
+        tail = (n ** (1 - theta) - 10_000 ** (1 - theta)) / (1 - theta)
+        return head + tail
+
+    def sample(self) -> int:
+        if self.theta == 0.0:
+            # Uniform needs no rank scatter (and the modular scramble is
+            # not a bijection, so it would add spurious collisions).
+            return self._rng.randrange(self.n)
+        else:
+            u = self._rng.random()
+            uz = u * self._zetan
+            if uz < 1.0:
+                rank = 0
+            elif uz < 1.0 + 0.5 ** self.theta:
+                rank = 1
+            else:
+                rank = int(self.n * ((self._eta * u - self._eta + 1) ** self._alpha))
+                if rank >= self.n:
+                    rank = self.n - 1
+        if not self.scramble:
+            return rank
+        # FNV-style scatter, as in YCSB's ScrambledZipfian.
+        return (rank * 0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D) % self.n
+
+
+class SequentialKeys(KeyDistribution):
+    """Cycle through the key space in order (the §8.5 sequential workload)."""
+
+    def __init__(self, n: int, start: int = 0):
+        if n < 1:
+            raise ValueError("need a positive key-space size")
+        self.n = n
+        self._next = start % n
+
+    def sample(self) -> int:
+        key = self._next
+        self._next = (self._next + 1) % self.n
+        return key
+
+
+def make_distribution(name: str, n: int, theta: float = 0.9,
+                      seed: int = 0) -> KeyDistribution:
+    """Factory: ``uniform`` / ``zipfian`` / ``sequential``."""
+    if name == "uniform":
+        return UniformKeys(n, seed=seed)
+    if name == "zipfian":
+        return ZipfianKeys(n, theta=theta, seed=seed)
+    if name == "sequential":
+        return SequentialKeys(n)
+    raise ValueError(f"unknown distribution {name!r}")

@@ -1,0 +1,203 @@
+"""Byzantine-host integration tests: every attack must be detected (§2.2,
+§6.4). The system-level guarantee: no epoch receipt is ever issued for an
+epoch containing a tampered result."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    COLD_ATTACKS,
+    WARM_ATTACKS,
+    forge_receipt_payload,
+    rollback_record,
+)
+from repro.core.protocol import OpReceipt
+from repro.core.records import Aux, DataValue, Protection
+from repro.errors import IntegrityError, SignatureError
+from tests.conftest import small_fastver
+
+
+def warm_db(target=7):
+    """A store where the target key is in deferred (warm) state."""
+    db, client = small_fastver(n_records=100)
+    db.put(client, target, b"precious")
+    db.flush()
+    return db, client
+
+
+def cold_db(target=7):
+    """A store where the target key is Merkle-protected (cold)."""
+    db, client = small_fastver(n_records=100)
+    db.put(client, target, b"precious")
+    db.verify()  # re-merkleizes the touched set
+    db.flush()
+    key = db.data_key(target)
+    assert Aux.unpack(db.store.read_record(key).aux).state is Protection.MERKLE
+    return db, client
+
+
+def provoke(db, client, target):
+    """Exercise the target and close the epoch; some check must fire."""
+    db.get(client, target)
+    db.flush()
+    db.verify()
+    db.flush()
+
+
+class TestWarmAttacks:
+    @pytest.mark.parametrize("name", sorted(WARM_ATTACKS))
+    def test_detected(self, name):
+        if name == "skip_migration":
+            # Re-accessing the record honestly re-registers it in the
+            # migration index, which *repairs* a pure bookkeeping drop —
+            # that attack only bites without re-access (next test).
+            pytest.skip("repaired by re-access; covered below")
+        db, client = warm_db()
+        WARM_ATTACKS[name](db, 7)
+        with pytest.raises(IntegrityError):
+            provoke(db, client, 7)
+        assert client.settled_epoch < 0  # no epoch receipt ever issued
+
+    @pytest.mark.parametrize("name", sorted(WARM_ATTACKS))
+    def test_detected_even_without_reaccess(self, name):
+        """Attacks are caught by the verification scan even if no client
+        ever touches the tampered key again."""
+        if name == "tamper_timestamp":
+            pytest.skip("timestamp forgery surfaces at the next add")
+        db, client = warm_db()
+        WARM_ATTACKS[name](db, 7)
+        with pytest.raises(IntegrityError):
+            db.verify()
+            db.flush()
+        assert client.settled_epoch < 0
+
+
+class TestColdAttacks:
+    @pytest.mark.parametrize("name", sorted(COLD_ATTACKS))
+    def test_detected_on_access(self, name):
+        db, client = cold_db()
+        settled_before = client.settled_epoch  # epoch 0, pre-attack
+        # Pick a cold target whose chain is attackable (not entirely
+        # shielded by the verifier caches).
+        from repro.errors import ProtocolError
+        target = None
+        for candidate in range(7, 99):
+            try:
+                COLD_ATTACKS[name](db, candidate)
+                target = candidate
+                break
+            except ProtocolError:
+                continue
+        assert target is not None, "no attackable cold key found"
+        with pytest.raises(IntegrityError):
+            provoke(db, client, target)
+        # No epoch containing the tampered access ever settles.
+        assert client.settled_epoch == settled_before
+
+
+class TestRollback:
+    def test_rollback_of_deferred_record_detected(self):
+        db, client = small_fastver(n_records=100)
+        db.put(client, 7, b"v-old")
+        db.flush()
+        rollback_record(db, 7, lambda: db.put(client, 7, b"v-new"))
+        with pytest.raises(IntegrityError):
+            db.get(client, 7)
+            db.flush()
+            db.verify()
+            db.flush()
+        assert client.settled_epoch < 0
+
+    def test_stale_read_never_settles(self):
+        """Even if the rollback serves stale data provisionally, the epoch
+        receipt never arrives, so the client never accepts it."""
+        db, client = small_fastver(n_records=100)
+        db.put(client, 7, b"v-old")
+        db.flush()
+        rollback_record(db, 7, lambda: db.put(client, 7, b"v-new"))
+        try:
+            result = db.get(client, 7)
+            db.flush()
+            stale_nonce = result.nonce
+            db.verify()
+            db.flush()
+        except IntegrityError:
+            return  # detected before even answering: fine
+        assert not client.settled(stale_nonce)
+
+
+class TestReceiptForgery:
+    def test_forged_receipt_rejected_by_client(self):
+        db, client = small_fastver()
+        # Capture receipts instead of delivering them.
+        captured = []
+        original_accept = client.accept
+        client.accept = captured.append
+        db.get(client, 3)
+        db.flush()
+        client.accept = original_accept
+        [receipt] = [r for r in captured if isinstance(r, OpReceipt)]
+        forge_receipt_payload(receipt)
+        with pytest.raises(SignatureError):
+            client.accept(receipt)
+
+    def test_host_cannot_mint_puts(self):
+        """A put fabricated by the host (bad client tag) is rejected inside
+        the enclave before any state changes."""
+        db, client = small_fastver()
+        bk = db.data_key(3)
+        with pytest.raises(SignatureError):
+            db._data_op(0, client, bk, "put", nonce=client.next_nonce(),
+                        payload=b"EVIL", tag=b"\x00" * 32)
+            db.flush()
+
+
+class TestEnclaveReboot:
+    def test_reboot_loses_volatile_state(self):
+        db, client = small_fastver()
+        db.put(client, 3, b"x")
+        db.flush()
+        db.enclave.reboot()
+        # The fresh verifier has no root pinned and no client table: any
+        # further interaction fails rather than silently accepting state.
+        with pytest.raises(Exception):
+            db.get(client, 3)
+            db.flush()
+            db.verify()
+
+
+class TestAuxForgeryVariants:
+    def test_forged_slot_aux_detected(self):
+        """Marking a record as 'cached' when it is not: the host loses
+        track and the operation path rejects."""
+        db, client = small_fastver()
+        db.put(client, 7, b"x")
+        db.flush()
+        record = db.store.read_record(db.data_key(7))
+        record.aux = Aux.cached(0, 3).pack()
+        db.deferred_index.pop(db.data_key(7), None)
+        with pytest.raises(Exception):
+            db.get(client, 7)
+            db.flush()
+            db.verify()
+            db.flush()
+        assert client.settled_epoch < 0
+
+    def test_value_swap_between_two_records_detected(self):
+        """Swapping the values of two warm records preserves per-record
+        plausibility but not the multiset accounting."""
+        db, client = small_fastver()
+        db.put(client, 5, b"five")
+        db.put(client, 6, b"six")
+        db.flush()
+        a = db.store.read_record(db.data_key(5))
+        b = db.store.read_record(db.data_key(6))
+        a.value, b.value = b.value, a.value
+        with pytest.raises(IntegrityError):
+            db.get(client, 5)
+            db.get(client, 6)
+            db.flush()
+            db.verify()
+            db.flush()
+        assert client.settled_epoch < 0

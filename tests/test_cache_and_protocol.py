@@ -1,0 +1,280 @@
+"""Tests for the verifier cache, client protocol, and host mirrors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import VerifierCache
+from repro.core.hostmirror import (
+    VIA_DEFERRED,
+    VIA_MERKLE,
+    VIA_PINNED,
+    VerifierMirror,
+)
+from repro.core.keys import BitKey
+from repro.core.protocol import (
+    GET,
+    Client,
+    ClientTable,
+    EpochReceipt,
+    OpReceipt,
+)
+from repro.core.records import DataValue, MerkleValue
+from repro.crypto.mac import MacKey
+from repro.errors import (
+    CacheStateError,
+    CapacityError,
+    ProtocolError,
+    ReplayError,
+    SignatureError,
+)
+
+
+def bk(s):
+    return BitKey.from_bits_string(s)
+
+
+def dk(i):
+    return BitKey.data_key(i, 8)
+
+
+# ---------------------------------------------------------------------------
+# Verifier cache
+# ---------------------------------------------------------------------------
+class TestVerifierCache:
+    def test_add_get_remove(self):
+        cache = VerifierCache(4)
+        slot = cache.add(dk(1), DataValue(b"v"))
+        assert cache.get(dk(1)).slot == slot
+        assert cache.remove(dk(1)) == DataValue(b"v")
+        assert dk(1) not in cache
+
+    def test_duplicate_add_is_byzantine(self):
+        cache = VerifierCache(4)
+        cache.add(dk(1), DataValue(b"v"))
+        with pytest.raises(CacheStateError):
+            cache.add(dk(1), DataValue(b"v"))
+
+    def test_capacity(self):
+        cache = VerifierCache(2)
+        cache.add(dk(1), DataValue(b"a"))
+        cache.add(dk(2), DataValue(b"b"))
+        assert cache.is_full
+        with pytest.raises(CapacityError):
+            cache.add(dk(3), DataValue(b"c"))
+
+    def test_slots_recycle(self):
+        cache = VerifierCache(2)
+        s1 = cache.add(dk(1), DataValue(b"a"))
+        cache.remove(dk(1))
+        s2 = cache.add(dk(2), DataValue(b"b"))
+        assert s1 == s2
+
+    def test_pinned_cannot_be_removed(self):
+        cache = VerifierCache(2)
+        cache.add(BitKey.root(), MerkleValue(), pinned=True)
+        with pytest.raises(CacheStateError):
+            cache.remove(BitKey.root())
+
+    def test_remove_absent(self):
+        with pytest.raises(CacheStateError):
+            VerifierCache(2).remove(dk(1))
+
+    def test_update_value(self):
+        cache = VerifierCache(2)
+        cache.add(dk(1), DataValue(b"a"))
+        cache.update(dk(1), DataValue(b"b"))
+        assert cache.get(dk(1)).value == DataValue(b"b")
+
+    def test_minimum_capacity(self):
+        with pytest.raises(ValueError):
+            VerifierCache(1)
+
+
+# ---------------------------------------------------------------------------
+# Host mirror
+# ---------------------------------------------------------------------------
+class TestVerifierMirror:
+    def test_clock_mirroring(self):
+        mirror = VerifierMirror(0, 8)
+        mirror.observe_add(100)
+        assert mirror.clock == 100
+        assert mirror.predict_evict() == 101
+        mirror.observe_add(50)  # lower timestamp: no regression
+        assert mirror.clock == 101
+
+    def test_slot_mirroring_matches_verifier_cache(self):
+        """The mirror's freelist must replay VerifierCache's arithmetic."""
+        cache = VerifierCache(4)
+        mirror = VerifierMirror(0, 4)
+        for i in range(3):
+            assert (cache.add(dk(i), DataValue(b"x"))
+                    == mirror.add(dk(i), DataValue(b"x"), VIA_DEFERRED).slot)
+        cache.remove(dk(1))
+        mirror.remove(dk(1))
+        assert (cache.add(dk(9), DataValue(b"x"))
+                == mirror.add(dk(9), DataValue(b"x"), VIA_DEFERRED).slot)
+
+    def test_children_counting(self):
+        mirror = VerifierMirror(0, 8)
+        mirror.add(bk("0"), MerkleValue(), VIA_PINNED, None)
+        mirror.add(bk("01"), MerkleValue(), VIA_MERKLE, bk("0"))
+        assert mirror.get(bk("0")).children_cached == 1
+        with pytest.raises(ProtocolError):
+            mirror.remove(bk("0"))  # child still cached
+        mirror.remove(bk("01"))
+        assert mirror.get(bk("0")).children_cached == 0
+
+    def test_victims_lru_order(self):
+        mirror = VerifierMirror(0, 8)
+        mirror.add(dk(1), DataValue(b"a"), VIA_DEFERRED)
+        mirror.add(dk(2), DataValue(b"b"), VIA_DEFERRED)
+        mirror.touch(dk(1))  # now 2 is least recently used
+        victims = mirror.victims(set(), 1)
+        assert victims[0].key == dk(2)
+
+    def test_victims_respect_locks_and_pins(self):
+        mirror = VerifierMirror(0, 8)
+        mirror.add(dk(1), DataValue(b"a"), VIA_PINNED)
+        mirror.add(dk(2), DataValue(b"b"), VIA_DEFERRED)
+        mirror.add(dk(3), DataValue(b"c"), VIA_DEFERRED)
+        victims = mirror.victims({dk(2)}, 1)
+        assert victims[0].key == dk(3)
+
+    def test_victims_exhaustion(self):
+        mirror = VerifierMirror(0, 8)
+        mirror.add(dk(1), DataValue(b"a"), VIA_PINNED)
+        with pytest.raises(ProtocolError):
+            mirror.victims(set(), 1)
+
+    def test_reparent(self):
+        mirror = VerifierMirror(0, 8)
+        mirror.add(bk("0"), MerkleValue(), VIA_PINNED, None)
+        mirror.add(bk("00"), MerkleValue(), VIA_MERKLE, bk("0"))
+        mirror.add(bk("001"), DataValue(b"x"), VIA_MERKLE, bk("0"))
+        mirror.reparent(bk("001"), bk("00"))
+        assert mirror.get(bk("001")).parent_key == bk("00")
+        assert mirror.get(bk("00")).children_cached == 1
+        assert mirror.get(bk("0")).children_cached == 1
+
+
+# ---------------------------------------------------------------------------
+# Client protocol
+# ---------------------------------------------------------------------------
+class TestClientNonces:
+    def test_monotone_nonces(self):
+        client = Client(1, MacKey.generate())
+        assert client.next_nonce() == 1
+        assert client.next_nonce() == 2
+
+    def test_sliding_window_accepts_reordering(self):
+        table = ClientTable()
+        table.register(1, MacKey.generate())
+        table.check_nonce(1, 5)
+        table.check_nonce(1, 3)  # out of order but fresh: fine
+        table.check_nonce(1, 4)
+
+    def test_replay_rejected(self):
+        table = ClientTable()
+        table.register(1, MacKey.generate())
+        table.check_nonce(1, 5)
+        with pytest.raises(ReplayError):
+            table.check_nonce(1, 5)
+
+    def test_out_of_window_rejected(self):
+        table = ClientTable()
+        table.register(1, MacKey.generate())
+        table.check_nonce(1, ClientTable.WINDOW + 10)
+        with pytest.raises(ReplayError):
+            table.check_nonce(1, 1)
+
+    def test_unknown_client(self):
+        with pytest.raises(ProtocolError):
+            ClientTable().check_nonce(9, 1)
+
+    def test_double_registration_rejected(self):
+        table = ClientTable()
+        table.register(1, MacKey.generate())
+        with pytest.raises(ProtocolError):
+            table.register(1, MacKey.generate())
+
+    def test_restore_burns_window(self):
+        """Post-recovery, all pre-checkpoint nonces are dead (anti-replay
+        across reboots)."""
+        table = ClientTable()
+        table.register(1, MacKey.generate())
+        table.check_nonce(1, 7)
+        saved = table.nonces()
+        table2 = ClientTable()
+        table2.register(1, MacKey.generate())
+        table2.restore_nonces(saved)
+        with pytest.raises(ReplayError):
+            table2.check_nonce(1, 7)
+        table2.check_nonce(1, saved[1] + ClientTable.WINDOW + 1)
+
+
+class TestReceipts:
+    def _receipt(self, client, payload=b"v", kind=GET, nonce=None):
+        if nonce is None:
+            nonce = client.next_nonce()
+        receipt = OpReceipt(client.client_id, kind, dk(1), payload, nonce, 0, b"")
+        receipt.tag = client.key.sign(*receipt.mac_fields())
+        return receipt
+
+    def test_accept_valid(self):
+        client = Client(1, MacKey.generate())
+        receipt = self._receipt(client)
+        client.accept(receipt)
+        assert not client.settled(receipt.nonce)  # no epoch receipt yet
+
+    def test_settlement_requires_epoch_receipt(self):
+        client = Client(1, MacKey.generate())
+        receipt = self._receipt(client)
+        client.accept(receipt)
+        epoch = EpochReceipt(0, b"")
+        epoch.tag = client.key.sign(*epoch.mac_fields())
+        client.accept_epoch(epoch)
+        assert client.settled(receipt.nonce)
+        assert client.settled_epoch == 0
+
+    def test_forged_payload_rejected(self):
+        client = Client(1, MacKey.generate())
+        receipt = self._receipt(client)
+        receipt.payload = b"forged"
+        with pytest.raises(SignatureError):
+            client.accept(receipt)
+
+    def test_unknown_nonce_rejected(self):
+        client = Client(1, MacKey.generate())
+        receipt = self._receipt(client, nonce=99)
+        with pytest.raises(ReplayError):
+            client.accept(receipt)
+
+    def test_wrong_client_rejected(self):
+        alice = Client(1, MacKey.generate())
+        receipt = self._receipt(alice)
+        bob = Client(2, MacKey.generate())
+        bob.next_nonce()
+        with pytest.raises(ProtocolError):
+            bob.accept(receipt)
+
+    def test_forged_epoch_receipt_rejected(self):
+        client = Client(1, MacKey.generate())
+        epoch = EpochReceipt(5, b"\x00" * 32)
+        with pytest.raises(SignatureError):
+            client.accept_epoch(epoch)
+
+    def test_put_request_binding(self):
+        client = Client(1, MacKey.generate())
+        request = client.make_put(dk(3), b"payload")
+        client.key.verify(request.tag, b"PUT", dk(3).to_bytes(),
+                          b"\x01payload", request.nonce.to_bytes(8, "big"))
+        with pytest.raises(SignatureError):
+            client.key.verify(request.tag, b"PUT", dk(4).to_bytes(),
+                              b"\x01payload", request.nonce.to_bytes(8, "big"))
+
+    def test_delete_request_distinct_from_empty(self):
+        client = Client(1, MacKey.generate())
+        delete = client.make_put(dk(3), None)
+        empty = client.make_put(dk(3), b"")
+        assert delete.tag != empty.tag

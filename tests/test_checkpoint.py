@@ -1,0 +1,91 @@
+"""Tests for CPR-style checkpointing and recovery of the host store (§7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keys import BitKey
+from repro.core.records import DataValue
+from repro.errors import CheckpointError, RecoveryError
+from repro.store.checkpoint import recover, take_checkpoint
+from repro.store.faster import FasterKV
+
+
+def dk(i):
+    return BitKey.data_key(i, 16)
+
+
+def loaded_store(n=20):
+    store = FasterKV(ordered_width=16)
+    for i in range(n):
+        store.upsert(dk(i), DataValue(b"v%d" % i), aux=i)
+    return store
+
+
+class TestCheckpoint:
+    def test_roundtrip(self):
+        store = loaded_store()
+        token = take_checkpoint(store, version=1)
+        recovered = recover(token, store.log.device)
+        for i in range(20):
+            assert recovered.read(dk(i)) == (DataValue(b"v%d" % i), i)
+
+    def test_recovered_store_is_writable(self):
+        store = loaded_store()
+        token = take_checkpoint(store, version=1)
+        recovered = recover(token, store.log.device)
+        recovered.upsert(dk(5), DataValue(b"new"))
+        assert recovered.read(dk(5))[0] == DataValue(b"new")
+        assert recovered.read(dk(6))[0] == DataValue(b"v6")
+
+    def test_recovered_directory_supports_scans(self):
+        store = loaded_store()
+        token = take_checkpoint(store, version=1)
+        recovered = recover(token, store.log.device)
+        got = recovered.scan_from(dk(3), 3)
+        assert [k.bits for k, _, _ in got] == [3, 4, 5]
+
+    def test_tombstones_not_resurrected(self):
+        store = loaded_store()
+        store.delete(dk(7))
+        token = take_checkpoint(store, version=2)
+        recovered = recover(token, store.log.device)
+        assert recovered.read(dk(7)) is None
+        assert dk(7) not in recovered.directory
+
+    def test_checkpoint_version_validation(self):
+        with pytest.raises(CheckpointError):
+            take_checkpoint(loaded_store(), version=0)
+
+    def test_updates_after_checkpoint_not_in_it(self):
+        store = loaded_store()
+        token = take_checkpoint(store, version=1)
+        store.upsert(dk(0), DataValue(b"post-checkpoint"))
+        recovered = recover(token, store.log.device)
+        assert recovered.read(dk(0))[0] == DataValue(b"v0")
+
+    def test_destroyed_log_detected(self):
+        store = loaded_store()
+        token = take_checkpoint(store, version=1)
+        # Adversary destroys a page the index needs.
+        victim = next(iter(store.index.items()))[1]
+        del store.log.device._pages[victim]
+        with pytest.raises(RecoveryError):
+            recover(token, store.log.device)
+
+    def test_swapped_pages_detected(self):
+        store = loaded_store()
+        token = take_checkpoint(store, version=1)
+        pages = store.log.device._pages
+        a0 = store.index.lookup(dk(0))
+        a1 = store.index.lookup(dk(1))
+        pages[a0], pages[a1] = pages[a1], pages[a0]
+        with pytest.raises(RecoveryError):
+            recover(token, store.log.device)
+
+    def test_corrupt_index_blob_detected(self):
+        store = loaded_store()
+        token = take_checkpoint(store, version=1)
+        token.index_blob = token.index_blob + b"junk"
+        with pytest.raises(RecoveryError):
+            recover(token, store.log.device)

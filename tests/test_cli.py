@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_demo_detects_tampering(self, capsys):
+        assert main(["demo", "--records", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "detected:" in out
+        assert "epoch 0 verified" in out
+
+    def test_ycsb_prints_metrics(self, capsys):
+        code = main(["ycsb", "--records", "500", "--ops", "800",
+                     "--workers", "2", "--verify-every", "400"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "verification latency" in out
+        assert "YCSB-A" in out
+
+    def test_ycsb_workload_selection(self, capsys):
+        code = main(["ycsb", "--workload", "C", "--records", "300",
+                     "--ops", "300", "--theta", "0"])
+        assert code == 0
+        assert "YCSB-C" in capsys.readouterr().out
+
+    def test_audit_clean(self, capsys):
+        assert main(["audit", "--records", "200", "--ops", "400"]) == 0
+        assert "all host invariants hold" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

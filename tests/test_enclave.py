@@ -1,0 +1,131 @@
+"""Tests for the simulated enclave and sealed anti-rollback state (§2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave.costmodel import NONE, PROFILES, SGX, SIMULATED
+from repro.enclave.enclave import SimulatedEnclave
+from repro.enclave.sealed import SealedSlot, seal_hash
+from repro.errors import CapacityError, EnclaveError, RollbackError
+from repro.instrument import COUNTERS
+
+
+class EchoProgram:
+    """Minimal trusted program for call-gate tests."""
+
+    def __init__(self, sealed):
+        self.sealed = sealed
+        self.state = 0
+        self.memory = 100
+
+    def bump(self, by=1):
+        self.state += by
+        return self.state
+
+    def trusted_memory_bytes(self):
+        return self.memory
+
+    def _secret(self):  # never callable through the gate
+        return "secret"
+
+
+class TestCallGate:
+    def test_ecall_dispatches(self):
+        enclave = SimulatedEnclave(EchoProgram)
+        assert enclave.ecall("bump") == 1
+        assert enclave.ecall("bump", by=5) == 6
+
+    def test_ecall_counts_crossings(self):
+        enclave = SimulatedEnclave(EchoProgram)
+        before = COUNTERS.enclave_entries
+        enclave.ecall("bump")
+        enclave.ecall("bump")
+        assert COUNTERS.enclave_entries == before + 2
+
+    def test_unknown_entry_point(self):
+        enclave = SimulatedEnclave(EchoProgram)
+        with pytest.raises(EnclaveError):
+            enclave.ecall("nonexistent")
+
+    def test_private_methods_hidden(self):
+        enclave = SimulatedEnclave(EchoProgram)
+        with pytest.raises(EnclaveError):
+            enclave.ecall("_secret")
+
+    def test_teardown_kills_gate(self):
+        enclave = SimulatedEnclave(EchoProgram)
+        enclave.teardown()
+        with pytest.raises(EnclaveError):
+            enclave.ecall("bump")
+
+
+class TestMemoryBound:
+    def test_within_bound(self):
+        enclave = SimulatedEnclave(EchoProgram, profile=SGX)
+        enclave.ecall("bump")  # fine
+
+    def test_overflow_detected(self):
+        enclave = SimulatedEnclave(EchoProgram, profile=SGX)
+        enclave._program.memory = SGX.trusted_memory_bytes + 1
+        with pytest.raises(CapacityError):
+            enclave.ecall("bump")
+
+
+class TestReboot:
+    def test_reboot_resets_volatile_state(self):
+        enclave = SimulatedEnclave(EchoProgram)
+        enclave.ecall("bump")
+        enclave.ecall("bump")
+        enclave.reboot()
+        assert enclave.ecall("bump") == 1
+        assert enclave.reboots == 1
+
+    def test_sealed_slot_survives_reboot(self):
+        enclave = SimulatedEnclave(EchoProgram)
+        enclave.sealed.advance(b"h" * 32)
+        enclave.reboot()
+        assert enclave.sealed.version == 1
+        assert enclave.sealed.state_hash == b"h" * 32
+
+
+class TestSealedSlot:
+    def test_advance_monotone(self):
+        slot = SealedSlot()
+        assert slot.advance(b"a" * 32) == 1
+        assert slot.advance(b"b" * 32) == 2
+
+    def test_check_accepts_latest(self):
+        slot = SealedSlot()
+        slot.advance(b"a" * 32)
+        slot.check(1, b"a" * 32)  # no raise
+
+    def test_check_rejects_old_version(self):
+        slot = SealedSlot()
+        slot.advance(b"a" * 32)
+        slot.advance(b"b" * 32)
+        with pytest.raises(RollbackError):
+            slot.check(1, b"a" * 32)
+
+    def test_check_rejects_forged_hash(self):
+        slot = SealedSlot()
+        slot.advance(b"a" * 32)
+        with pytest.raises(RollbackError):
+            slot.check(1, b"x" * 32)
+
+    def test_seal_hash_is_field_separated(self):
+        assert seal_hash(b"ab", b"c") != seal_hash(b"a", b"bc")
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert PROFILES["simulated"] is SIMULATED
+        assert PROFILES["sgx"] is SGX
+        assert PROFILES["none"] is NONE
+
+    def test_sgx_slower_than_simulated(self):
+        """Fig 13b: real enclaves run ~90% of simulated — more crossing
+        cost and an in-enclave compute penalty."""
+        assert SGX.crossing_ns >= SIMULATED.crossing_ns
+        assert SGX.compute_multiplier > SIMULATED.compute_multiplier
+        assert SGX.trusted_memory_bytes < SIMULATED.trusted_memory_bytes

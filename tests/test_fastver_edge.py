@@ -1,0 +1,207 @@
+"""Edge-case and deep-property tests for FastVer."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import FastVer, FastVerConfig, new_client
+from repro.core.keys import BitKey
+from repro.core.records import DataValue
+from repro.errors import CapacityError
+from repro.instrument import COUNTERS
+from repro.merkle.sparse import build_tree, check_invariants
+from tests.conftest import small_fastver
+
+
+class TestKeyWidths:
+    def test_paper_width_256(self):
+        """The paper's full 256-bit data keys work end to end."""
+        db = FastVer(
+            FastVerConfig(key_width=256, n_workers=2, partition_depth=3,
+                          cache_capacity=300),
+            items=[(k, b"v%d" % k) for k in range(50)],
+        )
+        client = new_client(1)
+        db.register_client(client)
+        db.put(client, 2 ** 200, b"huge-key")
+        assert db.get(client, 2 ** 200).payload == b"huge-key"
+        assert db.get(client, 7).payload == b"v7"
+        db.verify()
+        db.flush()
+        assert client.settled_epoch == 0
+
+    def test_bytes_keys_map_into_width(self):
+        db, client = small_fastver()
+        db.put(client, b"alice", b"pw-hash")
+        assert db.get(client, b"alice").payload == b"pw-hash"
+
+    def test_minimum_width(self):
+        db = FastVer(FastVerConfig(key_width=4, n_workers=1,
+                                   partition_depth=1, cache_capacity=16),
+                     items=[(k, b"%d" % k) for k in range(16)])
+        client = new_client(1)
+        db.register_client(client)
+        for k in range(16):
+            assert db.get(client, k).payload == b"%d" % k
+        db.verify()
+        db.flush()
+
+
+class TestValueShapes:
+    def test_empty_value(self, db_and_client):
+        db, client = db_and_client
+        db.put(client, 3, b"")
+        assert db.get(client, 3).payload == b""
+        db.verify()
+        db.flush()
+
+    def test_large_values(self, db_and_client):
+        db, client = db_and_client
+        blob = bytes(range(256)) * 64  # 16 KiB
+        db.put(client, 3, blob)
+        assert db.get(client, 3).payload == blob
+        db.verify()
+        db.flush()
+        assert db.get(client, 3).payload == blob  # cold read after verify
+
+    def test_value_with_encoding_like_bytes(self, db_and_client):
+        """Values that look like our own encodings cannot confuse codecs."""
+        db, client = db_and_client
+        for payload in (b"DN", b"DV", b"MV", b"\x00\x00\x00\x02MV"):
+            db.put(client, 3, payload)
+            assert db.get(client, 3).payload == payload
+        db.verify()
+        db.flush()
+
+
+class TestLogBuffering:
+    def test_capacity_one_forces_flush_per_entry(self):
+        db, client = small_fastver(log_capacity=1)
+        before = COUNTERS.enclave_entries
+        db.get(client, 3)
+        entries = COUNTERS.enclave_entries - before
+        assert entries >= 3  # every log append crossed immediately
+        db.verify()
+        db.flush()
+
+    def test_large_capacity_batches(self):
+        db, client = small_fastver(log_capacity=10_000)
+        db.flush()
+        before = COUNTERS.enclave_entries
+        for i in range(40):
+            db.get(client, i % 10)
+        assert COUNTERS.enclave_entries == before  # still buffered
+        db.flush()
+        # One crossing per non-empty worker log (cold ops route to the
+        # partition owner's log, so both workers' logs may hold entries).
+        assert COUNTERS.enclave_entries <= before + 2
+
+
+class TestEnclaveMemoryPressure:
+    def test_giant_cache_exceeds_sgx(self):
+        """Verifier caches sized beyond the EPC trip the memory bound at
+        the first enclave call — the P1 pressure (enclave memory is slab-
+        reserved up front) that motivates the whole design."""
+        from repro.enclave.costmodel import SGX
+        cfg = FastVerConfig(key_width=16, n_workers=4,
+                            cache_capacity=1_000_000,
+                            enclave_profile=SGX)
+        with pytest.raises(CapacityError):
+            FastVer(cfg, items=[(k, b"v") for k in range(50)])
+
+    def test_reasonable_cache_fits_sgx(self):
+        from repro.enclave.costmodel import SGX
+        cfg = FastVerConfig(key_width=16, n_workers=4, cache_capacity=512,
+                            enclave_profile=SGX)
+        db = FastVer(cfg, items=[(k, b"v") for k in range(50)])
+        client = new_client(1)
+        db.register_client(client)
+        assert db.get(client, 7).payload == b"v"
+        db.verify()
+        db.flush()
+
+
+class TestWorkloadIntegration:
+    @pytest.mark.parametrize("name", ["YCSB-A", "YCSB-B", "YCSB-C"])
+    def test_point_workloads_run_clean(self, name):
+        from repro.workloads.ycsb import WORKLOADS, YcsbGenerator, run_workload
+        db, client = small_fastver(n_records=60, n_workers=2)
+        generator = YcsbGenerator(WORKLOADS[name], 60, seed=4)
+        executed = run_workload(db, client, generator, 200, n_workers=2)
+        assert executed == 200
+        db.verify()
+        db.flush()
+        assert client.settled_epoch >= 0
+
+    def test_ycsb_e_with_inserts(self):
+        from repro.workloads.ycsb import YCSB_E, YcsbGenerator, run_workload
+        db, client = small_fastver(n_records=60, n_workers=2)
+        generator = YcsbGenerator(YCSB_E, 60, seed=4)
+        executed = run_workload(db, client, generator, 40, n_workers=2)
+        assert executed > 40  # scans amplify
+        db.verify()
+        db.flush()
+
+    def test_scan_sees_fresh_inserts(self, db_and_client):
+        db, client = db_and_client
+        db.put(client, 150, b"new150")
+        db.put(client, 151, b"new151")
+        result = db.scan(client, 149, 4)
+        assert (150, b"new150") in result
+        assert (151, b"new151") in result
+
+
+class TestTreeProperties:
+    def test_full_coherence_after_verify_and_flush(self):
+        """With no partitioning, verify() + cache flush leaves a fully
+        hash-coherent Merkle tree in the untrusted store."""
+        db, client = small_fastver(n_records=80, n_workers=1,
+                                   partition_depth=None)
+        rng = random.Random(3)
+        for i in range(200):
+            k = rng.randrange(160)
+            if rng.random() < 0.6:
+                db.put(client, k, b"p%d" % i)
+            else:
+                db.get(client, k)
+        db.verify()
+        db.flush_caches()
+        root_value = db.mirrors[0].entries[BitKey.root()].value
+
+        def source(key):
+            record = db.store.read_record(key)
+            return record.value if record else None
+
+        count = check_invariants(source, root_value,
+                                 data_width=db.config.key_width)
+        assert count >= 80
+
+    @given(st.dictionaries(st.integers(0, 4000), st.binary(min_size=1,
+                                                           max_size=6),
+                           min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_history_independence(self, final_state):
+        """Patricia trees are history-independent: inserting keys one by
+        one through the full FastVer protocol must produce the *identical*
+        root value as a trusted bulk build of the final state."""
+        db = FastVer(FastVerConfig(key_width=16, n_workers=1,
+                                   partition_depth=None, cache_capacity=64))
+        client = new_client(1)
+        db.register_client(client)
+        items = list(final_state.items())
+        random.Random(1).shuffle(items)
+        for k, v in items:
+            db.put(client, k, v)
+        db.verify()
+        db.flush_caches()
+        db.flush()
+        incremental_root = db.mirrors[0].entries[BitKey.root()].value
+
+        data = sorted((BitKey.data_key(k, 16), DataValue(v))
+                      for k, v in final_state.items())
+        _, bulk_root = build_tree(data)
+        assert incremental_root == bulk_root

@@ -1,0 +1,140 @@
+"""Tests for the §6.1 hot-record caching tier (cache_hot_records mode)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import FastVer, FastVerConfig, new_client
+from repro.core.audit import audit
+from repro.core.records import Aux, DataValue, Protection
+from repro.errors import IntegrityError
+from repro.instrument import COUNTERS
+
+
+def hot_db(n_records=100, cache_capacity=64, n_workers=2):
+    db = FastVer(
+        FastVerConfig(key_width=16, n_workers=n_workers, partition_depth=3,
+                      cache_capacity=cache_capacity, cache_hot_records=True),
+        items=[(k, b"v%d" % k) for k in range(n_records)],
+    )
+    client = new_client(1)
+    db.register_client(client)
+    return db, client
+
+
+class TestHotCaching:
+    def test_repeat_access_is_crypto_free(self):
+        db, client = hot_db()
+        db.get(client, 5)
+        db.flush()
+        before = COUNTERS.snapshot()
+        for _ in range(50):
+            assert db.get(client, 5).payload == b"v5"
+        db.flush()
+        delta = COUNTERS.snapshot().diff(before)
+        assert delta.merkle_hashes == 0
+        assert delta.multiset_updates == 0
+        assert delta.cache_hits == 50
+
+    def test_puts_hit_the_cache_too(self):
+        db, client = hot_db()
+        db.put(client, 5, b"a")
+        before = COUNTERS.snapshot()
+        db.put(client, 5, b"b")
+        assert db.get(client, 5).payload == b"b"
+        delta = COUNTERS.snapshot().diff(before)
+        assert delta.merkle_hashes == 0
+
+    def test_record_is_marked_cached_in_store(self):
+        db, client = hot_db()
+        db.get(client, 5)
+        aux = Aux.unpack(db.store.read_record(db.data_key(5)).aux)
+        assert aux.state is Protection.CACHED
+
+    def test_lru_cools_records_to_deferred(self):
+        db, client = hot_db(n_records=200, cache_capacity=40)
+        for k in range(120):
+            db.get(client, k)
+        db.flush()
+        # Early keys were pushed out by later ones.
+        early = Aux.unpack(db.store.read_record(db.data_key(0)).aux)
+        assert early.state in (Protection.DEFERRED, Protection.MERKLE)
+        db.verify()
+        db.flush()
+
+    def test_cached_records_survive_epoch_close(self):
+        db, client = hot_db()
+        db.put(client, 5, b"resident")
+        db.verify()
+        db.flush()
+        # Still cached (ignored by verification, §5.2) and still correct.
+        assert db.data_key(5) in db.cached_where
+        assert db.get(client, 5).payload == b"resident"
+        db.verify()
+        db.flush()
+        assert client.settled_epoch == 1
+
+    def test_stale_store_copy_is_harmless(self):
+        """While cached, the store's copy is stale by design; tampering
+        with it changes nothing (the cache is authoritative), and the
+        fresh value is written back at eviction."""
+        db, client = hot_db()
+        db.put(client, 5, b"fresh")
+        record = db.store.read_record(db.data_key(5))
+        record.value = DataValue(b"STALE-GARBAGE")
+        assert db.get(client, 5).payload == b"fresh"
+        db.verify()
+        db.flush()
+        assert client.settled_epoch == 0
+
+    def test_tamper_after_cooling_detected(self):
+        db, client = hot_db(n_records=200, cache_capacity=40)
+        db.put(client, 0, b"precious")
+        for k in range(100, 180):
+            db.get(client, k)  # push key 0 out of the cache
+        db.flush()
+        key = db.data_key(0)
+        assert key not in db.cached_where
+        db.store.read_record(key).value = DataValue(b"EVIL")
+        with pytest.raises(IntegrityError):
+            db.get(client, 0)
+            db.flush()
+            db.verify()
+            db.flush()
+
+    def test_model_check_with_hot_caching(self):
+        db, client = hot_db(n_records=120, cache_capacity=48, n_workers=3)
+        model = {k: b"v%d" % k for k in range(120)}
+        rng = random.Random(9)
+        for step in range(700):
+            k = rng.randrange(150)
+            w = step % 3
+            if rng.random() < 0.5:
+                v = b"s%d" % step
+                db.put(client, k, v, worker=w)
+                model[k] = v
+            else:
+                assert db.get(client, k, worker=w).payload == model.get(k)
+            if step % 200 == 199:
+                db.verify()
+        db.verify()
+        db.flush()
+        report = audit(db)
+        assert report.ok, report.violations[:5]
+        for k, v in model.items():
+            assert db.get(client, k).payload == v
+
+    def test_hit_rate_under_zipf(self):
+        """Under a skewed workload most ops land in the cache — the §6.1
+        rationale for the top tier."""
+        from repro.workloads.distributions import ZipfianKeys
+        db, client = hot_db(n_records=400, cache_capacity=80)
+        dist = ZipfianKeys(400, theta=0.9, seed=2)
+        COUNTERS.reset()
+        for _ in range(1500):
+            db.get(client, dist.sample())
+        db.flush()
+        hits = COUNTERS.cache_hits
+        assert hits / 1500 > 0.5

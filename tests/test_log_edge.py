@@ -1,0 +1,79 @@
+"""Edge cases for the verification log and enclave interplay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.log import VerificationLog
+from repro.enclave.enclave import SimulatedEnclave
+from repro.enclave.sealed import SealedSlot
+
+
+class EchoVerifier:
+    """Trusted stub: records batches, echoes entry payloads."""
+
+    def __init__(self, sealed: SealedSlot):
+        self.batches: list = []
+
+    def process_batch(self, verifier_id, entries):
+        self.batches.append((verifier_id, list(entries)))
+        return [args[0] for _, args in entries]
+
+
+@pytest.fixture
+def log():
+    enclave = SimulatedEnclave(EchoVerifier)
+    return VerificationLog(enclave, verifier_id=3, capacity=4), enclave
+
+
+class TestVerificationLog:
+    def test_append_buffers_until_capacity(self, log):
+        vlog, enclave = log
+        for i in range(3):
+            vlog.append("op", i)
+        assert vlog.pending == 3
+        assert vlog.flushes == 0
+        vlog.append("op", 3)  # hits capacity: auto-flush
+        assert vlog.pending == 0
+        assert vlog.flushes == 1
+
+    def test_flush_empty_is_noop(self, log):
+        vlog, enclave = log
+        assert vlog.flush() == []
+        assert vlog.flushes == 0
+
+    def test_drain_returns_accumulated_results(self, log):
+        vlog, enclave = log
+        for i in range(6):
+            vlog.append("op", i)
+        results = vlog.drain()
+        assert results == [0, 1, 2, 3, 4, 5]
+        assert vlog.drain() == []  # drained
+
+    def test_batches_carry_verifier_id(self, log):
+        vlog, enclave = log
+        vlog.append("op", 1)
+        vlog.flush()
+        assert enclave._program.batches[0][0] == 3
+
+    def test_order_preserved_across_flushes(self, log):
+        vlog, enclave = log
+        for i in range(10):
+            vlog.append("op", i)
+        vlog.flush()
+        seen = [args[0] for _, batch in enclave._program.batches
+                for _, args in batch]
+        assert seen == list(range(10))
+
+    def test_capacity_validation(self, log):
+        _, enclave = log
+        with pytest.raises(ValueError):
+            VerificationLog(enclave, 0, capacity=0)
+
+    def test_log_entry_counter(self, log):
+        from repro.instrument import COUNTERS
+        vlog, _ = log
+        before = COUNTERS.log_entries
+        vlog.append("op", 1)
+        vlog.append("op", 2)
+        assert COUNTERS.log_entries == before + 2

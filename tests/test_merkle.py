@@ -1,0 +1,276 @@
+"""Tests for the sparse Merkle encoding, bulk build, proofs, and the
+classic dense baseline (§4.1–4.2, Example 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.keys import BitKey
+from repro.core.records import DataValue, MerkleValue, value_hash
+from repro.errors import HashMismatchError, StoreError, StructuralError
+from repro.merkle.plain import PlainMerkleStore, PlainMerkleVerifier
+from repro.merkle.proofs import generate_proof, verify_proof
+from repro.merkle.sparse import (
+    ABSENT_NULL,
+    ABSENT_SPLIT,
+    FOUND,
+    build_tree,
+    check_invariants,
+    lookup,
+    merkle_parent_of,
+    path_to_root,
+)
+
+
+def dk(i, width=8):
+    return BitKey.data_key(i, width)
+
+
+def build_db(keys, width=8):
+    """Build a tree and return (source function, root value, records)."""
+    items = sorted((dk(k, width), DataValue(b"v%d" % k)) for k in keys)
+    merkle, root = build_tree(items)
+    records = dict(items)
+    records.update(merkle)
+
+    def source(key):
+        return records.get(key)
+
+    return source, root, records
+
+
+# ---------------------------------------------------------------------------
+# Bulk build
+# ---------------------------------------------------------------------------
+class TestBuildTree:
+    def test_empty(self):
+        merkle, root = build_tree([])
+        assert merkle == {}
+        assert root.is_empty
+
+    def test_single_key(self):
+        items = [(dk(5), DataValue(b"v"))]
+        merkle, root = build_tree(items)
+        assert merkle == {}
+        ptr = root.pointer(0)  # 5 = 00000101, starts with 0
+        assert ptr.key == dk(5)
+        assert ptr.hash == value_hash(DataValue(b"v"))
+
+    def test_invariants_hold(self):
+        source, root, records = build_db(range(50))
+        n = check_invariants(source, root, data_width=8)
+        assert n >= 50
+
+    def test_patricia_minimality(self):
+        """Internal nodes (non-root) always branch: the record count is at
+        most 2*keys - 1 plus the root."""
+        source, root, records = build_db(range(64))
+        merkle_count = sum(1 for k in records if k.length < 8)
+        assert merkle_count <= 63
+
+    def test_requires_sorted_input(self):
+        items = [(dk(5), DataValue(b"a")), (dk(1), DataValue(b"b"))]
+        with pytest.raises(ValueError):
+            build_tree(items)
+
+    def test_requires_distinct_keys(self):
+        items = [(dk(1), DataValue(b"a")), (dk(1), DataValue(b"b"))]
+        with pytest.raises(ValueError):
+            build_tree(items)
+
+    @given(st.sets(st.integers(0, 255), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_property(self, keys):
+        source, root, records = build_db(keys)
+        check_invariants(source, root, data_width=8)
+
+
+# ---------------------------------------------------------------------------
+# Navigation
+# ---------------------------------------------------------------------------
+class TestLookup:
+    def test_found(self):
+        source, root_value, records = build_db([1, 2, 3, 200])
+
+        def src(key):
+            return root_value if key.is_root else source(key)
+
+        result = lookup(src, dk(2))
+        assert result.kind == FOUND
+        assert result.path[0].is_root
+        assert result.terminal == result.path[-1]
+
+    def test_absent_null_side(self):
+        source, root_value, records = build_db([1, 2])  # all start with 0
+
+        def src(key):
+            return root_value if key.is_root else source(key)
+
+        result = lookup(src, dk(200))  # 11001000: right of root is empty
+        assert result.kind == ABSENT_NULL
+        assert result.terminal.is_root
+
+    def test_absent_split(self):
+        source, root_value, records = build_db([0b00000001, 0b00000010])
+
+        def src(key):
+            return root_value if key.is_root else source(key)
+
+        # 0b01000000 shares only the top bit: pointer bypasses it.
+        result = lookup(src, dk(0b01000000))
+        assert result.kind == ABSENT_SPLIT
+        assert result.bypass is not None
+        assert not result.bypass.is_ancestor_of(dk(0b01000000))
+
+    def test_missing_record_raises(self):
+        def src(key):
+            return None
+
+        with pytest.raises(StoreError):
+            lookup(src, dk(1))
+
+    def test_parent_and_path(self):
+        source, root_value, records = build_db(range(16))
+
+        def src(key):
+            return root_value if key.is_root else source(key)
+
+        parent = merkle_parent_of(src, dk(5))
+        assert parent.is_proper_ancestor_of(dk(5))
+        path = path_to_root(src, dk(5))
+        assert path[0].is_root
+        assert path[-1] == parent
+
+    def test_path_to_root_of_root(self):
+        assert path_to_root(lambda k: None, BitKey.root()) == []
+
+
+# ---------------------------------------------------------------------------
+# Path proofs (Example 4.1)
+# ---------------------------------------------------------------------------
+class TestPathProofs:
+    def _db(self, keys=range(32)):
+        source, root_value, records = build_db(keys)
+
+        def src(key):
+            return root_value if key.is_root else source(key)
+
+        return src, root_value, records
+
+    def test_present_proof_verifies(self):
+        src, root_value, records = self._db()
+        proof = generate_proof(src, dk(7))
+        assert verify_proof(root_value, proof) == DataValue(b"v7")
+
+    def test_absent_proof_verifies(self):
+        src, root_value, records = self._db([1, 2, 3])
+        proof = generate_proof(src, dk(200))
+        assert verify_proof(root_value, proof) is None
+
+    def test_tampered_leaf_detected(self):
+        src, root_value, records = self._db()
+        proof = generate_proof(src, dk(7))
+        proof.leaf_value = DataValue(b"EVIL")
+        with pytest.raises(HashMismatchError):
+            verify_proof(root_value, proof)
+
+    def test_tampered_intermediate_detected(self):
+        src, root_value, records = self._db()
+        proof = generate_proof(src, dk(7))
+        if proof.records:
+            key, value = proof.records[0]
+            # Perturb one pointer hash of an intermediate record.
+            side = 0 if value.ptr0 is not None else 1
+            ptr = value.pointer(side)
+            proof.records[0] = (key, value.with_pointer(
+                side, ptr.with_hash(b"\x00" * 32)))
+            with pytest.raises((HashMismatchError, StructuralError)):
+                verify_proof(root_value, proof)
+
+    def test_wrong_kind_rejected(self):
+        src, root_value, records = self._db()
+        proof = generate_proof(src, dk(7))
+        proof.kind = ABSENT_NULL
+        with pytest.raises(StructuralError):
+            verify_proof(root_value, proof)
+
+    def test_fake_absence_of_present_key_rejected(self):
+        """Host cannot prove a present key absent."""
+        src, root_value, records = self._db([1, 2, 3])
+        proof = generate_proof(src, dk(2))
+        proof.kind = ABSENT_SPLIT
+        proof.leaf_value = None
+        with pytest.raises(StructuralError):
+            verify_proof(root_value, proof)
+
+    @given(st.sets(st.integers(0, 255), min_size=1, max_size=30),
+           st.integers(0, 255))
+    @settings(max_examples=50, deadline=None)
+    def test_proofs_match_model(self, keys, probe):
+        src, root_value, records = self._db(keys)
+        proof = generate_proof(src, dk(probe))
+        result = verify_proof(root_value, proof)
+        if probe in keys:
+            assert result == DataValue(b"v%d" % probe)
+        else:
+            assert result is None
+
+
+# ---------------------------------------------------------------------------
+# Dense Merkle baseline (§4.1's classic construction)
+# ---------------------------------------------------------------------------
+class TestPlainMerkle:
+    def test_get_put_roundtrip(self):
+        store = PlainMerkleStore(64)
+        assert store.get(5) is None
+        store.put(5, b"v5")
+        assert store.get(5) == b"v5"
+
+    def test_updates_change_root(self):
+        store = PlainMerkleStore(16)
+        root0 = store.verifier.root_hash
+        store.put(3, b"x")
+        assert store.verifier.root_hash != root0
+
+    def test_tampered_value_detected(self):
+        store = PlainMerkleStore(16)
+        store.put(3, b"x")
+        store.host._values[3] = b"EVIL"
+        store.host.apply_update(3, b"EVIL")  # host recomputes its own hashes
+        with pytest.raises(HashMismatchError):
+            store.get(3)
+
+    def test_tampered_proof_detected(self):
+        store = PlainMerkleStore(16)
+        store.put(3, b"x")
+        proof = store.host.proof(3)
+        proof[0] = b"\x00" * 32
+        with pytest.raises(HashMismatchError):
+            store.verifier.verify_read(3, b"x", proof)
+
+    def test_stale_read_detected(self):
+        store = PlainMerkleStore(16)
+        store.put(3, b"old")
+        proof_old = store.host.proof(3)
+        store.put(3, b"new")
+        with pytest.raises(HashMismatchError):
+            store.verifier.verify_read(3, b"old", proof_old)
+
+    def test_verifier_update_requires_valid_old(self):
+        store = PlainMerkleStore(16)
+        store.put(3, b"x")
+        verifier = PlainMerkleVerifier(store.verifier.root_hash)
+        with pytest.raises(HashMismatchError):
+            verifier.apply_update(3, b"WRONG-OLD", b"new", store.host.proof(3))
+
+    def test_bounds(self):
+        store = PlainMerkleStore(10)
+        with pytest.raises(IndexError):
+            store.get(10)
+        with pytest.raises(ValueError):
+            PlainMerkleStore(0)
+
+    def test_proof_length_is_tree_depth(self):
+        store = PlainMerkleStore(64)
+        assert len(store.host.proof(0)) == store.host.depth

@@ -1,0 +1,96 @@
+"""Multi-client integration tests: key isolation, receipts routing,
+per-client settlement, and cross-client attack surfaces (§2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import new_client
+from repro.errors import SignatureError
+from tests.conftest import small_fastver
+
+
+def two_client_db():
+    db, alice = small_fastver(n_records=80)
+    bob = new_client(2)
+    db.register_client(bob)
+    return db, alice, bob
+
+
+class TestMultiClient:
+    def test_clients_share_the_database(self):
+        db, alice, bob = two_client_db()
+        db.put(alice, 7, b"from-alice")
+        assert db.get(bob, 7).payload == b"from-alice"
+        db.put(bob, 7, b"from-bob")
+        assert db.get(alice, 7).payload == b"from-bob"
+        db.verify()
+        db.flush()
+
+    def test_settlement_is_per_client(self):
+        db, alice, bob = two_client_db()
+        a = db.put(alice, 1, b"a")
+        b = db.put(bob, 2, b"b")
+        db.verify()
+        db.flush()
+        assert alice.settled(a.nonce)
+        assert bob.settled(b.nonce)
+        assert alice.settled_epoch == bob.settled_epoch == 0
+
+    def test_nonce_spaces_are_independent(self):
+        db, alice, bob = two_client_db()
+        # Both clients use nonce 1..n independently without collisions.
+        for i in range(10):
+            db.put(alice, i, b"a%d" % i)
+            db.put(bob, i + 40, b"b%d" % i)
+        db.verify()
+        db.flush()
+        assert alice.settled_epoch == 0
+        assert bob.settled_epoch == 0
+
+    def test_interleaved_workers_and_clients(self):
+        db, alice, bob = two_client_db()
+        for i in range(60):
+            client = alice if i % 2 == 0 else bob
+            db.put(client, i % 30, b"x%d" % i, worker=i % 2)
+        for i in range(30):
+            assert db.get(alice, i, worker=i % 2).payload is not None
+        db.verify()
+        db.flush()
+        assert alice.settled_epoch == bob.settled_epoch == 0
+
+    def test_one_clients_key_cannot_sign_anothers_put(self):
+        """Host swaps client ids on a captured request: the MAC is bound
+        to the signing client's key, so validation fails."""
+        db, alice, bob = two_client_db()
+        bk = db.data_key(7)
+        request = alice.make_put(bk, b"alice-authorized")
+        with pytest.raises(SignatureError):
+            # Host presents alice's tag under bob's identity.
+            db._data_op(0, bob, bk, "put", nonce=request.nonce,
+                        payload=b"alice-authorized", tag=request.tag)
+            db.flush()
+
+    def test_receipts_route_to_correct_client(self):
+        db, alice, bob = two_client_db()
+        ra = db.get(alice, 5)
+        rb = db.get(bob, 6)
+        db.verify()
+        db.flush()
+        assert alice.settled(ra.nonce)
+        assert bob.settled(rb.nonce)
+        # Cross-checking: bob never saw alice's nonce.
+        assert not bob.settled(ra.nonce) or ra.nonce == rb.nonce
+
+    def test_many_clients(self):
+        db, alice = small_fastver(n_records=40)
+        clients = [alice] + [new_client(i) for i in range(2, 8)]
+        for c in clients[1:]:
+            db.register_client(c)
+        results = []
+        for i, c in enumerate(clients):
+            results.append((c, db.put(c, i, b"c%d" % i)))
+        db.verify()
+        db.flush()
+        for c, r in results:
+            assert c.settled(r.nonce)

@@ -1,0 +1,121 @@
+"""Tests for the cost model, metrics, and simulated executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enclave.costmodel import NONE, SGX, SIMULATED
+from repro.instrument import COUNTERS, Counters
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.executor import SimulatedExecutor
+from repro.sim.metrics import MetricsBuilder
+from repro.workloads.ycsb import YCSB_A, YcsbGenerator
+from tests.conftest import small_fastver
+
+
+class TestCounters:
+    def test_scoped_measurement(self):
+        with COUNTERS.scoped() as delta:
+            COUNTERS.ops += 5
+        assert delta.ops == 5
+
+    def test_diff_and_add(self):
+        a = Counters(ops=10, merkle_hashes=3)
+        b = Counters(ops=4, merkle_hashes=1)
+        d = a.diff(b)
+        assert d.ops == 6 and d.merkle_hashes == 2
+        b.add(d)
+        assert b.ops == 10 and b.merkle_hashes == 3
+
+    def test_reset(self):
+        c = Counters(ops=5)
+        c.reset()
+        assert c.ops == 0
+
+    def test_str_shows_nonzero_only(self):
+        assert "ops" in str(Counters(ops=1))
+        assert "merkle" not in str(Counters(ops=1))
+
+
+class TestCostModel:
+    def test_merkle_hashing_dearer_than_multiset(self):
+        """The §8.5 asymmetry: 400 MB/s Blake3 vs 3.2 GB/s AES-CMAC."""
+        c = Counters(merkle_hashes=1, merkle_hash_bytes=100)
+        m = Counters(multiset_updates=1, multiset_hash_bytes=100)
+        costs = DEFAULT_COSTS
+        assert (costs.verifier_ns(c, NONE) > 4 * costs.verifier_ns(m, NONE))
+
+    def test_sgx_slower_than_simulated(self):
+        c = Counters(merkle_hashes=100, merkle_hash_bytes=10_000,
+                     enclave_entries=10)
+        assert (DEFAULT_COSTS.verifier_ns(c, SGX)
+                > DEFAULT_COSTS.verifier_ns(c, SIMULATED))
+
+    def test_memory_hierarchy_effect(self):
+        c = Counters(store_reads=1000)
+        small = DEFAULT_COSTS.host_ns(c, 16_000)
+        large = DEFAULT_COSTS.host_ns(c, 64_000_000)
+        assert large > 2 * small
+
+    def test_parallel_speedup_sublinear(self):
+        costs = DEFAULT_COSTS
+        t1 = costs.parallel_ns(1e9, 1)
+        t2 = costs.parallel_ns(1e9, 2)
+        t32 = costs.parallel_ns(1e9, 32)
+        assert t1 == 1e9
+        assert pytest.approx(t1 / t2, rel=0.01) == 1.75  # Fig 14c's rule
+        assert t1 / t32 < 32  # imperfect scaling
+        assert t1 / t32 > 10
+
+    def test_verifier_fraction_bounds(self):
+        c = Counters(merkle_hashes=10, merkle_hash_bytes=100, store_reads=10)
+        f = DEFAULT_COSTS.verifier_fraction(c, SIMULATED, 1000)
+        assert 0.0 < f < 1.0
+        assert DEFAULT_COSTS.verifier_fraction(Counters(), SIMULATED, 1000) == 0.0
+
+
+class TestMetricsBuilder:
+    def test_throughput_and_latency(self):
+        b = MetricsBuilder(n_workers=2, modeled_db_records=1000)
+        b.add_ops(Counters(store_reads=1000, ops=1000), key_ops=1000)
+        b.add_verification(Counters(multiset_updates=100,
+                                    multiset_hash_bytes=5000))
+        m = b.build()
+        assert m.key_ops == 1000
+        assert m.throughput_mops > 0
+        assert m.verification_latency_s > 0
+        assert m.n_verifications == 1
+
+    def test_zero_run(self):
+        m = MetricsBuilder(1, 1000).build()
+        assert m.throughput_mops == 0.0
+        assert m.verification_latency_s == 0.0
+
+
+class TestExecutor:
+    def test_runs_fastver_with_verifications(self):
+        db, client = small_fastver(n_records=80, n_workers=2)
+        executor = SimulatedExecutor(db, client, 2, modeled_db_records=80)
+        gen = YcsbGenerator(YCSB_A, 80, seed=1)
+        result = executor.run(gen, 300, verify_every=100)
+        assert result.metrics.key_ops == 300
+        assert result.metrics.n_verifications >= 3
+        assert result.throughput_mops > 0
+        assert result.verification_latency_s > 0
+        db.flush()
+        assert client.settled_epoch >= 2
+
+    def test_batching_improves_throughput(self):
+        """Fig 12's fundamental tradeoff: larger batches between
+        verifications give higher throughput and higher latency."""
+        def measure(verify_every):
+            db, client = small_fastver(n_records=100, n_workers=2)
+            executor = SimulatedExecutor(db, client, 2,
+                                         modeled_db_records=2_000_000)
+            gen = YcsbGenerator(YCSB_A, 100, seed=1)
+            return executor.run(gen, 600, verify_every=verify_every)
+
+        frequent = measure(50)
+        rare = measure(600)
+        assert rare.throughput_mops > frequent.throughput_mops
+        assert rare.verification_latency_s > frequent.verification_latency_s

@@ -1,0 +1,376 @@
+"""Tests for the FASTER-style store substrate: log, index, epochs, CAS."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.keys import BitKey
+from repro.core.records import DataValue, MerkleValue, Pointer
+from repro.errors import ProtocolError, StoreError
+from repro.store.atomic import ContentionInjector, compare_and_swap_pair
+from repro.store.epoch_protection import UNPROTECTED, LightEpoch
+from repro.store.faster import FasterKV, KeyDirectory
+from repro.store.hashindex import HashIndex
+from repro.store.hybridlog import NULL_ADDRESS, HybridLog, LogDevice, LogRecord
+
+
+def dk(i, width=16):
+    return BitKey.data_key(i, width)
+
+
+# ---------------------------------------------------------------------------
+# Epoch protection (FASTER's LightEpoch)
+# ---------------------------------------------------------------------------
+class TestLightEpoch:
+    def test_register_protect(self):
+        ep = LightEpoch()
+        ep.register(1)
+        assert ep.protect(1) == ep.current
+
+    def test_unregistered_thread_rejected(self):
+        ep = LightEpoch()
+        with pytest.raises(ProtocolError):
+            ep.protect(9)
+
+    def test_drain_waits_for_protected_threads(self):
+        ep = LightEpoch()
+        ep.register(1)
+        ep.register(2)
+        ep.protect(1)
+        ep.protect(2)
+        fired = []
+        ep.bump(lambda: fired.append("a"))
+        assert fired == []          # thread 1 and 2 still in old epoch
+        ep.protect(1)               # refresh to new epoch
+        assert fired == []          # thread 2 still pinning
+        ep.protect(2)
+        assert fired == ["a"]
+
+    def test_drain_fires_immediately_when_unprotected(self):
+        ep = LightEpoch()
+        ep.register(1)
+        fired = []
+        ep.bump(lambda: fired.append("a"))
+        assert fired == ["a"]
+
+    def test_unprotect_releases(self):
+        ep = LightEpoch()
+        ep.register(1)
+        ep.protect(1)
+        fired = []
+        ep.bump(lambda: fired.append("a"))
+        assert fired == []
+        ep.unprotect(1)
+        assert fired == ["a"]
+
+    def test_unregister_while_protected_rejected(self):
+        ep = LightEpoch()
+        ep.register(1)
+        ep.protect(1)
+        with pytest.raises(ProtocolError):
+            ep.unregister(1)
+        ep.unprotect(1)
+        ep.unregister(1)
+        assert ep.pending_drains == 0
+
+    def test_safe_epoch_tracks_minimum(self):
+        ep = LightEpoch()
+        ep.register(1)
+        ep.register(2)
+        ep.protect(1)
+        ep.bump()
+        ep.protect(2)
+        assert ep.safe_epoch == ep._thread_epochs[1] - 1
+
+    def test_multiple_drains_in_order(self):
+        ep = LightEpoch()
+        fired = []
+        ep.bump(lambda: fired.append(1))
+        ep.bump(lambda: fired.append(2))
+        assert fired == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Hybrid log
+# ---------------------------------------------------------------------------
+class TestHybridLog:
+    def test_append_and_get(self):
+        log = HybridLog()
+        addr = log.append(LogRecord(dk(1), DataValue(b"v"), 7))
+        record = log.get(addr)
+        assert record.key == dk(1)
+        assert record.value == DataValue(b"v")
+        assert record.aux == 7
+
+    def test_addresses_monotone(self):
+        log = HybridLog()
+        a = log.append(LogRecord(dk(1), DataValue(b"a"), 0))
+        b = log.append(LogRecord(dk(2), DataValue(b"b"), 0))
+        assert b == a + 1
+        assert log.tail_address == b + 1
+
+    def test_unallocated_address_rejected(self):
+        log = HybridLog()
+        with pytest.raises(StoreError):
+            log.get(0)
+        with pytest.raises(StoreError):
+            log.get(-5)
+
+    def test_in_place_update_in_mutable_region(self):
+        log = HybridLog()
+        addr = log.append(LogRecord(dk(1), DataValue(b"a"), 0))
+        assert log.is_mutable(addr)
+        log.update_in_place(addr, DataValue(b"b"), 9)
+        assert log.get(addr).value == DataValue(b"b")
+        assert log.get(addr).aux == 9
+
+    def test_update_below_read_only_rejected(self):
+        log = HybridLog()
+        addr = log.append(LogRecord(dk(1), DataValue(b"a"), 0))
+        log.read_only_address = addr + 1
+        with pytest.raises(StoreError):
+            log.update_in_place(addr, DataValue(b"b"), 0)
+
+    def test_flush_and_reread_from_device(self):
+        log = HybridLog()
+        addr = log.append(LogRecord(dk(5), DataValue(b"payload"), 3,
+                                    prev_address=NULL_ADDRESS))
+        flushed = log.flush_until(addr + 1)
+        assert flushed == 1
+        assert not log.in_memory(addr)
+        record = log.get(addr)  # re-read through the device
+        assert record.value == DataValue(b"payload")
+        assert record.aux == 3
+        assert log.device.reads >= 1
+
+    def test_memory_budget_spills(self):
+        log = HybridLog(memory_budget_records=10)
+        for i in range(25):
+            log.append(LogRecord(dk(i), DataValue(b"x"), 0))
+        assert log.in_memory_count <= 11
+        assert len(log.device) >= 14
+        # Every record still readable.
+        for addr in range(25):
+            assert log.get(addr).key == dk(addr)
+
+    def test_serialize_roundtrip_data(self):
+        rec = LogRecord(dk(9), DataValue(b"xyz"), 0xDEADBEEF,
+                        prev_address=42, tombstone=True)
+        got = LogRecord.deserialize(rec.serialize())
+        assert (got.key, got.value, got.aux, got.prev_address, got.tombstone) \
+            == (rec.key, rec.value, rec.aux, rec.prev_address, rec.tombstone)
+
+    def test_serialize_roundtrip_merkle(self):
+        value = MerkleValue(Pointer(dk(3), b"\x11" * 32), None)
+        rec = LogRecord(BitKey.from_bits_string("0101"), value, 5)
+        got = LogRecord.deserialize(rec.serialize())
+        assert got.value == value
+
+    def test_deserialize_rejects_truncation(self):
+        rec = LogRecord(dk(1), DataValue(b"v"), 0)
+        with pytest.raises(StoreError):
+            LogRecord.deserialize(rec.serialize()[:10])
+
+    def test_device_missing_address(self):
+        device = LogDevice()
+        with pytest.raises(StoreError):
+            device.read(7)
+
+
+# ---------------------------------------------------------------------------
+# Hash index
+# ---------------------------------------------------------------------------
+class TestHashIndex:
+    def test_lookup_absent(self):
+        assert HashIndex().lookup(dk(1)) == NULL_ADDRESS
+
+    def test_cas_install(self):
+        idx = HashIndex()
+        assert idx.try_update(dk(1), NULL_ADDRESS, 5)
+        assert idx.lookup(dk(1)) == 5
+
+    def test_cas_fails_on_stale_expectation(self):
+        idx = HashIndex()
+        idx.try_update(dk(1), NULL_ADDRESS, 5)
+        assert not idx.try_update(dk(1), NULL_ADDRESS, 9)
+        assert idx.lookup(dk(1)) == 5
+
+    def test_snapshot_restore(self):
+        idx = HashIndex()
+        idx.try_update(dk(1), NULL_ADDRESS, 5)
+        snap = idx.snapshot()
+        idx.try_update(dk(1), 5, 7)
+        idx.restore(snap)
+        assert idx.lookup(dk(1)) == 5
+
+    def test_remove(self):
+        idx = HashIndex()
+        idx.try_update(dk(1), NULL_ADDRESS, 5)
+        idx.remove(dk(1))
+        assert dk(1) not in idx
+        assert len(idx) == 0
+
+
+# ---------------------------------------------------------------------------
+# Atomic pair CAS
+# ---------------------------------------------------------------------------
+class TestAtomicPair:
+    def test_success(self):
+        rec = LogRecord(dk(1), DataValue(b"a"), 7)
+        assert compare_and_swap_pair(rec, DataValue(b"a"), 7, DataValue(b"b"), 9)
+        assert rec.value == DataValue(b"b")
+        assert rec.aux == 9
+
+    def test_fails_on_value_mismatch(self):
+        rec = LogRecord(dk(1), DataValue(b"a"), 7)
+        assert not compare_and_swap_pair(rec, DataValue(b"z"), 7,
+                                         DataValue(b"b"), 9)
+        assert rec.value == DataValue(b"a")
+
+    def test_fails_on_aux_mismatch(self):
+        rec = LogRecord(dk(1), DataValue(b"a"), 7)
+        assert not compare_and_swap_pair(rec, DataValue(b"a"), 8,
+                                         DataValue(b"b"), 9)
+
+    def test_injected_contention(self):
+        rec = LogRecord(dk(1), DataValue(b"a"), 0)
+        injector = ContentionInjector(0.999999, seed=1)
+        failures = sum(
+            not compare_and_swap_pair(rec, DataValue(b"a"), 0,
+                                      DataValue(b"a"), 0, injector)
+            for _ in range(20)
+        )
+        assert failures >= 19
+
+    def test_injector_validation(self):
+        with pytest.raises(ValueError):
+            ContentionInjector(1.5)
+
+
+# ---------------------------------------------------------------------------
+# FasterKV
+# ---------------------------------------------------------------------------
+class TestFasterKV:
+    def test_upsert_read(self):
+        store = FasterKV()
+        store.upsert(dk(1), DataValue(b"v"), 42)
+        assert store.read(dk(1)) == (DataValue(b"v"), 42)
+
+    def test_read_absent(self):
+        assert FasterKV().read(dk(1)) is None
+
+    def test_upsert_overwrites_in_place(self):
+        store = FasterKV()
+        store.upsert(dk(1), DataValue(b"a"))
+        tail = store.log.tail_address
+        store.upsert(dk(1), DataValue(b"b"), 9)
+        assert store.log.tail_address == tail  # in-place, no new version
+        assert store.read(dk(1)) == (DataValue(b"b"), 9)
+
+    def test_upsert_below_read_only_copies(self):
+        store = FasterKV()
+        store.upsert(dk(1), DataValue(b"a"))
+        store.log.read_only_address = store.log.tail_address
+        store.upsert(dk(1), DataValue(b"b"))
+        assert store.read(dk(1))[0] == DataValue(b"b")
+        chain = store.validate_chain(dk(1))
+        assert len(chain) == 2
+
+    def test_rmw(self):
+        store = FasterKV()
+        store.upsert(dk(1), DataValue(b"a"), 1)
+        value, aux = store.rmw(
+            dk(1), lambda v, a: (DataValue(v.payload + b"!"), a + 1))
+        assert value == DataValue(b"a!")
+        assert aux == 2
+        assert store.read(dk(1)) == (DataValue(b"a!"), 2)
+
+    def test_rmw_creates_absent(self):
+        store = FasterKV()
+        value, aux = store.rmw(dk(1), lambda v, a: (DataValue(b"init"), 5))
+        assert value == DataValue(b"init")
+        assert store.read(dk(1)) == (DataValue(b"init"), 5)
+
+    def test_delete_tombstones(self):
+        store = FasterKV(ordered_width=16)
+        store.upsert(dk(1), DataValue(b"a"))
+        assert store.delete(dk(1))
+        assert store.read(dk(1)) is None
+        assert store.read_record(dk(1)).tombstone
+        assert not store.delete(dk(2))
+
+    def test_try_cas_pair(self):
+        store = FasterKV()
+        store.upsert(dk(1), DataValue(b"a"), 7)
+        assert store.try_cas(dk(1), DataValue(b"a"), 7, DataValue(b"b"), 8)
+        assert not store.try_cas(dk(1), DataValue(b"a"), 7, DataValue(b"c"), 9)
+        assert store.read(dk(1)) == (DataValue(b"b"), 8)
+
+    def test_try_cas_absent_key(self):
+        assert not FasterKV().try_cas(dk(1), DataValue(b"a"), 0,
+                                      DataValue(b"b"), 0)
+
+    def test_try_cas_below_read_only_uses_rcu(self):
+        store = FasterKV()
+        store.upsert(dk(1), DataValue(b"a"), 7)
+        store.log.read_only_address = store.log.tail_address
+        assert store.try_cas(dk(1), DataValue(b"a"), 7, DataValue(b"b"), 8)
+        assert store.read(dk(1)) == (DataValue(b"b"), 8)
+
+    def test_scan_ordered(self):
+        store = FasterKV(ordered_width=16)
+        for i in (5, 1, 9, 3):
+            store.upsert(dk(i), DataValue(b"v%d" % i))
+        got = store.scan_from(dk(2), 2)
+        assert [k.bits for k, _, _ in got] == [3, 5]
+
+    def test_scan_skips_merkle_keys(self):
+        store = FasterKV(ordered_width=16)
+        store.upsert(dk(1), DataValue(b"v"))
+        store.upsert(BitKey.from_bits_string("01"), MerkleValue())
+        got = store.scan_from(dk(0), 10)
+        assert len(got) == 1
+
+    def test_items_enumeration(self):
+        store = FasterKV(ordered_width=16)
+        for i in range(5):
+            store.upsert(dk(i), DataValue(b"v"))
+        store.delete(dk(2))
+        assert len(list(store.items())) == 4
+
+    def test_len(self):
+        store = FasterKV()
+        store.upsert(dk(1), DataValue(b"v"))
+        assert len(store) == 1
+
+
+class TestKeyDirectory:
+    def test_ordered_range(self):
+        d = KeyDirectory()
+        for i in (9, 2, 7, 4):
+            d.add(dk(i))
+        assert [k.bits for k in d.range_from(dk(3), 2)] == [4, 7]
+
+    def test_duplicate_add_idempotent(self):
+        d = KeyDirectory()
+        d.add(dk(1))
+        d.add(dk(1))
+        assert len(d) == 1
+
+    def test_remove(self):
+        d = KeyDirectory()
+        d.add(dk(1))
+        d.remove(dk(1))
+        d.remove(dk(1))  # idempotent
+        assert len(d) == 0
+        assert dk(1) not in d
+
+    @given(st.sets(st.integers(0, 1000), max_size=50),
+           st.integers(0, 1000), st.integers(0, 10))
+    def test_range_matches_sorted_model(self, keys, start, count):
+        d = KeyDirectory()
+        for k in keys:
+            d.add(dk(k))
+        expected = [k for k in sorted(keys) if dk(k) >= dk(start)][:count]
+        assert [k.bits for k in d.range_from(dk(start), count)] == expected

@@ -1,0 +1,113 @@
+"""Whole-system fuzzing: the complete feature set under one random walk.
+
+One hypothesis-driven walk mixes everything the library offers — gets,
+puts, deletes, scans, epoch closes, cache flushes, partition rebalances,
+checkpoints, crash recovery, and hot-record caching — against a dict
+model. After every walk: the model matches, the host auditor is clean,
+and a final epoch settles for the client.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import FastVer, FastVerConfig, new_client
+from repro.core.audit import audit
+from repro.instrument import COUNTERS
+
+actions = st.one_of(
+    st.tuples(st.just("get"), st.integers(0, 79)),
+    st.tuples(st.just("put"), st.integers(0, 79),
+              st.binary(min_size=1, max_size=6)),
+    st.tuples(st.just("delete"), st.integers(0, 79)),
+    st.tuples(st.just("scan"), st.integers(0, 79), st.integers(1, 6)),
+    st.tuples(st.just("verify")),
+    st.tuples(st.just("flush_caches")),
+    st.tuples(st.just("rebalance")),
+    st.tuples(st.just("checkpoint_recover")),
+)
+
+
+class SystemWalk:
+    def __init__(self, hot: bool):
+        COUNTERS.reset()
+        self.db = FastVer(
+            FastVerConfig(key_width=16, n_workers=2, partition_depth=3,
+                          cache_capacity=48, cache_hot_records=hot),
+            items=[(k, b"v%d" % k) for k in range(50)],
+        )
+        self.client = new_client(1)
+        self.db.register_client(self.client)
+        self.model = {k: b"v%d" % k for k in range(50)}
+        self.step_no = 0
+
+    def quiesce(self) -> bool:
+        """True if only anchors remain deferred (rebalance precondition)."""
+        return all(k in self.db.anchors for k in self.db.deferred_index)
+
+    def step(self, action: tuple) -> None:
+        db, client, model = self.db, self.client, self.model
+        self.step_no += 1
+        worker = self.step_no % 2
+        kind = action[0]
+        if kind == "get":
+            got = db.get(client, action[1], worker=worker)
+            assert got.payload == model.get(action[1])
+        elif kind == "put":
+            db.put(client, action[1], action[2], worker=worker)
+            model[action[1]] = action[2]
+        elif kind == "delete":
+            db.put(client, action[1], None, worker=worker)
+            model.pop(action[1], None)
+        elif kind == "scan":
+            got = dict(db.scan(client, action[1], action[2], worker=worker))
+            for k, v in got.items():
+                assert model.get(k) == v
+        elif kind == "verify":
+            db.verify()
+        elif kind == "flush_caches":
+            db.flush_caches()
+        elif kind == "rebalance":
+            db.verify()
+            db.flush()
+            if self.quiesce():
+                db.rebalance_partitions()
+        elif kind == "checkpoint_recover":
+            db.verify()
+            db.flush()
+            ckpt = db.checkpoint()
+            db.recover(ckpt)
+
+    def finish(self) -> None:
+        self.db.verify()
+        self.db.flush()
+        report = audit(self.db)
+        assert report.ok, report.violations[:5]
+        for k, v in self.model.items():
+            assert self.db.get(self.client, k).payload == v
+        self.db.verify()
+        self.db.flush()
+        assert self.client.settled_epoch >= 0
+
+
+class TestSystemFuzz:
+    @given(st.lists(actions, max_size=40), st.booleans())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_system_walks(self, walk, hot):
+        runner = SystemWalk(hot)
+        for action in walk:
+            runner.step(action)
+        runner.finish()
+
+    def test_directed_kitchen_sink(self):
+        """One deterministic walk through every feature in sequence."""
+        runner = SystemWalk(hot=True)
+        for step in [("put", 1, b"a"), ("get", 1), ("delete", 1),
+                     ("get", 1), ("put", 70, b"ins"), ("scan", 0, 5),
+                     ("verify",), ("flush_caches",), ("rebalance",),
+                     ("put", 70, b"upd"), ("checkpoint_recover",),
+                     ("get", 70), ("verify",)]:
+            runner.step(step)
+        runner.finish()

@@ -1,0 +1,386 @@
+"""Unit tests for the verifier thread state machine (§4.3, §5, §6).
+
+Every test here is either an honest protocol exchange that must succeed,
+or a byzantine move that must raise — these are the checks the paper's
+F* proof certifies, exercised one by one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.epochs import EpochController
+from repro.core.keys import BitKey
+from repro.core.records import DataValue, MerkleValue, Pointer, value_hash
+from repro.core.verifier import VerifierThread
+from repro.crypto.multiset import aggregate
+from repro.crypto.prf import Prf
+from repro.errors import (
+    CacheStateError,
+    CapacityError,
+    EpochError,
+    HashMismatchError,
+    ParentNotInCacheError,
+    StructuralError,
+)
+
+
+def bk(s):
+    return BitKey.from_bits_string(s)
+
+
+def dk(i, width=8):
+    return BitKey.data_key(i, width)
+
+
+@pytest.fixture
+def thread():
+    """A verifier whose cache holds a root pointing at one data record.
+
+    Tree: root --0--> (key 00000101, value "v5")
+    """
+    epochs = EpochController()
+    t = VerifierThread(0, Prf(b"k" * 32), epochs, cache_capacity=16)
+    leaf = dk(5)
+    root_value = MerkleValue(Pointer(leaf, value_hash(DataValue(b"v5"))), None)
+    t.pin_root(root_value)
+    return t
+
+
+ROOT = BitKey.root()
+
+
+class TestMerkleAdd:
+    def test_honest_add(self, thread):
+        slot = thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        assert isinstance(slot, int)
+        assert thread.read(dk(5)) == DataValue(b"v5")
+
+    def test_wrong_value_rejected(self, thread):
+        with pytest.raises(HashMismatchError):
+            thread.add_merkle(dk(5), DataValue(b"EVIL"), ROOT)
+
+    def test_parent_not_cached_rejected(self, thread):
+        with pytest.raises(ParentNotInCacheError):
+            thread.add_merkle(dk(5), DataValue(b"v5"), bk("0"))
+
+    def test_non_ancestor_parent_rejected(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        # dk(5) = 00000101 is cached; it is no ancestor of dk(6).
+        with pytest.raises(StructuralError):
+            thread.add_merkle(dk(6), DataValue(b"x"), dk(5))
+
+    def test_phantom_record_rejected(self, thread):
+        """Parent's pointer targets dk(5); claiming dk(4) under it lies."""
+        with pytest.raises(StructuralError):
+            thread.add_merkle(dk(4), DataValue(b"v4"), ROOT)
+
+    def test_duplicate_add_rejected(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        with pytest.raises(CacheStateError):
+            thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+
+    def test_null_side_rejected(self, thread):
+        # Root's 1-side is null: nothing can be *added* there.
+        with pytest.raises(StructuralError):
+            thread.add_merkle(dk(200), DataValue(b"x"), ROOT)
+
+
+class TestMerkleEvict:
+    def test_evict_updates_parent_hash(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        thread.update(dk(5), DataValue(b"new"))
+        thread.evict_merkle(dk(5), ROOT)
+        root_value = thread.read(ROOT)
+        assert root_value.pointer(0).hash == value_hash(DataValue(b"new"))
+        # And the new value is re-addable, the old one is not.
+        with pytest.raises(HashMismatchError):
+            thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        thread.add_merkle(dk(5), DataValue(b"new"), ROOT)
+
+    def test_evict_requires_cached_record(self, thread):
+        with pytest.raises(CacheStateError):
+            thread.evict_merkle(dk(5), ROOT)
+
+    def test_evict_requires_cached_parent(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        with pytest.raises(ParentNotInCacheError):
+            thread.evict_merkle(dk(5), bk("0"))
+
+    def test_root_cannot_be_evicted(self, thread):
+        epochs = EpochController()
+        with pytest.raises(CacheStateError):
+            thread.evict_deferred(ROOT)
+
+    def test_lazy_updates_do_not_touch_grandparents(self):
+        """§4.3.1: evicting a record updates only its immediate parent."""
+        epochs = EpochController()
+        t = VerifierThread(0, Prf(b"k" * 32), epochs, cache_capacity=16)
+        leaf = dk(0b00000101)
+        mid = bk("000")
+        mid_value = MerkleValue(Pointer(leaf, value_hash(DataValue(b"v"))),
+                                Pointer(dk(0b00001000), b"\x01" * 32))
+        root_value = MerkleValue(Pointer(mid, value_hash(mid_value)), None)
+        t.pin_root(root_value)
+        t.add_merkle(mid, mid_value, ROOT)
+        t.add_merkle(leaf, DataValue(b"v"), mid)
+        t.update(leaf, DataValue(b"w"))
+        root_hash_before = t.read(ROOT).pointer(0).hash
+        t.evict_merkle(leaf, mid)
+        # mid's stored hash for leaf changed; root's hash for mid did NOT.
+        assert t.read(mid).pointer(0).hash == value_hash(DataValue(b"w"))
+        assert t.read(ROOT).pointer(0).hash == root_hash_before
+        # Evicting mid now propagates one more level, restoring coherence.
+        t.evict_merkle(mid, ROOT)
+        assert t.read(ROOT).pointer(0).hash == value_hash(
+            t_read_back := MerkleValue(
+                Pointer(leaf, value_hash(DataValue(b"w"))),
+                Pointer(dk(0b00001000), b"\x01" * 32)))
+
+
+class TestDeferred:
+    def test_add_evict_roundtrip_balances_sets(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        ts, epoch = thread.evict_deferred(dk(5))
+        assert epoch == 0
+        thread.add_deferred(dk(5), DataValue(b"v5"), ts, epoch)
+        thread.epochs.advance()
+        ts2, epoch2 = thread.evict_deferred(dk(5))
+        assert ts2 > ts
+        thread.add_deferred(dk(5), DataValue(b"v5"), ts2, epoch2)
+        thread.epochs.advance()
+        thread.evict_deferred(dk(5))
+        r0, w0 = thread.take_epoch_hashes(0)
+        assert r0 == w0  # epoch 0 perfectly balanced
+
+    def test_lamport_rule_advances_clock(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        thread.evict_deferred(dk(5))
+        thread.add_deferred(dk(5), DataValue(b"v5"), 1000, 0)
+        assert thread.clock >= 1000
+        ts, _ = thread.evict_deferred(dk(5))
+        assert ts > 1000
+
+    def test_evict_timestamps_strictly_increase(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        ts1, e = thread.evict_deferred(dk(5))
+        thread.add_deferred(dk(5), DataValue(b"v5"), ts1, e)
+        ts2, _ = thread.evict_deferred(dk(5))
+        assert ts2 > ts1
+
+    def test_add_to_verified_epoch_rejected(self, thread):
+        """Record resurrection: presenting an epoch already settled."""
+        thread.epochs.advance()
+        thread.epochs.mark_verified(0)
+        with pytest.raises(EpochError):
+            thread.add_deferred(dk(5), DataValue(b"v5"), 1, 0)
+
+    def test_add_to_future_epoch_rejected(self, thread):
+        with pytest.raises(EpochError):
+            thread.add_deferred(dk(5), DataValue(b"v5"), 1, 99)
+
+    def test_tampered_value_unbalances_sets(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        ts, e = thread.evict_deferred(dk(5))
+        # Host presents a forged value at re-add.
+        thread.add_deferred(dk(5), DataValue(b"EVIL"), ts, e)
+        thread.epochs.advance()
+        thread.evict_deferred(dk(5))
+        r0, w0 = thread.take_epoch_hashes(0)
+        assert r0 != w0
+
+    def test_tampered_timestamp_unbalances_sets(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        ts, e = thread.evict_deferred(dk(5))
+        thread.add_deferred(dk(5), DataValue(b"v5"), ts + 7, e)
+        thread.epochs.advance()
+        thread.evict_deferred(dk(5))
+        r0, w0 = thread.take_epoch_hashes(0)
+        assert r0 != w0
+
+    def test_cross_thread_migration_balances(self):
+        """A record can visit different verifier caches over its lifetime
+        (§5.3); aggregation across threads balances the sets."""
+        epochs = EpochController()
+        prf = Prf(b"k" * 32)
+        a = VerifierThread(0, prf, epochs, cache_capacity=8)
+        b = VerifierThread(1, prf, epochs, cache_capacity=8)
+        leaf = dk(5)
+        root_value = MerkleValue(Pointer(leaf, value_hash(DataValue(b"v"))), None)
+        a.pin_root(root_value)
+        a.add_merkle(leaf, DataValue(b"v"), ROOT)
+        ts, e = a.evict_deferred(leaf)
+        b.add_deferred(leaf, DataValue(b"v"), ts, e)
+        epochs.advance()
+        b.evict_deferred(leaf)
+        ra, wa = a.take_epoch_hashes(0)
+        rb, wb = b.take_epoch_hashes(0)
+        assert aggregate([ra, rb]) == aggregate([wa, wb])
+        # but individually unbalanced: the record moved between threads
+        assert ra != wa
+
+    def test_double_add_detected_by_multiset(self):
+        """§5.3 subtlety: presenting one evicted record to two caches must
+        unbalance the aggregated sets (this is why the combiner must be
+        multiset-secure, not plain XOR)."""
+        epochs = EpochController()
+        prf = Prf(b"k" * 32)
+        a = VerifierThread(0, prf, epochs, cache_capacity=8)
+        b = VerifierThread(1, prf, epochs, cache_capacity=8)
+        leaf = dk(5)
+        root_value = MerkleValue(Pointer(leaf, value_hash(DataValue(b"v"))), None)
+        a.pin_root(root_value)
+        a.add_merkle(leaf, DataValue(b"v"), ROOT)
+        ts, e = a.evict_deferred(leaf)
+        # Byzantine host double-spends the single write entry.
+        a.add_deferred(leaf, DataValue(b"v"), ts, e)
+        b.add_deferred(leaf, DataValue(b"v"), ts, e)
+        epochs.advance()
+        a.evict_deferred(leaf)
+        b.evict_deferred(leaf)
+        ra, wa = a.take_epoch_hashes(0)
+        rb, wb = b.take_epoch_hashes(0)
+        assert aggregate([ra, rb]) != aggregate([wa, wb])
+
+
+class TestInserts:
+    def test_insert_extend(self, thread):
+        key = dk(0b10000001)
+        thread.insert_extend(key, DataValue(b"new"), ROOT)
+        assert thread.read(key) == DataValue(b"new")
+        ptr = thread.read(ROOT).pointer(1)
+        assert ptr.key == key
+        assert ptr.hash == value_hash(DataValue(b"new"))
+
+    def test_insert_extend_nonnull_side_rejected(self, thread):
+        with pytest.raises(StructuralError):
+            thread.insert_extend(dk(9), DataValue(b"x"), ROOT)
+
+    def test_insert_split(self, thread):
+        # dk(5)=00000101 is pointed from root; insert dk(6)=00000110.
+        mid, mid_slot, leaf_slot = thread.insert_split(
+            dk(6), DataValue(b"v6"), ROOT)
+        assert mid == dk(5).lca(dk(6))
+        mid_value = thread.read(mid)
+        assert mid_value.pointer(dk(5).direction_from(mid)).key == dk(5)
+        assert mid_value.pointer(dk(6).direction_from(mid)).key == dk(6)
+        assert thread.read(ROOT).pointer(0).key == mid
+        assert thread.read(dk(6)) == DataValue(b"v6")
+
+    def test_split_of_existing_key_rejected(self, thread):
+        with pytest.raises(StructuralError):
+            thread.insert_split(dk(5), DataValue(b"x"), ROOT)
+
+    def test_split_that_hides_subtree_rejected(self):
+        """The §6.4 subtlety: if the pointer target is an *ancestor* of the
+        new key, splitting would bypass an existing subtree — the verifier
+        must force a descent instead."""
+        epochs = EpochController()
+        t = VerifierThread(0, Prf(b"k" * 32), epochs, cache_capacity=16)
+        mid = bk("0000")
+        mid_value = MerkleValue(Pointer(dk(1), b"\x01" * 32),
+                                Pointer(dk(12), b"\x02" * 32))
+        root_value = MerkleValue(Pointer(mid, value_hash(mid_value)), None)
+        t.pin_root(root_value)
+        # dk(3) = 00000011 lies *under* mid: lca(dk(3), mid) == mid.
+        with pytest.raises(StructuralError):
+            t.insert_split(dk(3), DataValue(b"x"), ROOT)
+
+    def test_split_null_pointer_rejected(self, thread):
+        with pytest.raises(StructuralError):
+            thread.insert_split(dk(200), DataValue(b"x"), ROOT)
+
+    def test_inserted_leaf_must_be_data(self, thread):
+        with pytest.raises(StructuralError):
+            thread.insert_extend(bk("10"), MerkleValue(), ROOT)
+
+
+class TestAbsence:
+    def test_null_side_proves_absence(self, thread):
+        thread.check_absent(dk(200), ROOT)  # root 1-side is null
+
+    def test_bypass_proves_absence(self, thread):
+        thread.check_absent(dk(9), ROOT)  # pointer targets dk(5), not 9
+
+    def test_present_key_cannot_be_absent(self, thread):
+        with pytest.raises(StructuralError):
+            thread.check_absent(dk(5), ROOT)
+
+    def test_undecided_absence_rejected(self):
+        """If the pointer targets an ancestor of the probed key, the host
+        must descend — claiming absence here is premature."""
+        epochs = EpochController()
+        t = VerifierThread(0, Prf(b"k" * 32), epochs, cache_capacity=16)
+        mid = bk("0000")
+        root_value = MerkleValue(Pointer(mid, b"\x01" * 32), None)
+        t.pin_root(root_value)
+        with pytest.raises(StructuralError):
+            t.check_absent(dk(3), ROOT)  # dk(3) is under mid
+
+
+class TestCachedOps:
+    def test_update_data_record(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        thread.update(dk(5), DataValue(b"new"))
+        assert thread.read(dk(5)) == DataValue(b"new")
+
+    def test_update_merkle_record_rejected(self, thread):
+        with pytest.raises(StructuralError):
+            thread.update(ROOT, DataValue(b"x"))
+
+    def test_update_with_merkle_value_rejected(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        with pytest.raises(StructuralError):
+            thread.update(dk(5), MerkleValue())
+
+    def test_read_uncached_rejected(self, thread):
+        with pytest.raises(CacheStateError):
+            thread.read(dk(5))
+
+    def test_cache_capacity_enforced(self):
+        epochs = EpochController()
+        t = VerifierThread(0, Prf(b"k" * 32), epochs, cache_capacity=2)
+        t.pin_root(MerkleValue(None, None))
+        t.insert_extend(dk(1), DataValue(b"a"), ROOT)
+        with pytest.raises(CapacityError):
+            t.insert_extend(dk(200), DataValue(b"b"), ROOT)
+
+    def test_refresh_hash(self, thread):
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        thread.update(dk(5), DataValue(b"w"))
+        thread.refresh_hash(dk(5), ROOT)
+        assert thread.read(ROOT).pointer(0).hash == value_hash(DataValue(b"w"))
+        assert thread.read(dk(5)) == DataValue(b"w")  # still cached
+
+    def test_memory_accounting(self, thread):
+        before = thread.trusted_memory_bytes()
+        thread.add_merkle(dk(5), DataValue(b"v5"), ROOT)
+        assert thread.trusted_memory_bytes() > before
+
+
+class TestEpochController:
+    def test_in_order_verification(self):
+        ec = EpochController()
+        ec.advance()
+        ec.mark_verified(0)
+        ec.advance()
+        ec.mark_verified(1)
+        assert ec.verified == 1
+
+    def test_out_of_order_rejected(self):
+        ec = EpochController()
+        ec.advance()
+        ec.advance()
+        with pytest.raises(EpochError):
+            ec.mark_verified(1)
+
+    def test_cannot_verify_open_epoch(self):
+        ec = EpochController()
+        with pytest.raises(EpochError):
+            ec.mark_verified(0)
+
+    def test_stamp_is_current(self):
+        ec = EpochController()
+        assert ec.stamp() == 0
+        ec.advance()
+        assert ec.stamp() == 1
