@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Durability demo (§7): epoch-synchronized checkpoints, crash recovery,
-and the rollback attack the sealed slot defeats.
+the rollback attack the sealed slot defeats, a surprise enclave reboot in
+the middle of an epoch, and lenient log-scan salvage of a damaged device.
 
 Run:  python examples/crash_recovery.py
 """
 
 from repro import FastVer, FastVerConfig, new_client
-from repro.errors import RollbackError
+from repro.errors import EnclaveRebootError, RecoveryError, RollbackError
+from repro.faults import FaultPlan, install_faults
+from repro.store.recovery import rebuild_index_from_log
 
 
 def main() -> None:
@@ -49,6 +52,48 @@ def main() -> None:
         print("!! rollback accepted (should never happen)")
     except RollbackError as exc:
         print("[verifier] ROLLBACK DETECTED:", exc)
+    # The failed restore left the enclave empty; recovering from the
+    # legitimate checkpoint brings service back.
+    db.recover(ckpt2)
+    print("service restored from v%d after the failed rollback"
+          % ckpt2.version)
+
+    # --- a surprise reboot in the middle of an epoch ------------------------
+    print("\n[fault] enclave reboots mid-epoch (power loss on the TEE)")
+    db.put(client, 2, b"mid-epoch")
+    install_faults(db, FaultPlan(seed=0, specs={"ecall.reboot": [0]}))
+    try:
+        db.verify()
+        print("!! epoch closed across a reboot (should never happen)")
+    except EnclaveRebootError:
+        print("[enclave] rebooted mid-epoch; the epoch failed loudly, "
+              "nothing half-committed")
+    install_faults(db, None)
+    db.recover(db.last_checkpoint)
+    db.put(client, 2, b"post-recovery")
+    db.verify()
+    db.flush()
+    print("reboot-mid-epoch recovered: get(2) -> %r (settled epoch %d)"
+          % (db.get(client, 2).payload, client.settled_epoch))
+
+    # --- a damaged device page and lenient salvage --------------------------
+    print("\n[damage] one log page rots on the untrusted device")
+    device = db.store.log.device
+    tail = db.store.log.tail_address
+    db.store.log.flush_until(tail)
+    victim = sorted(a for a in range(tail) if a in device)[len(device) // 2]
+    device._pages[victim] = b"\x00bitrot"
+    try:
+        rebuild_index_from_log(device, tail,
+                               ordered_width=db.config.key_width)
+        print("!! strict rebuild accepted a rotten page")
+    except RecoveryError as exc:
+        print("[strict]  rebuild refused:", exc)
+    salvaged = rebuild_index_from_log(device, tail,
+                                      ordered_width=db.config.key_width,
+                                      strict=False)
+    print("[lenient] rebuild quarantined page(s) %r and salvaged %d records"
+          % (salvaged.quarantined_addresses, len(salvaged)))
 
 
 if __name__ == "__main__":

@@ -28,7 +28,8 @@ from repro.core.fastver import FastVer, FastVerConfig, OpResult, VerifyReport
 from repro.core.keys import BitKey
 from repro.core.protocol import Client
 from repro.crypto.mac import MacKey
-from repro.errors import IntegrityError, ReproError
+from repro.errors import AvailabilityError, IntegrityError, ReproError
+from repro.faults import FaultPlan, install_faults
 
 __version__ = "1.0.0"
 
@@ -46,8 +47,11 @@ __all__ = [
     "BitKey",
     "Client",
     "MacKey",
+    "AvailabilityError",
+    "FaultPlan",
     "IntegrityError",
     "ReproError",
+    "install_faults",
     "new_client",
     "__version__",
 ]

@@ -2,11 +2,15 @@
 
 from repro.adversary.host import (
     COLD_ATTACKS,
+    RECEIPT_ATTACKS,
     WARM_ATTACKS,
     corrupt_merkle_pointer,
     cross_mode_confusion,
+    drop_receipts,
     duplicate_read_entry,
+    duplicate_receipts,
     forge_receipt_payload,
+    reorder_receipts,
     rollback_record,
     skip_migration,
     tamper_timestamp,
@@ -15,11 +19,15 @@ from repro.adversary.host import (
 
 __all__ = [
     "COLD_ATTACKS",
+    "RECEIPT_ATTACKS",
     "WARM_ATTACKS",
     "corrupt_merkle_pointer",
     "cross_mode_confusion",
+    "drop_receipts",
     "duplicate_read_entry",
+    "duplicate_receipts",
     "forge_receipt_payload",
+    "reorder_receipts",
     "rollback_record",
     "skip_migration",
     "tamper_timestamp",

@@ -152,6 +152,38 @@ def forge_receipt_payload(receipt) -> None:
     receipt.payload = b"__forged__"
 
 
+# ----------------------------------------------------------------------
+# Receipt-channel attacks: the adversary owns the host→client wire.
+# These install a FaultPlan on ``db.receipt_channel`` and return a
+# description; the guarantee under test is that none of them can settle a
+# wrong answer — drops only degrade availability (the op never settles),
+# duplicates and reorders are absorbed by idempotent, order-insensitive
+# acceptance.
+# ----------------------------------------------------------------------
+
+def drop_receipts(db: FastVer, client) -> str:
+    """Swallow every receipt in transit: ops never settle, never lie."""
+    from repro.faults import FaultPlan
+    db.receipt_channel.faults = FaultPlan(seed=0, specs={"receipt.drop": 1.0})
+    return "all receipts dropped in transit"
+
+
+def duplicate_receipts(db: FastVer, client) -> str:
+    """Deliver every receipt twice (replay by the transport)."""
+    from repro.faults import FaultPlan
+    db.receipt_channel.faults = FaultPlan(
+        seed=0, specs={"receipt.duplicate": 1.0})
+    return "all receipts duplicated in transit"
+
+
+def reorder_receipts(db: FastVer, client) -> str:
+    """Withhold receipts and deliver them late, in reversed order."""
+    from repro.faults import FaultPlan
+    db.receipt_channel.faults = FaultPlan(
+        seed=0, specs={"receipt.reorder": 1.0})
+    return "all receipts delivered late and reversed"
+
+
 #: Attacks runnable generically over a warm (deferred) target key.
 WARM_ATTACKS = {
     "tamper_value": tamper_value,
@@ -165,4 +197,11 @@ WARM_ATTACKS = {
 COLD_ATTACKS = {
     "tamper_value": tamper_value,
     "corrupt_merkle_pointer": corrupt_merkle_pointer,
+}
+
+#: Attacks on the untrusted receipt transport, ``attack(db, client) -> str``.
+RECEIPT_ATTACKS = {
+    "drop_receipts": drop_receipts,
+    "duplicate_receipts": duplicate_receipts,
+    "reorder_receipts": reorder_receipts,
 }

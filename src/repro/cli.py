@@ -7,6 +7,8 @@ Commands:
                and print throughput / verification latency
 * ``audit``  — load a store, run a random workload, audit host invariants
 * ``attacks``— run the byzantine attack gallery
+* ``chaos``  — deterministic fault-injection soak asserting the tri-state
+               invariant (verified / caught-tampering / recoverable)
 
 These wrap the same public APIs the examples use; the CLI exists so a
 downstream user can poke the system without writing code.
@@ -48,6 +50,16 @@ def _build_parser() -> argparse.ArgumentParser:
     aud.add_argument("--ops", type=int, default=2_000)
 
     sub.add_parser("attacks", help="run the byzantine attack gallery")
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault-injection soak (tri-state check)")
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--ops", type=int, default=2000)
+    chaos.add_argument("--records", type=int, default=200)
+    chaos.add_argument("--tamper-every", type=int, default=None,
+                       help="also tamper every N ops and demand detection")
+    chaos.add_argument("--check-deterministic", action="store_true",
+                       help="run twice and require identical digests")
     return parser
 
 
@@ -149,6 +161,38 @@ def cmd_attacks(_args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults.chaos import run_chaos
+
+    def once():
+        return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
+                         tamper_every=args.tamper_every)
+
+    report = once()
+    print(f"chaos seed={report.seed} ops={report.ops_attempted} "
+          f"ok={report.ops_ok}")
+    print(f"availability errors  {report.availability_errors}")
+    print(f"recoveries           {report.recoveries} "
+          f"(salvages {report.salvages})")
+    print(f"integrity detections {report.integrity_detections}")
+    print(f"receipts dropped     {report.receipts_dropped}")
+    print(f"fault fires          {report.fault_fires}")
+    print(f"digest               {report.digest()}")
+    if report.hard_failures:
+        for failure in report.hard_failures:
+            print("HARD FAILURE:", failure)
+        return 1
+    if args.check_deterministic:
+        second = once()
+        if second.digest() != report.digest():
+            print("NON-DETERMINISTIC: second run digest",
+                  second.digest())
+            return 1
+        print("deterministic: second run matched bit-for-bit")
+    print("tri-state invariant held for every operation")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -156,6 +200,7 @@ def main(argv: list[str] | None = None) -> int:
         "ycsb": cmd_ycsb,
         "audit": cmd_audit,
         "attacks": cmd_attacks,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -44,14 +44,20 @@ from repro.core.hostmirror import (
 from repro.core.keys import KEY_BITS, BitKey
 from repro.core.log import VerificationLog
 from repro.core.multiverifier import VerifierGroup
-from repro.core.protocol import Client, EpochReceipt, OpReceipt
+from repro.core.protocol import Client, EpochReceipt, OpReceipt, ReceiptChannel
 from repro.core.records import Aux, DataValue, MerkleValue, Pointer, Protection, Value
 from repro.crypto.hashing import hash_key_to_data_key_bytes
 from repro.crypto.mac import MacKey
 from repro.crypto.prf import Prf
 from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
 from repro.enclave.enclave import SimulatedEnclave
-from repro.errors import ProtocolError, StoreError
+from repro.errors import (
+    EnclaveRebootError,
+    EnclaveUnavailableError,
+    ProtocolError,
+    StoreError,
+    TransientIOError,
+)
 from repro.instrument import COUNTERS
 from repro.merkle.sparse import ABSENT_NULL, FOUND, lookup
 from repro.store.atomic import NO_CONTENTION, ContentionInjector
@@ -193,15 +199,41 @@ class FastVer:
         #: per-worker queue of predicted (ts, epoch) evict results, checked
         #: against the verifier's actual returns at drain time.
         self._expected_evicts: list[deque] = [deque() for _ in range(cfg.n_workers)]
+        #: Optional FaultPlan (see repro.faults.install_faults).
+        self.faults = None
+        #: The untrusted host→client receipt transport (drop/dup/reorder).
+        self.receipt_channel = ReceiptChannel()
+        #: Most recent successful checkpoint (the default recovery point).
+        self.last_checkpoint: FastVerCheckpoint | None = None
         self._load(items or [])
+
+    #: Bounded retry budget for transient enclave call-gate failures.
+    MAX_ECALL_ATTEMPTS = 4
+
+    def _ecall(self, method: str, *args):
+        """Cross into the enclave, absorbing transient call-gate failures
+        with bounded retries (a failed gate never dispatched, so a retry is
+        safe). Reboots are never retried here — volatile verifier state is
+        gone and only :meth:`recover` can bring it back."""
+        attempts = 0
+        while True:
+            try:
+                return self.enclave.ecall(method, *args)
+            except EnclaveRebootError:
+                raise
+            except EnclaveUnavailableError:
+                attempts += 1
+                COUNTERS.ecall_retries += 1
+                if attempts >= self.MAX_ECALL_ATTEMPTS:
+                    raise
 
     # ==================================================================
     # Setup
     # ==================================================================
     def register_client(self, client: Client) -> None:
         """Authorize a client: its MAC key is installed in the enclave."""
-        self.enclave.ecall("register_client", client.client_id,
-                           client.key.key_bytes())
+        self._ecall("register_client", client.client_id,
+                    client.key.key_bytes())
         self.clients[client.client_id] = client
 
     def data_key(self, key: int | bytes) -> BitKey:
@@ -221,11 +253,11 @@ class FastVer:
         width = self.config.key_width
         if items:
             pairs = [(BitKey.data_key(k, width), payload) for k, payload in items]
-            root_value, records = self.enclave.ecall("bulk_load", pairs)
+            root_value, records = self._ecall("bulk_load", pairs)
             for key, value in records:
                 self.store.upsert(key, value, Aux.merkle().pack())
         else:
-            root_value = self.enclave.ecall("start_empty")
+            root_value = self._ecall("start_empty")
         root = BitKey.root()
         self.mirrors[0].add(root, root_value, VIA_PINNED, None)
         self.cached_where[root] = 0
@@ -533,7 +565,7 @@ class FastVer:
                     # Untrusted transport; the client's accept() checks.
                     client = self.clients.get(result.client_id)
                     if client is not None:
-                        client.accept(result)
+                        self.receipt_channel.deliver(result, client)
                 elif isinstance(result, tuple) and len(result) == 2:
                     if not expected:
                         raise ProtocolError(
@@ -545,6 +577,10 @@ class FastVer:
                             f"clock mirror drift on verifier {vid}: "
                             f"predicted {predicted}, verifier says {result}"
                         )
+        # A "reordered" receipt is merely withheld; acceptance is
+        # order-insensitive, so delivering stragglers last is the whole
+        # attack, and it lands harmlessly here.
+        self.receipt_channel.flush_held()
 
     # ==================================================================
     # Public API
@@ -589,7 +625,7 @@ class FastVer:
         """Close the current epoch: sorted Merkle re-application, anchor
         migration, aggregated set-hash check, epoch receipts (§6.3, §5.3)."""
         self._drain_all()
-        closing = self.enclave.ecall("start_epoch_close")
+        closing = self._ecall("start_epoch_close")
         if closing != self.current_epoch:
             raise ProtocolError("epoch mirror drift")
         self.current_epoch += 1
@@ -637,11 +673,12 @@ class FastVer:
             migrated_anchors += 1
 
         self._drain_all()
-        receipts = self.enclave.ecall("finish_epoch_close", closing)
+        receipts = self._ecall("finish_epoch_close", closing)
         for client_id, receipt in receipts.items():
             client = self.clients.get(client_id)
             if client is not None:
-                client.accept_epoch(receipt)
+                self.receipt_channel.deliver(receipt, client)
+        self.receipt_channel.flush_held()
         self.ops_since_close = 0
         return VerifyReport(closing, len(data_keys), migrated_anchors, receipts)
 
@@ -872,27 +909,58 @@ class FastVer:
                 raise ProtocolError("checkpoint with unconfirmed predictions")
         self._ckpt_version = getattr(self, "_ckpt_version", 0) + 1
         from repro.store.checkpoint import take_checkpoint
-        token = take_checkpoint(self.store, self._ckpt_version)
-        blob = self.enclave.ecall("checkpoint_state")
-        return FastVerCheckpoint(
+        token = take_checkpoint(self.store, self._ckpt_version,
+                                faults=self.faults)
+        blob = self._ecall("checkpoint_state")
+        ckpt = FastVerCheckpoint(
             version=self._ckpt_version,
             store_token=token,
             verifier_blob=blob,
             anchors=dict(self.anchors),
         )
+        self.last_checkpoint = ckpt
+        return ckpt
 
     def recover(self, checkpoint: "FastVerCheckpoint") -> None:
         """Rebuild all volatile state after a crash/reboot from a
         checkpoint. The enclave detects rollback (an old checkpoint) via
         its sealed slot; the untrusted side is rebuilt from the store's
-        aux words and the verifier's (non-confidential) cache dump."""
+        aux words and the verifier's (non-confidential) cache dump.
+
+        Safe to call after *any* availability error, including a surprise
+        enclave reboot mid-epoch: the sealed slot survives reboots, so
+        restoring the latest verifier blob passes the rollback check and
+        the interrupted epoch's unsettled operations are simply re-run.
+        Transient failures during recovery itself (the gate or the device
+        flaking *again*) restart the whole sequence a bounded number of
+        times — each attempt begins with a fresh enclave reboot, so
+        partial attempts cannot leave mixed state behind.
+        """
+        last_exc: Exception | None = None
+        for _attempt in range(self.MAX_ECALL_ATTEMPTS):
+            try:
+                self._recover_once(checkpoint)
+                self.last_checkpoint = checkpoint
+                return
+            except (EnclaveUnavailableError, TransientIOError) as exc:
+                last_exc = exc
+                COUNTERS.ecall_retries += 1
+        raise last_exc
+
+    def _recover_once(self, checkpoint: "FastVerCheckpoint") -> None:
         from repro.store.checkpoint import recover as store_recover
+        # Rebuild the untrusted store first: if the device cannot serve
+        # this token (RecoveryError), fail before touching enclave state.
+        store = store_recover(checkpoint.store_token, self.store.log.device)
         self.enclave.reboot()
-        self.enclave.ecall("restore_state", checkpoint.verifier_blob)
+        # Register clients before restoring state so the restored nonce
+        # high-water marks land on registered entries (anti-replay burn).
         for client in self.clients.values():
             self.enclave.ecall("register_client", client.client_id,
                                client.key.key_bytes())
-        self.store = store_recover(checkpoint.store_token, self.store.log.device)
+        self.enclave.ecall("restore_state", checkpoint.verifier_blob)
+        self.store = store
+        self.receipt_channel.reset()
         self.current_epoch = self.enclave.ecall("current_epoch")
         self.anchors = dict(checkpoint.anchors)
         self.deferred_index = {}
@@ -962,4 +1030,4 @@ class FastVer:
         return len(self.deferred_index)
 
     def verified_epoch(self) -> int:
-        return self.enclave.ecall("verified_epoch")
+        return self._ecall("verified_epoch")

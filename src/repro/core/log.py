@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.enclave.enclave import SimulatedEnclave
+from repro.errors import EnclaveRebootError, EnclaveUnavailableError
 from repro.instrument import COUNTERS
 
 #: A log entry: (method name, args tuple).
@@ -44,17 +45,42 @@ class VerificationLog:
         if len(self._buffer) >= self.capacity:
             self.flush()
 
+    #: Bounded retry budget for transient call-gate failures.
+    MAX_FLUSH_ATTEMPTS = 4
+
     def flush(self) -> list[Any]:
         """Enter the enclave once and process every buffered entry.
 
         Returns the batch's results (receipts for validations, None for
         bookkeeping calls) and also retains them until :meth:`drain`.
+
+        Transient call-gate failures (EAGAIN-style) are retried a bounded
+        number of times; a failed call never dispatched, so retrying is
+        safe. On exhaustion — or on an enclave reboot, which is never
+        retryable here because volatile verifier state is gone — the batch
+        is reinstated at the front of the buffer (losing it would silently
+        unbalance the verifier's set hashes) and the typed availability
+        error propagates so the caller can recover.
         """
         if not self._buffer:
             return []
         batch, self._buffer = self._buffer, []
         self.flushes += 1
-        results = self.enclave.ecall("process_batch", self.verifier_id, batch)
+        attempts = 0
+        while True:
+            try:
+                results = self.enclave.ecall(
+                    "process_batch", self.verifier_id, batch)
+                break
+            except EnclaveRebootError:
+                self._buffer = batch + self._buffer
+                raise
+            except EnclaveUnavailableError:
+                attempts += 1
+                COUNTERS.ecall_retries += 1
+                if attempts >= self.MAX_FLUSH_ATTEMPTS:
+                    self._buffer = batch + self._buffer
+                    raise
         self._results.extend(results)
         return results
 

@@ -41,6 +41,7 @@ from repro.crypto.multiset import aggregate
 from repro.crypto.prf import Prf
 from repro.enclave.sealed import SealedSlot, seal_hash
 from repro.errors import (
+    EnclaveUnavailableError,
     EpochError,
     ProtocolError,
     SetHashMismatchError,
@@ -77,6 +78,20 @@ class VerifierGroup:
         ]
         self._combiner = combiner
         self._loaded = False
+
+    def _require_loaded(self, what: str) -> None:
+        """Refuse trusted work on a freshly-(re)booted verifier.
+
+        After a surprise reboot the factory rebuilds this object with empty
+        volatile state; silently serving from it would let unverified
+        operations through. Until ``restore_state``/``bulk_load``/
+        ``start_empty`` runs, every integrity-bearing entry point fails
+        with a typed availability error so the host knows to recover.
+        """
+        if not self._loaded:
+            raise EnclaveUnavailableError(
+                f"verifier holds no restored state (post-reboot?); "
+                f"cannot {what} until restore_state or a load runs")
 
     # ------------------------------------------------------------------
     # Setup ecalls
@@ -118,6 +133,7 @@ class VerifierGroup:
     # ------------------------------------------------------------------
     def process_batch(self, verifier_id: int, entries: list[tuple[str, tuple]]) -> list[Any]:
         """Execute a worker's buffered verifier calls in order."""
+        self._require_loaded("process a batch")
         if not 0 <= verifier_id < len(self.threads):
             raise ProtocolError(f"no verifier thread {verifier_id}")
         thread = self.threads[verifier_id]
@@ -194,6 +210,7 @@ class VerifierGroup:
         After this, every evict stamps the new epoch, so migrating the old
         epoch's records moves them forward.
         """
+        self._require_loaded("close an epoch")
         closing = self.epochs.current
         self.epochs.advance()
         return closing
@@ -205,6 +222,7 @@ class VerifierGroup:
         write hashes differ — the deferred-verification tamper alarm.
         Returns one epoch receipt per registered client.
         """
+        self._require_loaded("settle an epoch")
         if epoch >= self.epochs.current:
             raise EpochError(f"epoch {epoch} is still open; advance first")
         reads: list[int] = []
@@ -255,6 +273,7 @@ class VerifierGroup:
         The blob lives on untrusted storage; the sealed (version, hash)
         pair is what makes replaying an *older* blob detectable.
         """
+        self._require_loaded("checkpoint verifier state")
         parts: list[bytes] = [
             self.epochs.current.to_bytes(8, "big"),
             self.epochs.verified.to_bytes(8, "big", signed=True),

@@ -138,6 +138,64 @@ class Client:
         return self._settled_epoch
 
 
+class ReceiptChannel:
+    """The untrusted wire between the host and a client's receipt checker.
+
+    Receipts travel host→client over infrastructure the adversary owns, so
+    the channel can drop, duplicate, or reorder them (a FaultPlan attached
+    via :attr:`faults` decides when). The protocol is built to shrug all
+    three off:
+
+    * **drop** — the client never sees the receipt, so the operation simply
+      never settles: an availability degradation, never a wrong answer.
+    * **duplicate** — ``accept``/``accept_epoch`` are idempotent (the MAC
+      re-verifies; ``accept_epoch`` keeps the max), so replays are no-ops.
+    * **reorder** — acceptance is order-insensitive; a withheld receipt is
+      delivered late, after everything that overtook it.
+    """
+
+    def __init__(self):
+        self.faults = None
+        self._held: list[tuple[OpReceipt | EpochReceipt, "Client"]] = []
+        self.dropped = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    def deliver(self, receipt: OpReceipt | EpochReceipt, client: "Client") -> None:
+        """Carry one receipt to its client, subject to channel faults."""
+        if self.faults is not None:
+            if self.faults.fire("receipt.drop"):
+                self.dropped += 1
+                return
+            if self.faults.fire("receipt.reorder"):
+                self.reordered += 1
+                self._held.append((receipt, client))
+                return
+            if self.faults.fire("receipt.duplicate"):
+                self.duplicated += 1
+                self._accept(receipt, client)
+        self._accept(receipt, client)
+
+    def flush_held(self) -> int:
+        """Deliver every withheld receipt, in reversed (worst-case) order."""
+        held, self._held = self._held, []
+        for receipt, client in reversed(held):
+            self._accept(receipt, client)
+        return len(held)
+
+    def reset(self) -> None:
+        """Forget withheld receipts (e.g. across a recovery: their ops are
+        being re-settled by a fresh epoch anyway)."""
+        self._held.clear()
+
+    @staticmethod
+    def _accept(receipt: OpReceipt | EpochReceipt, client: "Client") -> None:
+        if isinstance(receipt, EpochReceipt):
+            client.accept_epoch(receipt)
+        else:
+            client.accept(receipt)
+
+
 class ClientTable:
     """Verifier-side registry of authorized clients (trusted state).
 
@@ -160,6 +218,11 @@ class ClientTable:
         self._keys: dict[int, MacKey] = {}
         self._max_nonce: dict[int, int] = {}
         self._seen: dict[int, set[int]] = {}
+        #: Explicit per-client floor: nonces at or below are always spent.
+        #: Raised by restore_nonces (post-recovery burn) without inflating
+        #: the high-water mark itself, so checkpoints capture the *true*
+        #: maximum and repeated checkpoint/recover cycles don't compound.
+        self._floor: dict[int, int] = {}
 
     def register(self, client_id: int, key: MacKey) -> None:
         if client_id in self._keys:
@@ -167,6 +230,7 @@ class ClientTable:
         self._keys[client_id] = key
         self._max_nonce[client_id] = 0
         self._seen[client_id] = set()
+        self._floor[client_id] = 0
 
     def key_for(self, client_id: int) -> MacKey:
         key = self._keys.get(client_id)
@@ -180,7 +244,7 @@ class ClientTable:
             raise ProtocolError(f"unknown client {client_id}")
         top = self._max_nonce[client_id]
         seen = self._seen[client_id]
-        floor = top - self.WINDOW
+        floor = max(top - self.WINDOW, self._floor.get(client_id, 0))
         if nonce <= floor:
             raise ReplayError(
                 f"client {client_id} nonce {nonce} is older than the "
@@ -206,8 +270,11 @@ class ClientTable:
     def restore_nonces(self, nonces: dict[int, int]) -> None:
         """Post-restore, conservatively burn everything <= the high-water
         mark: in-window reordering is lost across a reboot, so honest
-        clients simply continue from fresh nonces."""
+        clients simply continue from fresh nonces. The burn raises the
+        explicit floor rather than the mark itself, so a later checkpoint
+        still records the true maximum."""
         for client_id, nonce in nonces.items():
             if client_id in self._max_nonce:
-                self._max_nonce[client_id] = nonce + self.WINDOW
+                self._max_nonce[client_id] = nonce
+                self._floor[client_id] = nonce
                 self._seen[client_id] = set()

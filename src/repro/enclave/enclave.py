@@ -24,7 +24,12 @@ from typing import Any, Callable
 
 from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
 from repro.enclave.sealed import SealedSlot
-from repro.errors import CapacityError, EnclaveError
+from repro.errors import (
+    CapacityError,
+    EnclaveError,
+    EnclaveRebootError,
+    EnclaveUnavailableError,
+)
 from repro.instrument import COUNTERS
 
 
@@ -44,6 +49,7 @@ class SimulatedEnclave:
         self._program = program_factory(self.sealed)
         self._alive = True
         self.reboots = 0
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Call gate
@@ -57,6 +63,17 @@ class SimulatedEnclave:
         """
         if not self._alive:
             raise EnclaveError("enclave has been torn down")
+        if self.faults is not None:
+            if self.faults.fire("ecall.reboot"):
+                # Surprise power loss: the call never dispatches and the
+                # resident program is rebuilt from its factory (volatile
+                # state gone, sealed slot intact).
+                self.reboot()
+                raise EnclaveRebootError(
+                    f"enclave rebooted before dispatching {method!r}")
+            if self.faults.fire("ecall.transient"):
+                raise EnclaveUnavailableError(
+                    f"call gate failed transiently for {method!r} (EAGAIN)")
         COUNTERS.enclave_entries += 1
         fn = getattr(self._program, method, None)
         if fn is None or method.startswith("_"):

@@ -80,6 +80,41 @@ class ProtocolError(ReproError):
     """An honest-caller misuse of the verifier API (not an integrity failure)."""
 
 
+class AvailabilityError(ReproError):
+    """A benign (non-byzantine) failure: the operation did not complete and
+    no result was produced, but recovery can restore service.
+
+    This is the third leg of the tri-state invariant (see
+    ``docs/PROTOCOL.md``): an operation either succeeds with a verifiable
+    receipt, raises :class:`IntegrityError` because the host actually lied,
+    or raises an ``AvailabilityError`` — "crashed mid-write" is typed
+    differently from "tampered" by construction. After catching one, the
+    caller must run recovery (``FastVer.recover``) before issuing further
+    operations; the interrupted operation's state is indeterminate until
+    then, though never silently wrong.
+    """
+
+
+class TransientIOError(AvailabilityError):
+    """An untrusted I/O operation failed transiently; a retry may succeed."""
+
+
+class TornWriteError(AvailabilityError):
+    """A device write persisted only partially (power-loss analogue) and
+    bounded read-back retries could not repair it."""
+
+
+class EnclaveUnavailableError(AvailabilityError):
+    """The enclave call gate failed transiently, or the enclave holds no
+    restored state; the call did not execute and no trusted state changed."""
+
+
+class EnclaveRebootError(EnclaveUnavailableError):
+    """The enclave rebooted, losing volatile verifier state. Not retryable:
+    the host must restore the sealed checkpoint (``FastVer.recover``) before
+    any further enclave interaction."""
+
+
 class CapacityError(ReproError):
     """A fixed-size resource (verifier cache, enclave memory) is exhausted."""
 

@@ -1,0 +1,24 @@
+"""Deterministic fault injection across every untrusted I/O boundary.
+
+FastVer's integrity guarantee is unconditional, but its *availability*
+story (§2.2, §7) assumes the system survives benign failures: enclave
+reboots with sealed state, CPR checkpoint recovery, torn writes on the log
+device. This package makes those failures injectable, seeded, and
+bit-for-bit reproducible, plus provides the chaos soak harness that
+asserts the tri-state invariant (verified / caught-tampering /
+recoverable-unavailable) under every schedule.
+"""
+
+from repro.faults.plan import (
+    KNOWN_POINTS,
+    FaultPlan,
+    FaultSpec,
+    install_faults,
+)
+
+__all__ = [
+    "KNOWN_POINTS",
+    "FaultPlan",
+    "FaultSpec",
+    "install_faults",
+]

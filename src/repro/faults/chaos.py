@@ -1,0 +1,311 @@
+"""The chaos soak harness: YCSB under a fault schedule, with an oracle.
+
+Runs a seeded YCSB-A stream against a small FastVer while a
+:class:`~repro.faults.FaultPlan` injects failures at every untrusted
+boundary, and checks the **tri-state invariant** on every operation:
+
+1. the operation succeeds and its answer matches the oracle's expected
+   value (a shadow model of what an honest store would hold), or
+2. it raises an :class:`~repro.errors.IntegrityError` — allowed only when
+   the harness actually tampered, or
+3. it raises a typed :class:`~repro.errors.AvailabilityError`, after which
+   a recovery sequence (checkpoint recovery, falling back to lenient
+   log-scan salvage) restores service.
+
+Anything else — above all a *silent wrong answer* — is a hard failure.
+
+The whole run is deterministic: the same ``seed`` produces the same
+workload, the same injection trace, and the same report digest, twice in a
+row (the reproducibility acceptance criterion; ``--check-deterministic``
+in the CLI runs it both ways and compares).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.adversary.host import tamper_value
+from repro.core.fastver import FastVer, FastVerConfig
+from repro.core.protocol import Client
+from repro.crypto.mac import MacKey
+from repro.errors import (
+    AvailabilityError,
+    IntegrityError,
+    RecoveryError,
+)
+from repro.faults.plan import FaultPlan, install_faults
+from repro.store.recovery import rebuild_index_from_log
+from repro.workloads.ycsb import OP_GET, OP_PUT, WORKLOADS, YcsbGenerator
+
+#: Default benign fault mix: every point exercised, rates low enough that
+#: a 2000-op smoke finishes in seconds but still trips several recoveries.
+DEFAULT_SPECS = {
+    "device.read.transient": 0.002,
+    "device.write.torn": 0.01,
+    "device.flush.partial": 0.01,
+    "checkpoint.blob.truncate": 0.05,
+    "checkpoint.blob.corrupt": 0.05,
+    "ecall.transient": 0.01,
+    "ecall.reboot": 0.002,
+    "receipt.drop": 0.01,
+    "receipt.duplicate": 0.02,
+    "receipt.reorder": 0.02,
+}
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run (digestible, comparable across runs)."""
+
+    seed: int
+    ops_attempted: int = 0
+    ops_ok: int = 0
+    availability_errors: int = 0
+    recoveries: int = 0
+    salvages: int = 0
+    integrity_detections: int = 0
+    receipts_dropped: int = 0
+    fault_fires: dict = field(default_factory=dict)
+    trace_digest: str = ""
+    #: Tri-state violations. MUST stay empty; each entry is a hard failure.
+    hard_failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.hard_failures
+
+    def digest(self) -> str:
+        """Stable hash of everything observable: workload outcome plus the
+        full injection trace (bit-for-bit reproducibility check)."""
+        h = hashlib.sha256()
+        h.update(self.trace_digest.encode())
+        for part in (self.seed, self.ops_attempted, self.ops_ok,
+                     self.availability_errors, self.recoveries,
+                     self.salvages, self.integrity_detections):
+            h.update(str(part).encode() + b";")
+        for point in sorted(self.fault_fires):
+            h.update(f"{point}={self.fault_fires[point]};".encode())
+        for failure in self.hard_failures:
+            h.update(failure.encode() + b"\n")
+        return h.hexdigest()
+
+
+class _ChaosRun:
+    """One soak: owns the database, the oracle, and the recovery logic."""
+
+    MAX_RECOVER_ATTEMPTS = 3
+    VERIFY_EVERY = 250
+
+    def __init__(self, seed: int, ops: int, records: int,
+                 plan: FaultPlan | None, tamper_every: int | None):
+        self.seed = seed
+        self.n_ops = ops
+        self.n_records = records
+        self.plan = plan if plan is not None else FaultPlan(
+            seed=seed, specs=DEFAULT_SPECS)
+        self.tamper_every = tamper_every
+        self.report = ChaosReport(seed=seed)
+        self.generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
+                                       distribution="zipfian", theta=0.9,
+                                       seed=seed)
+        # The oracle: expected current values, every value ever written per
+        # key (fabrication detection for salvage), and the state as of the
+        # last durable checkpoint (recovery rolls `current` back to it).
+        self.current: dict[int, bytes] = {}
+        self.history: dict[int, set[bytes]] = {}
+        self.committed: dict[int, bytes] = {}
+        self._next_client_id = 1
+        self._provision(self.generator.initial_items())
+
+    # ------------------------------------------------------------------
+    # Provisioning / recovery plumbing
+    # ------------------------------------------------------------------
+    def _provision(self, items: list[tuple[int, bytes]]) -> None:
+        """Build a fresh FastVer over ``items`` and take a clean baseline
+        checkpoint *before* faults are armed, so there is always a sane
+        recovery point."""
+        self.db = FastVer(
+            FastVerConfig(key_width=16, n_workers=2, partition_depth=3,
+                          cache_capacity=64),
+            items=items,
+        )
+        self.client = Client(self._next_client_id,
+                             MacKey.generate(f"chaos-{self._next_client_id}"))
+        self._next_client_id += 1
+        self.db.register_client(self.client)
+        for k, payload in items:
+            self.current[k] = payload
+            self.history.setdefault(k, set()).add(payload)
+        self.db.verify()
+        self.db.checkpoint()
+        self.committed = dict(self.current)
+        install_faults(self.db, self.plan)
+
+    def _recover_sequence(self) -> None:
+        """Restore service after an availability error: checkpoint
+        recovery first, lenient log-scan salvage as the last resort."""
+        for _ in range(self.MAX_RECOVER_ATTEMPTS):
+            try:
+                self.db.recover(self.db.last_checkpoint)
+                self.report.recoveries += 1
+                # Un-checkpointed (provisional, unsettled) work rolls back.
+                self.current = dict(self.committed)
+                return
+            except AvailabilityError:
+                self.report.availability_errors += 1
+                continue
+            except RecoveryError:
+                break  # the checkpoint itself is damaged: salvage
+        self._salvage()
+
+    def _salvage(self) -> None:
+        """The checkpoint is unusable: lenient-rebuild the log, validate
+        every survivor against the oracle's history (a value we never
+        wrote is fabrication — a hard failure), and re-provision."""
+        self.report.salvages += 1
+        device = self.db.store.log.device
+        device.faults = None  # the salvage read pass itself runs clean
+        salvaged = rebuild_index_from_log(
+            device, self.db.store.log.tail_address,
+            ordered_width=self.db.config.key_width, strict=False)
+        width = self.db.config.key_width
+        survivors: list[tuple[int, bytes]] = []
+        for key, value, _aux in salvaged.items():
+            if key.length != width:
+                continue  # merkle plumbing; the fresh instance rebuilds it
+            payload = getattr(value, "payload", None)
+            if payload is None:
+                continue
+            k = key.bits
+            if k in self.history and payload not in self.history[k]:
+                self.report.hard_failures.append(
+                    f"salvage fabrication: key {k} holds {payload!r}, "
+                    f"never written")
+                continue
+            survivors.append((k, payload))
+        # The salvaged snapshot (possibly stale, never fabricated) is the
+        # truth now; keys that didn't survive are data loss, not lies.
+        self.current = {}
+        self.committed = {}
+        self._provision(sorted(survivors))
+
+    # ------------------------------------------------------------------
+    # The op loop
+    # ------------------------------------------------------------------
+    def _maintain(self) -> None:
+        """Periodic epoch close + checkpoint (the §7 durability cadence)."""
+        self.db.verify()
+        self.db.checkpoint()
+        self.committed = dict(self.current)
+
+    def _one_op(self, kind: str, k: int, payload: bytes | None) -> None:
+        self.report.ops_attempted += 1
+        if kind == OP_GET:
+            result = self.db.get(self.client, k, worker=k % 2)
+            expected = self.current.get(k)
+            if result.payload != expected:
+                self.report.hard_failures.append(
+                    f"silent wrong answer: get({k}) returned "
+                    f"{result.payload!r}, oracle says {expected!r}")
+                return
+        else:
+            self.db.put(self.client, k, payload, worker=k % 2)
+            self.current[k] = payload
+            self.history.setdefault(k, set()).add(payload)
+        self.report.ops_ok += 1
+
+    def _tamper_round(self, k: int) -> None:
+        """Scheduled tampering: corrupt the store, demand detection."""
+        install_faults(self.db, None)  # isolate: pure-integrity check
+        try:
+            # A put first, so the key's latest record is the in-memory
+            # tail object the attack mutates (a flushed record would be
+            # re-read from the immutable device and the tamper would be
+            # a no-op, falsely reading as "undetected").
+            staged = b"tmpr%04d" % (k % 10000)
+            self.db.put(self.client, k, staged, worker=k % 2)
+            self.current[k] = staged
+            self.history.setdefault(k, set()).add(staged)
+            tamper_value(self.db, k)
+            try:
+                self.db.get(self.client, k, worker=k % 2)
+                self.db.flush()
+                self.db.verify()
+            except IntegrityError:
+                self.report.integrity_detections += 1
+            else:
+                self.report.hard_failures.append(
+                    f"tampering with key {k} went undetected through verify")
+            # The store is poisoned either way; restore from the (clean)
+            # pre-tamper checkpoint before continuing.
+            self.db.recover(self.db.last_checkpoint)
+            self.report.recoveries += 1
+            self.current = dict(self.committed)
+        finally:
+            install_faults(self.db, self.plan)
+
+    def _try_recover(self, i: int) -> bool:
+        """Run the recovery sequence; an untyped escape from *recovery* is
+        itself a tri-state violation (recovery must succeed or fail with a
+        typed error). Returns whether the soak can continue."""
+        try:
+            self._recover_sequence()
+            return True
+        except Exception as exc:
+            self.report.hard_failures.append(
+                f"recovery after op {i} failed untyped: "
+                f"{type(exc).__name__}: {exc}")
+            return False
+
+    def run(self) -> ChaosReport:
+        since_maintain = 0
+        for i, (kind, k, payload) in enumerate(
+                self.generator.operations(self.n_ops)):
+            if kind not in (OP_GET, OP_PUT):
+                kind, payload = OP_GET, None  # A-mix never scans; belt+braces
+            try:
+                self._one_op(kind, k, payload)
+            except AvailabilityError:
+                self.report.availability_errors += 1
+                if not self._try_recover(i):
+                    break
+            except IntegrityError as exc:
+                self.report.hard_failures.append(
+                    f"op {i} ({kind} {k}): spurious {type(exc).__name__} "
+                    f"with no tampering: {exc}")
+            except Exception as exc:  # untyped escape = tri-state violation
+                self.report.hard_failures.append(
+                    f"op {i} ({kind} {k}): untyped {type(exc).__name__}: "
+                    f"{exc}")
+                break
+            since_maintain += 1
+            if since_maintain >= self.VERIFY_EVERY:
+                since_maintain = 0
+                try:
+                    self._maintain()
+                except AvailabilityError:
+                    self.report.availability_errors += 1
+                    if not self._try_recover(i):
+                        break
+                except IntegrityError as exc:
+                    self.report.hard_failures.append(
+                        f"maintenance after op {i}: spurious "
+                        f"{type(exc).__name__}: {exc}")
+            if self.tamper_every and (i + 1) % self.tamper_every == 0:
+                self._tamper_round(k)
+        self.report.fault_fires = {
+            point: self.plan.fires(point)
+            for point in sorted(DEFAULT_SPECS)
+            if self.plan.fires(point)
+        }
+        self.report.receipts_dropped = self.db.receipt_channel.dropped
+        self.report.trace_digest = self.plan.trace_digest()
+        return self.report
+
+
+def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
+              plan: FaultPlan | None = None,
+              tamper_every: int | None = None) -> ChaosReport:
+    """Run one chaos soak; see the module docstring for the contract."""
+    return _ChaosRun(seed, ops, records, plan, tamper_every).run()

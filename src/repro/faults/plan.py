@@ -1,0 +1,165 @@
+"""The fault-point registry and the seeded, reproducible fault plan.
+
+A :class:`FaultPlan` is consulted at every *fault point* — a named
+injection site compiled into the untrusted layers (log device, checkpoint
+path, enclave call gate, receipt channel). Each consultation is an
+*encounter*; the plan decides deterministically whether the fault fires,
+from either an explicit schedule of encounter indices or a per-point
+seeded coin. Decisions are independent per point (each point gets its own
+RNG derived from ``(seed, point)``), so the same seed produces the same
+injection trace whenever the program's control flow is the same — which is
+what makes chaos runs replayable and shrinkable.
+
+The plan also records its firing trace, so two runs can be compared
+bit-for-bit (the reproducibility acceptance criterion) and a failing
+schedule can be replayed as an explicit ``at_counts`` list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+
+#: Every injection site compiled into the codebase. Specs naming anything
+#: else are rejected eagerly — a typo'd point would otherwise never fire.
+KNOWN_POINTS = frozenset({
+    # LogDevice (store/hybridlog.py)
+    "device.read.transient",    # read raises TransientIOError once
+    "device.write.torn",        # write persists only a prefix of the page
+    "device.flush.partial",     # flush aborts partway (prefix persisted)
+    # Checkpoint blob path (store/checkpoint.py)
+    "checkpoint.blob.truncate", # index blob loses its tail
+    "checkpoint.blob.corrupt",  # one byte of the index blob flips
+    # Enclave call gate (enclave/enclave.py)
+    "ecall.transient",          # call gate fails before dispatch (EAGAIN)
+    "ecall.reboot",             # surprise reboot: volatile state lost
+    # Client receipt channel (core/protocol.py)
+    "receipt.drop",             # receipt lost in transit
+    "receipt.duplicate",        # receipt delivered twice
+    "receipt.reorder",          # receipt withheld, delivered late/out of order
+})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How one fault point behaves under a plan.
+
+    ``probability`` draws a seeded coin per encounter; ``at_counts`` fires
+    at exact encounter indices (0-based) regardless of the coin;
+    ``max_fires`` caps total firings (so a "transient" fault can be made
+    to heal after N occurrences).
+    """
+
+    probability: float = 0.0
+    at_counts: tuple[int, ...] = ()
+    max_fires: int | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires cannot be negative")
+
+
+def _coerce_spec(value) -> FaultSpec:
+    if isinstance(value, FaultSpec):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return FaultSpec(probability=float(value))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return FaultSpec(at_counts=tuple(sorted(int(c) for c in value)))
+    raise TypeError(f"cannot interpret fault spec {value!r}")
+
+
+class FaultPlan:
+    """A seeded, fully reproducible injection schedule over fault points.
+
+    ``specs`` maps point names to a :class:`FaultSpec`, a bare probability
+    (float), or an explicit encounter-index schedule (list of ints)::
+
+        FaultPlan(seed=7, specs={
+            "device.read.transient": 0.01,     # 1% of reads
+            "ecall.reboot": [42],              # exactly the 43rd ecall
+        })
+
+    The same seed and the same program control flow yield the same
+    decisions and the same :attr:`trace`, twice in a row.
+    """
+
+    def __init__(self, seed: int = 0,
+                 specs: dict[str, FaultSpec | float | list | tuple] | None = None):
+        self.seed = seed
+        self._specs: dict[str, FaultSpec] = {}
+        for point, value in (specs or {}).items():
+            if point not in KNOWN_POINTS:
+                raise ValueError(
+                    f"unknown fault point {point!r}; known: {sorted(KNOWN_POINTS)}")
+            self._specs[point] = _coerce_spec(value)
+        self._rngs = {point: random.Random(f"{seed}:{point}")
+                      for point in self._specs}
+        self._schedules = {point: frozenset(spec.at_counts)
+                           for point, spec in self._specs.items()}
+        self._encounters: dict[str, int] = {}
+        self._fires: dict[str, int] = {}
+        #: Firing log: (point, encounter index) per injected fault, in order.
+        self.trace: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # The one hot call: consulted at every instrumented boundary
+    # ------------------------------------------------------------------
+    def fire(self, point: str) -> bool:
+        """Record an encounter of ``point``; decide whether the fault fires."""
+        if point not in KNOWN_POINTS:
+            raise ValueError(f"unknown fault point {point!r}")
+        n = self._encounters.get(point, 0)
+        self._encounters[point] = n + 1
+        spec = self._specs.get(point)
+        if spec is None:
+            return False
+        if spec.max_fires is not None and self._fires.get(point, 0) >= spec.max_fires:
+            return False
+        hit = n in self._schedules[point]
+        if not hit and spec.probability > 0.0:
+            hit = self._rngs[point].random() < spec.probability
+        if hit:
+            self._fires[point] = self._fires.get(point, 0) + 1
+            self.trace.append((point, n))
+        return hit
+
+    # ------------------------------------------------------------------
+    # Introspection (chaos reports, reproducibility checks)
+    # ------------------------------------------------------------------
+    def encounters(self, point: str) -> int:
+        return self._encounters.get(point, 0)
+
+    def fires(self, point: str) -> int:
+        return self._fires.get(point, 0)
+
+    def total_fires(self) -> int:
+        return len(self.trace)
+
+    def trace_digest(self) -> str:
+        """A stable hash of the full injection trace (reproducibility)."""
+        h = hashlib.sha256()
+        for point, n in self.trace:
+            h.update(f"{point}@{n};".encode())
+        return h.hexdigest()
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, points={sorted(self._specs)}, "
+                f"fires={len(self.trace)})")
+
+
+def install_faults(db, plan: FaultPlan | None) -> FaultPlan | None:
+    """Thread one plan through every untrusted boundary of a FastVer.
+
+    Pass ``None`` to uninstall. Re-run after ``recover()`` replaces the
+    store with one sharing the old log device (nothing to redo there), and
+    after a full re-provision (new ``FastVer``), which starts fault-free.
+    """
+    db.faults = plan
+    db.store.log.device.faults = plan
+    db.enclave.faults = plan
+    db.receipt_channel.faults = plan
+    return plan

@@ -39,6 +39,7 @@ class Counters:
     # Enclave interaction
     enclave_entries: int = 0        # call-gate crossings into the enclave
     log_entries: int = 0            # records serialized to a verification log
+    ecall_retries: int = 0          # call-gate crossings retried after EAGAIN
 
     # Host store work
     store_reads: int = 0            # record lookups in the host store

@@ -15,7 +15,7 @@ only covers the untrusted database state.
 from __future__ import annotations
 
 from repro.core.keys import BitKey
-from repro.errors import CheckpointError, RecoveryError
+from repro.errors import AvailabilityError, CheckpointError, RecoveryError
 from repro.store.faster import FasterKV
 from repro.store.hybridlog import LogDevice
 
@@ -49,14 +49,24 @@ def _deserialize_index(blob: bytes) -> dict[BitKey, int]:
     count = int.from_bytes(blob[:8], "big")
     entries: dict[BitKey, int] = {}
     off = 8
-    for _ in range(count):
-        klen = int.from_bytes(blob[off:off + 4], "big")
-        off += 4
-        key = BitKey.from_encoded(blob[off:off + klen])
-        off += klen
-        address = int.from_bytes(blob[off:off + 8], "big", signed=True)
-        off += 8
-        entries[key] = address
+    try:
+        for _ in range(count):
+            klen = int.from_bytes(blob[off:off + 4], "big")
+            off += 4
+            if off + klen > len(blob):
+                raise RecoveryError("index blob ends mid-entry")
+            key = BitKey.from_encoded(blob[off:off + klen])
+            off += klen
+            address = int.from_bytes(blob[off:off + 8], "big", signed=True)
+            off += 8
+            entries[key] = address
+    except RecoveryError:
+        raise
+    except Exception as exc:
+        # Bit rot produces arbitrary decode failures; surface them all as
+        # the one typed recovery error so callers can fall back to the
+        # lenient log-scan rebuild.
+        raise RecoveryError(f"undecodable index blob: {exc}") from exc
     if off != len(blob):
         raise RecoveryError("trailing bytes in index blob")
     return entries
@@ -65,12 +75,36 @@ def _deserialize_index(blob: bytes) -> dict[BitKey, int]:
 _versions: dict[int, int] = {}
 
 
-def take_checkpoint(store: FasterKV, version: int) -> CheckpointToken:
-    """Persist the store: flush the log, snapshot the index."""
+def take_checkpoint(store: FasterKV, version: int,
+                    faults=None) -> CheckpointToken:
+    """Persist the store: flush the log, snapshot the index.
+
+    The flush is ``flush_until(tail)`` rather than a re-write of every
+    in-memory record: addresses below the head are already on the device
+    and — because in-place updates only happen in the mutable tail — their
+    pages never change again. Device pages are therefore write-once, which
+    is what makes recovery from an *older* token safe even when a *newer*
+    checkpoint's flush died partway: the older token's addresses are
+    untouched by the failed flush.
+
+    A flush failure (partial flush, unhealable torn write) propagates as a
+    typed availability error and **no token is issued** — the previous
+    checkpoint stays the recovery point. ``faults`` (a FaultPlan) can
+    truncate or corrupt the serialized index blob after a successful
+    flush, modeling bit rot on untrusted checkpoint storage; that damage
+    is detected at :func:`recover` time, which is why callers keep the
+    lenient log-scan rebuild as a fallback.
+    """
     if version <= 0:
         raise CheckpointError("checkpoint version must be positive")
-    store.log.flush_all()
+    store.log.flush_until(store.log.tail_address)
     blob = _serialize_index(store.index.snapshot())
+    if faults is not None:
+        if faults.fire("checkpoint.blob.truncate"):
+            blob = blob[:len(blob) // 2]
+        if faults.fire("checkpoint.blob.corrupt") and blob:
+            mid = len(blob) // 2
+            blob = blob[:mid] + bytes([blob[mid] ^ 0xFF]) + blob[mid + 1:]
     return CheckpointToken(version, store.log.tail_address, blob,
                            store.ordered_width)
 
@@ -91,7 +125,13 @@ def recover(token: CheckpointToken, device: LogDevice) -> FasterKV:
     for key, address in entries.items():
         if address not in device:
             raise RecoveryError(f"log page {address} missing from device")
-        record = store.log.get(address)
+        try:
+            record = store.log.get(address)
+        except AvailabilityError:
+            raise  # transient; the caller's bounded retry handles it
+        except Exception as exc:
+            raise RecoveryError(
+                f"log page {address} is undecodable: {exc}") from exc
         if record.key != key:
             raise RecoveryError(
                 f"index entry for {key!r} resolves to a record for {record.key!r}"

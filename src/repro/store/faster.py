@@ -92,6 +92,9 @@ class FasterKV:
         self.directory = KeyDirectory()
         self.ordered_width = ordered_width
         self.contention = contention
+        # Device addresses skipped by a lenient log-scan rebuild (see
+        # repro.store.recovery); empty on any store built the normal way.
+        self.quarantined_addresses: list[int] = []
 
     # ------------------------------------------------------------------
     # Point operations

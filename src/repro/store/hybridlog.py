@@ -22,7 +22,12 @@ from __future__ import annotations
 
 from repro.core.keys import BitKey
 from repro.core.records import Value, decode_value, encode_value
-from repro.errors import StoreError
+from repro.errors import (
+    AvailabilityError,
+    StoreError,
+    TornWriteError,
+    TransientIOError,
+)
 from repro.instrument import COUNTERS
 
 #: Address value meaning "no previous version".
@@ -75,23 +80,46 @@ class LogRecord:
 
 
 class LogDevice:
-    """The stable-storage backing of the log (a page of bytes per address)."""
+    """The stable-storage backing of the log (a page of bytes per address).
+
+    When a :class:`~repro.faults.FaultPlan` is attached via :attr:`faults`,
+    writes can tear (persist only a prefix — the power-loss analogue) and
+    reads can fail transiently. Torn writes are *silent* here, exactly as
+    on real hardware; it is the flush paths' read-back verification that
+    turns them into typed :class:`~repro.errors.TornWriteError`.
+    """
 
     def __init__(self):
         self._pages: dict[int, bytes] = {}
         self.writes = 0
         self.reads = 0
+        self.faults = None
 
     def write(self, address: int, blob: bytes) -> None:
         self.writes += 1
+        if self.faults is not None and self.faults.fire("device.write.torn"):
+            blob = blob[:len(blob) // 2]
         self._pages[address] = blob
 
     def read(self, address: int) -> bytes:
         self.reads += 1
+        if self.faults is not None and self.faults.fire("device.read.transient"):
+            raise TransientIOError(
+                f"transient read failure at address {address}")
         try:
             return self._pages[address]
         except KeyError:
             raise StoreError(f"address {address} not on device") from None
+
+    def read_with_retry(self, address: int, attempts: int = 3) -> bytes:
+        """Read a page, absorbing transient failures with bounded retries."""
+        for attempt in range(attempts):
+            try:
+                return self.read(address)
+            except TransientIOError:
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def __contains__(self, address: int) -> bool:
         return address in self._pages
@@ -141,7 +169,7 @@ class HybridLog:
             return record
         if address < 0 or address >= self._next_address:
             raise StoreError(f"address {address} was never allocated")
-        return LogRecord.deserialize(self.device.read(address))
+        return LogRecord.deserialize(self.device.read_with_retry(address))
 
     def is_mutable(self, address: int) -> bool:
         return address >= self.read_only_address
@@ -171,29 +199,72 @@ class HybridLog:
         new_ro = max(self.read_only_address, self._next_address - mutable_target)
         self.read_only_address = min(new_ro, self._next_address)
 
+    def _write_page(self, address: int, blob: bytes, attempts: int = 3) -> None:
+        """Write one page and verify it by read-back (the fsync+checksum
+        discipline). A torn write is retried in place; if it stays torn the
+        page is left as-is on the device and :class:`TornWriteError`
+        surfaces — a typed availability failure, never silent corruption.
+        """
+        for _ in range(attempts):
+            self.device.write(address, blob)
+            try:
+                if self.device.read(address) == blob:
+                    return
+            except TransientIOError:
+                continue  # could not confirm; rewrite and re-verify
+        raise TornWriteError(
+            f"page {address} failed read-back verification after "
+            f"{attempts} attempts")
+
     def flush_until(self, new_head: int) -> int:
         """Write all records below ``new_head`` to the device and drop them.
 
-        Returns the number of records flushed. Used both by the memory
-        budget and by CPR checkpoints (which flush the whole log).
+        Returns the number of records flushed. Used by the memory budget
+        and by CPR checkpoints. Crash-consistent: pages are written in
+        address order with read-back verification, and on a partial-flush
+        or torn-write failure the flushed *prefix* is committed (head
+        advances to it) before the typed availability error propagates —
+        un-flushed records stay in memory, so nothing is lost and a retry
+        resumes where the failure hit.
         """
         new_head = min(new_head, self._next_address)
         flushed = 0
-        for address in range(self.head_address, new_head):
-            record = self._records.pop(address, None)
-            if record is not None:
-                self.device.write(address, record.serialize())
+        faults = self.device.faults
+        address = self.head_address
+        try:
+            for address in range(self.head_address, new_head):
+                record = self._records.get(address)
+                if record is None:
+                    continue
+                if faults is not None and faults.fire("device.flush.partial"):
+                    raise TransientIOError(
+                        f"flush aborted before address {address} "
+                        f"(simulated partial flush)")
+                self._write_page(address, record.serialize())
+                del self._records[address]
                 flushed += 1
-        self.head_address = max(self.head_address, new_head)
-        self.read_only_address = max(self.read_only_address, self.head_address)
+        except AvailabilityError:
+            self._mark_flushed(address)
+            raise
+        self._mark_flushed(new_head)
         return flushed
 
+    def _mark_flushed(self, new_head: int) -> None:
+        """Commit the verified flushed prefix: head may only advance."""
+        self.head_address = max(self.head_address, new_head)
+        self.read_only_address = max(self.read_only_address, self.head_address)
+
     def flush_all(self) -> int:
-        """Flush every in-memory record (checkpoint path). Keeps records
+        """Flush every in-memory record (verified), keeping records
         readable — flushed pages are re-read from the device on demand."""
         flushed = 0
+        faults = self.device.faults
         for address in sorted(self._records):
-            self.device.write(address, self._records[address].serialize())
+            if faults is not None and faults.fire("device.flush.partial"):
+                raise TransientIOError(
+                    f"flush aborted before address {address} "
+                    f"(simulated partial flush)")
+            self._write_page(address, self._records[address].serialize())
             flushed += 1
         return flushed
 

@@ -48,6 +48,14 @@ class TestExamples:
         out = run_example("crash_recovery", capsys)
         assert "ROLLBACK DETECTED" in out
         assert "b'after-checkpoint'" in out
+        # Reboot-mid-epoch: the epoch fails loudly, then recovery restores
+        # full service.
+        assert "rebooted mid-epoch" in out
+        assert "reboot-mid-epoch recovered: get(2) -> b'post-recovery'" in out
+        # Lenient salvage of a rotten device page.
+        assert "rebuild refused" in out
+        assert "quarantined" in out
+        assert "!!" not in out
 
     def test_latency_budget(self, capsys):
         out = run_example("latency_budget", capsys)
