@@ -24,12 +24,15 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
+from repro.backoff import BackoffPolicy
+from repro.client import RetryingClient
 from repro.core.fastver import FastVer, FastVerConfig, OpResult, VerifyReport
 from repro.core.keys import BitKey
 from repro.core.protocol import Client
 from repro.crypto.mac import MacKey
 from repro.errors import AvailabilityError, IntegrityError, ReproError
 from repro.faults import FaultPlan, install_faults
+from repro.server import FastVerServer, ServerConfig
 
 __version__ = "1.0.0"
 
@@ -40,9 +43,13 @@ def new_client(client_id: int) -> Client:
 
 
 __all__ = [
+    "BackoffPolicy",
     "FastVer",
     "FastVerConfig",
+    "FastVerServer",
     "OpResult",
+    "RetryingClient",
+    "ServerConfig",
     "VerifyReport",
     "BitKey",
     "Client",

@@ -58,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--records", type=int, default=200)
     chaos.add_argument("--tamper-every", type=int, default=None,
                        help="also tamper every N ops and demand detection")
+    chaos.add_argument("--server", action="store_true",
+                       help="drive ops through the resilient serving "
+                            "pipeline (admission queue, deadlines, "
+                            "idempotent retry, circuit breaker, "
+                            "degraded mode) with its fault points armed")
     chaos.add_argument("--check-deterministic", action="store_true",
                        help="run twice and require identical digests")
     return parser
@@ -166,11 +171,12 @@ def cmd_chaos(args) -> int:
 
     def once():
         return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
-                         tamper_every=args.tamper_every)
+                         tamper_every=args.tamper_every, server=args.server)
 
     report = once()
-    print(f"chaos seed={report.seed} ops={report.ops_attempted} "
-          f"ok={report.ops_ok}")
+    mode = "server pipeline" if args.server else "direct"
+    print(f"chaos seed={report.seed} mode={mode} "
+          f"ops={report.ops_attempted} ok={report.ops_ok}")
     print(f"availability errors  {report.availability_errors}")
     print(f"recoveries           {report.recoveries} "
           f"(salvages {report.salvages})")
@@ -181,6 +187,13 @@ def cmd_chaos(args) -> int:
     if report.hard_failures:
         for failure in report.hard_failures:
             print("HARD FAILURE:", failure)
+        print(f"FAILING SEED {report.seed}; injection trace digest "
+              f"{report.trace_digest}")
+        print(f"reproduce with: python -m repro chaos --seed {report.seed} "
+              f"--ops {args.ops} --records {args.records}"
+              + (f" --tamper-every {args.tamper_every}"
+                 if args.tamper_every else "")
+              + (" --server" if args.server else ""))
         return 1
     if args.check_deterministic:
         second = once()

@@ -1,0 +1,5 @@
+"""The client SDK: transparent retry with idempotent deduplication."""
+
+from repro.client.sdk import RetryingClient
+
+__all__ = ["RetryingClient"]

@@ -1,0 +1,111 @@
+"""The retrying client SDK: at-most-once semantics over a lossy server.
+
+A :class:`RetryingClient` wraps one :class:`~repro.core.protocol.Client`
+talking to one :class:`~repro.server.FastVerServer` and absorbs every
+*transient* :class:`~repro.errors.AvailabilityError` — shed admissions,
+dropped wire messages, open breakers, in-flight recoveries — behind
+jittered exponential backoff (the same
+:class:`~repro.backoff.BackoffPolicy` the verifier's own ecall gate uses).
+
+The hard problem a naive retry loop gets wrong twice over:
+
+* **Blind re-execution double-applies.** A put whose *response* was lost
+  on the wire WAS applied; applying it again is a lost-update bug waiting
+  to happen (and re-submitting the same client nonce would trip the
+  verifier's anti-replay window — a spurious integrity alarm). Every
+  request therefore carries the nonce the client drew at construction
+  time, and the server's idempotency table answers retries of an
+  already-applied operation from the recorded result.
+* **Giving up must be definitive.** When the budget runs out, the SDK
+  issues a ``cancel``: the server either returns the recorded result (the
+  op happened after all — report success) or removes it from the
+  degraded-mode write queue (the op can now never happen — report
+  failure). Either way the caller learns a truth, not a maybe.
+
+So the retry protocol per failed attempt is: **query** the server for the
+nonce's fate; ``done`` → return the recorded result; ``pending`` (queued
+behind a recovery) → keep polling the *same* request; ``unknown`` → the
+op was provably never applied, so re-issue under a *fresh* envelope
+(fresh nonce, fresh deadline). Integrity errors are never retried — they
+are the verifier speaking, and no amount of retrying un-tampers a store.
+"""
+
+from __future__ import annotations
+
+from repro.backoff import BackoffPolicy
+from repro.core.protocol import Client
+from repro.errors import (
+    AvailabilityError,
+    IntegrityError,
+    RetriesExhaustedError,
+)
+from repro.instrument import COUNTERS
+from repro.server.pipeline import FastVerServer, ServerRequest, ServerResult
+
+
+class RetryingClient:
+    """One client endpoint with transparent retry + idempotent dedup."""
+
+    def __init__(self, server: FastVerServer, client: Client,
+                 policy: BackoffPolicy | None = None):
+        self.server = server
+        self.client = client
+        self.policy = policy or BackoffPolicy(
+            max_attempts=5, base_delay=2.0, max_delay=16.0,
+            seed=client.client_id)
+        if self.policy.sleep_fn is None:
+            # Couple retry pacing to the server's simulated clock so
+            # backoff actually lets breaker cooldowns and recoveries pass.
+            self.policy.sleep_fn = server._advance
+        #: Operations abandoned after a definitive cancel.
+        self.gave_up = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: int | bytes) -> ServerResult:
+        return self._run("get", key, None)
+
+    def put(self, key: int | bytes, payload: bytes | None) -> ServerResult:
+        return self._run("put", key, payload)
+
+    # ------------------------------------------------------------------
+    def _envelope(self, kind: str, key: int | bytes,
+                  payload: bytes | None) -> ServerRequest:
+        bk = self.server.bitkey(key)
+        if kind == "get":
+            op = self.client.make_get(bk)
+        else:
+            op = self.client.make_put(bk, payload)
+        deadline = self.server.now + self.server.config.default_deadline
+        return ServerRequest(kind, op, deadline, worker=bk.bits)
+
+    def _run(self, kind: str, key: int | bytes,
+             payload: bytes | None) -> ServerResult:
+        request = self._envelope(kind, key, payload)
+        last: Exception | None = None
+        for attempt, delay in enumerate(self.policy.delays()):
+            self.policy.sleep(delay)
+            if attempt:
+                COUNTERS.retried += 1
+            try:
+                return self.server.handle(request)
+            except IntegrityError:
+                raise
+            except AvailabilityError as exc:
+                last = exc
+                status, result = self.server.query(request.client_id,
+                                                   request.nonce)
+                if status == "done":
+                    return result  # applied; the response was what we lost
+                if status == "pending":
+                    continue  # queued behind a recovery: poll, don't fork
+                # "unknown": provably never applied — a fresh envelope
+                # (fresh nonce, fresh deadline) is safe and necessary.
+                request = self._envelope(kind, key, payload)
+        resolved = self.server.cancel(request.client_id, request.nonce)
+        if resolved is not None:
+            return resolved
+        self.gave_up += 1
+        raise RetriesExhaustedError(
+            f"{kind} abandoned after {self.policy.max_attempts} attempts "
+            f"(last: {type(last).__name__}: {last}); the cancel confirmed "
+            f"it was never applied") from last

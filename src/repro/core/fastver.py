@@ -34,6 +34,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.backoff import BackoffPolicy
 from repro.core.hostmirror import (
     VIA_DEFERRED,
     VIA_MERKLE,
@@ -102,6 +103,10 @@ class FastVerConfig:
     memory_budget_records: int = 1 << 30
     #: Injected CAS contention (used by the concurrency model).
     contention: ContentionInjector = NO_CONTENTION
+    #: Retry budget + pacing for transient enclave call-gate failures.
+    #: ``None`` selects the default policy (4 attempts, jittered
+    #: exponential backoff); the serving layer shares the same class.
+    ecall_backoff: BackoffPolicy | None = None
 
     def validate(self) -> None:
         if self.n_workers < 1:
@@ -165,6 +170,7 @@ class FastVer:
         self.config = config or FastVerConfig()
         self.config.validate()
         cfg = self.config
+        self._ecall_backoff = cfg.ecall_backoff or self._default_ecall_backoff()
         # Enclave identity keys: in real TEEs these derive from the CPU +
         # enclave measurement, so a rebooted enclave recovers the same
         # keys. The host process holds the objects but never uses them
@@ -207,25 +213,29 @@ class FastVer:
         self.last_checkpoint: FastVerCheckpoint | None = None
         self._load(items or [])
 
-    #: Bounded retry budget for transient enclave call-gate failures.
+    #: Bounded retry budget for transient enclave call-gate failures
+    #: (the default when the config supplies no policy of its own).
     MAX_ECALL_ATTEMPTS = 4
+
+    def _default_ecall_backoff(self) -> BackoffPolicy:
+        return BackoffPolicy(max_attempts=self.MAX_ECALL_ATTEMPTS,
+                             base_delay=0.5, max_delay=8.0, seed=0)
+
+    def _count_ecall_retry(self, _exc: Exception) -> None:
+        COUNTERS.ecall_retries += 1
 
     def _ecall(self, method: str, *args):
         """Cross into the enclave, absorbing transient call-gate failures
-        with bounded retries (a failed gate never dispatched, so a retry is
-        safe). Reboots are never retried here — volatile verifier state is
-        gone and only :meth:`recover` can bring it back."""
-        attempts = 0
-        while True:
-            try:
-                return self.enclave.ecall(method, *args)
-            except EnclaveRebootError:
-                raise
-            except EnclaveUnavailableError:
-                attempts += 1
-                COUNTERS.ecall_retries += 1
-                if attempts >= self.MAX_ECALL_ATTEMPTS:
-                    raise
+        with jittered exponential backoff under a configurable budget (a
+        failed gate never dispatched, so a retry is safe). Reboots are
+        never retried here — volatile verifier state is gone and only
+        :meth:`recover` can bring it back."""
+        return self._ecall_backoff.run(
+            lambda: self.enclave.ecall(method, *args),
+            retry_on=(EnclaveUnavailableError,),
+            no_retry=(EnclaveRebootError,),
+            on_retry=self._count_ecall_retry,
+        )
 
     # ==================================================================
     # Setup
@@ -603,6 +613,27 @@ class FastVer:
         self._after_op()
         return OpResult(payload, request.nonce, worker)
 
+    def apply_get(self, client: Client, request, worker: int = 0) -> OpResult:
+        """Execute a pre-made :class:`~repro.core.protocol.GetRequest`.
+
+        The serving layer builds requests client-side (nonce drawn at
+        request-construction time) so a retry can be deduplicated by nonce
+        instead of re-drawing; this entry point applies such a request.
+        """
+        payload = self._data_op(worker, client, request.key, "get",
+                                nonce=request.nonce)
+        self._after_op()
+        return OpResult(payload, request.nonce, worker)
+
+    def apply_put(self, client: Client, request, worker: int = 0) -> OpResult:
+        """Execute a pre-made :class:`~repro.core.protocol.PutRequest`
+        (client-authorized nonce + MAC travel with the request)."""
+        self._data_op(worker, client, request.key, "put",
+                      nonce=request.nonce, payload=request.payload,
+                      tag=request.tag)
+        self._after_op()
+        return OpResult(request.payload, request.nonce, worker)
+
     def scan(self, client: Client, start_key: int | bytes, count: int,
              worker: int = 0) -> list[tuple[int, bytes]]:
         """Ordered scan: per-key validated reads over the key directory
@@ -937,7 +968,7 @@ class FastVer:
         partial attempts cannot leave mixed state behind.
         """
         last_exc: Exception | None = None
-        for _attempt in range(self.MAX_ECALL_ATTEMPTS):
+        for _attempt in range(self._ecall_backoff.max_attempts):
             try:
                 self._recover_once(checkpoint)
                 self.last_checkpoint = checkpoint

@@ -77,6 +77,19 @@ class PutRequest:
     tag: bytes
 
 
+@dataclass
+class GetRequest:
+    """A nonce-carrying read request. Materializing reads as request
+    objects (rather than drawing the nonce inside ``FastVer.get``) is what
+    lets the serving layer deduplicate a *retried* read by nonce instead
+    of feeding the verifier the same nonce twice — which its anti-replay
+    window would rightly treat as an attack."""
+
+    client_id: int
+    key: BitKey
+    nonce: int
+
+
 class Client:
     """A trusted client endpoint: issues requests, checks receipts."""
 
@@ -101,6 +114,10 @@ class Client:
         tag = self.key.sign(PUT, key.to_bytes(), _payload_bytes(payload),
                             nonce.to_bytes(8, "big"))
         return PutRequest(self.client_id, key, payload, nonce, tag)
+
+    def make_get(self, key: BitKey) -> GetRequest:
+        """A nonce-carrying read request (see :class:`GetRequest`)."""
+        return GetRequest(self.client_id, key, self.next_nonce())
 
     # ------------------------------------------------------------------
     # Receipt checking

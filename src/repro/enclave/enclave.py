@@ -94,6 +94,22 @@ class SimulatedEnclave:
             )
 
     # ------------------------------------------------------------------
+    # Health surface (read by the serving layer's watchdog)
+    # ------------------------------------------------------------------
+    def probe(self) -> dict:
+        """Cheap liveness/readiness probe: no ecall is dispatched, no
+        counters move, and no fault point is consulted — a watchdog may
+        poll this at any frequency. ``loaded`` is False for a freshly
+        rebooted enclave whose program has not had ``restore_state`` run,
+        the state in which every integrity-bearing ecall would be refused.
+        """
+        return {
+            "alive": self._alive,
+            "loaded": bool(getattr(self._program, "_loaded", True)),
+            "reboots": self.reboots,
+        }
+
+    # ------------------------------------------------------------------
     # Adversarial surface
     # ------------------------------------------------------------------
     def reboot(self) -> None:

@@ -115,6 +115,45 @@ class EnclaveRebootError(EnclaveUnavailableError):
     any further enclave interaction."""
 
 
+class OverloadError(AvailabilityError):
+    """The serving layer shed the request: its admission queue (or the
+    degraded-mode write queue) is full. The request was **not** applied;
+    retrying after backoff is always safe."""
+
+
+class DeadlineExceededError(AvailabilityError):
+    """The request's deadline passed before it reached execution. The
+    request was **not** applied (deadlines are only checked ahead of the
+    store/verifier call, never between apply and respond — a result that
+    exists is always returned)."""
+
+
+class WireDropError(AvailabilityError):
+    """The untrusted client<->server wire lost a message. If the *request*
+    was lost nothing happened; if the *response* was lost the operation may
+    have been applied — the SDK resolves the ambiguity through the
+    server's nonce-keyed idempotency table, never by blind re-execution."""
+
+
+class CircuitOpenError(AvailabilityError):
+    """The circuit breaker around the enclave call gate is open: the
+    request was rejected without touching the verifier. Reads may still be
+    served from the degraded cache; writes fail fast until a half-open
+    probe closes the breaker."""
+
+
+class DegradedModeError(AvailabilityError):
+    """The server is in degraded mode (verifier recovery in flight). A
+    write raising this has been *queued* for replay after recovery — keep
+    polling the idempotency table rather than re-issuing it. A read raising
+    this missed the degraded cache and produced nothing."""
+
+
+class RetriesExhaustedError(AvailabilityError):
+    """The client SDK spent its whole retry budget and confirmed, via the
+    server's idempotency table, that the operation was never applied."""
+
+
 class CapacityError(ReproError):
     """A fixed-size resource (verifier cache, enclave memory) is exhausted."""
 

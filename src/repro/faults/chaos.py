@@ -53,6 +53,16 @@ DEFAULT_SPECS = {
     "receipt.reorder": 0.02,
 }
 
+#: ``--server`` mode adds the serving-layer boundaries: shed admissions,
+#: lossy wire both ways, spurious breaker trips, stalled heal attempts.
+SERVER_SPECS = dict(DEFAULT_SPECS, **{
+    "server.queue.shed": 0.002,
+    "server.wire.request": 0.01,
+    "server.wire.response": 0.01,
+    "server.breaker.trip": 0.002,
+    "server.supervisor.stall": 0.25,
+})
+
 
 @dataclass
 class ChaosReport:
@@ -98,13 +108,19 @@ class _ChaosRun:
     VERIFY_EVERY = 250
 
     def __init__(self, seed: int, ops: int, records: int,
-                 plan: FaultPlan | None, tamper_every: int | None):
+                 plan: FaultPlan | None, tamper_every: int | None,
+                 server: bool = False):
         self.seed = seed
         self.n_ops = ops
         self.n_records = records
         self.plan = plan if plan is not None else FaultPlan(
-            seed=seed, specs=DEFAULT_SPECS)
+            seed=seed, specs=SERVER_SPECS if server else DEFAULT_SPECS)
         self.tamper_every = tamper_every
+        self.server_mode = server
+        self.server = None   # FastVerServer in --server mode
+        self.sdk = None      # RetryingClient in --server mode
+        self._db = None      # the database outside --server mode
+        self._seen_heals = 0
         self.report = ChaosReport(seed=seed)
         self.generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
                                        distribution="zipfian", theta=0.9,
@@ -121,11 +137,18 @@ class _ChaosRun:
     # ------------------------------------------------------------------
     # Provisioning / recovery plumbing
     # ------------------------------------------------------------------
+    @property
+    def db(self) -> FastVer:
+        """The live database. In ``--server`` mode the server owns it (and
+        swaps it out during salvage), so always read through here."""
+        return self.server.db if self.server is not None else self._db
+
     def _provision(self, items: list[tuple[int, bytes]]) -> None:
         """Build a fresh FastVer over ``items`` and take a clean baseline
         checkpoint *before* faults are armed, so there is always a sane
-        recovery point."""
-        self.db = FastVer(
+        recovery point. In ``--server`` mode, front it with the serving
+        pipeline and drive it through the retrying SDK."""
+        db = FastVer(
             FastVerConfig(key_width=16, n_workers=2, partition_depth=3,
                           cache_capacity=64),
             items=items,
@@ -133,14 +156,58 @@ class _ChaosRun:
         self.client = Client(self._next_client_id,
                              MacKey.generate(f"chaos-{self._next_client_id}"))
         self._next_client_id += 1
-        self.db.register_client(self.client)
+        db.register_client(self.client)
         for k, payload in items:
             self.current[k] = payload
             self.history.setdefault(k, set()).add(payload)
-        self.db.verify()
-        self.db.checkpoint()
+        db.verify()
+        db.checkpoint()
         self.committed = dict(self.current)
-        install_faults(self.db, self.plan)
+        if self.server_mode:
+            from repro.backoff import BackoffPolicy
+            from repro.client import RetryingClient
+            from repro.server import FastVerServer, ServerConfig
+
+            self.server = FastVerServer(
+                db, ServerConfig(),
+                salvage_hook=self._server_salvage_hook, warm=items)
+            self.sdk = RetryingClient(
+                self.server, self.client,
+                policy=BackoffPolicy(max_attempts=5, base_delay=2.0,
+                                     max_delay=16.0, seed=self.seed))
+            self._seen_heals = 0
+        else:
+            self._db = db
+        install_faults(db, self.plan)
+
+    def _absorb_heals(self) -> None:
+        """Fold server-side self-healing into the oracle: each completed
+        heal rolled the database back to its last durable state, so the
+        oracle's ``current`` must roll back to ``committed`` with it (a
+        salvage already rebased ``committed`` via the hook)."""
+        heals = self.server.supervisor.heals
+        if heals != self._seen_heals:
+            self.report.recoveries += heals - self._seen_heals
+            self._seen_heals = heals
+            self.current = dict(self.committed)
+
+    def _server_salvage_hook(self, items: list[tuple[int, bytes]]):
+        """Called by the server's lenient salvage with the records it
+        recovered: validate each against the write history (a value we
+        never wrote is fabrication — a hard failure) and rebase the oracle
+        on the survivors, which are the durable truth from here on."""
+        self.report.salvages += 1
+        survivors: list[tuple[int, bytes]] = []
+        for k, payload in items:
+            if k in self.history and payload not in self.history[k]:
+                self.report.hard_failures.append(
+                    f"salvage fabrication: key {k} holds {payload!r}, "
+                    f"never written")
+                continue
+            survivors.append((k, payload))
+        self.current = dict(survivors)
+        self.committed = dict(survivors)
+        return survivors
 
     def _recover_sequence(self) -> None:
         """Restore service after an availability error: checkpoint
@@ -195,11 +262,25 @@ class _ChaosRun:
     # ------------------------------------------------------------------
     def _maintain(self) -> None:
         """Periodic epoch close + checkpoint (the §7 durability cadence)."""
+        if self.server is not None:
+            try:
+                self.server.maintain()
+            except Exception:
+                self._absorb_heals()
+                raise
+            # A heal inside maintain() rolled the database back before the
+            # checkpoint was cut; roll the oracle back before promoting.
+            self._absorb_heals()
+            self.committed = dict(self.current)
+            return
         self.db.verify()
         self.db.checkpoint()
         self.committed = dict(self.current)
 
     def _one_op(self, kind: str, k: int, payload: bytes | None) -> None:
+        if self.server is not None:
+            self._one_op_server(kind, k, payload)
+            return
         self.report.ops_attempted += 1
         if kind == OP_GET:
             result = self.db.get(self.client, k, worker=k % 2)
@@ -215,10 +296,57 @@ class _ChaosRun:
             self.history.setdefault(k, set()).add(payload)
         self.report.ops_ok += 1
 
+    def _one_op_server(self, kind: str, k: int, payload: bytes | None) -> None:
+        """One op through the full pipeline: SDK -> server -> FastVer.
+
+        The SDK's contract makes the oracle tractable: a return means the
+        operation was applied exactly once; a raise means it provably
+        never was (the SDK cancels before giving up). Heals that happened
+        mid-call are folded in *before* this op's own effect, because the
+        attempt that finally succeeded ran after the last heal."""
+        self.report.ops_attempted += 1
+        if kind == OP_PUT:
+            # Record the *attempted* value up front: a put interrupted
+            # mid-apply can still leave its record in the log, where a
+            # later salvage may legitimately resurrect it.
+            self.history.setdefault(k, set()).add(payload)
+        try:
+            if kind == OP_GET:
+                result = self.sdk.get(k)
+            else:
+                result = self.sdk.put(k, payload)
+        except Exception:
+            self._absorb_heals()
+            raise
+        self._absorb_heals()
+        if kind == OP_GET:
+            # A degraded read is served from the durable tier and says so;
+            # its truth is the checkpointed state, not the provisional one.
+            expected = (self.committed.get(k) if result.degraded
+                        else self.current.get(k))
+            if result.payload != expected:
+                self.report.hard_failures.append(
+                    f"silent wrong answer: get({k}) returned "
+                    f"{result.payload!r} (degraded={result.degraded}), "
+                    f"oracle says {expected!r}")
+                return
+        else:
+            self.current[k] = payload
+        self.report.ops_ok += 1
+
     def _tamper_round(self, k: int) -> None:
         """Scheduled tampering: corrupt the store, demand detection."""
         install_faults(self.db, None)  # isolate: pure-integrity check
         try:
+            if self.server is not None and self.server.degraded:
+                # A prior op left recovery in flight; finish it (faults are
+                # disarmed) so the tamper probes hit a healthy verifier.
+                if not self.server.supervisor.try_heal():
+                    self.report.hard_failures.append(
+                        f"pre-tamper heal failed for key {k} with no "
+                        f"faults armed")
+                    return
+                self._absorb_heals()
             # A put first, so the key's latest record is the in-memory
             # tail object the attack mutates (a flushed record would be
             # re-read from the immutable device and the tamper would be
@@ -239,9 +367,18 @@ class _ChaosRun:
                     f"tampering with key {k} went undetected through verify")
             # The store is poisoned either way; restore from the (clean)
             # pre-tamper checkpoint before continuing.
-            self.db.recover(self.db.last_checkpoint)
-            self.report.recoveries += 1
-            self.current = dict(self.committed)
+            if self.server is not None:
+                # Route through the supervisor so the serving layer's own
+                # bookkeeping (dedup table, caches) rolls back in step.
+                if not self.server.force_heal():
+                    self.report.hard_failures.append(
+                        f"post-tamper heal failed for key {k} with no "
+                        f"faults armed")
+                self._absorb_heals()
+            else:
+                self.db.recover(self.db.last_checkpoint)
+                self.report.recoveries += 1
+                self.current = dict(self.committed)
         finally:
             install_faults(self.db, self.plan)
 
@@ -268,7 +405,10 @@ class _ChaosRun:
                 self._one_op(kind, k, payload)
             except AvailabilityError:
                 self.report.availability_errors += 1
-                if not self._try_recover(i):
+                # In --server mode the pipeline heals itself (supervisor +
+                # SDK); a typed failure here is a definitively-abandoned
+                # op, not a cue for harness-driven recovery.
+                if self.server is None and not self._try_recover(i):
                     break
             except IntegrityError as exc:
                 self.report.hard_failures.append(
@@ -286,7 +426,7 @@ class _ChaosRun:
                     self._maintain()
                 except AvailabilityError:
                     self.report.availability_errors += 1
-                    if not self._try_recover(i):
+                    if self.server is None and not self._try_recover(i):
                         break
                 except IntegrityError as exc:
                     self.report.hard_failures.append(
@@ -296,7 +436,7 @@ class _ChaosRun:
                 self._tamper_round(k)
         self.report.fault_fires = {
             point: self.plan.fires(point)
-            for point in sorted(DEFAULT_SPECS)
+            for point in self.plan.points()
             if self.plan.fires(point)
         }
         self.report.receipts_dropped = self.db.receipt_channel.dropped
@@ -306,6 +446,14 @@ class _ChaosRun:
 
 def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
               plan: FaultPlan | None = None,
-              tamper_every: int | None = None) -> ChaosReport:
-    """Run one chaos soak; see the module docstring for the contract."""
-    return _ChaosRun(seed, ops, records, plan, tamper_every).run()
+              tamper_every: int | None = None,
+              server: bool = False) -> ChaosReport:
+    """Run one chaos soak; see the module docstring for the contract.
+
+    ``server=True`` drives the workload through the full serving pipeline
+    (admission queue -> deadline -> idempotent dedup -> circuit breaker ->
+    FastVer) via the retrying client SDK, with the serving-layer fault
+    points armed on top of the storage/enclave mix; recovery is then the
+    *server's* job (supervisor watchdog + heal ladder), not the harness's.
+    """
+    return _ChaosRun(seed, ops, records, plan, tamper_every, server).run()

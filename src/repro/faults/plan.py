@@ -38,6 +38,12 @@ KNOWN_POINTS = frozenset({
     "receipt.drop",             # receipt lost in transit
     "receipt.duplicate",        # receipt delivered twice
     "receipt.reorder",          # receipt withheld, delivered late/out of order
+    # Serving layer (server/pipeline.py, server/supervisor.py)
+    "server.queue.shed",        # admission control sheds the request
+    "server.wire.request",      # request lost before reaching the pipeline
+    "server.wire.response",     # response lost after the op was applied
+    "server.breaker.trip",      # circuit breaker forced open (downstream flap)
+    "server.supervisor.stall",  # one supervisor recovery attempt fails
 })
 
 
@@ -130,6 +136,10 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # Introspection (chaos reports, reproducibility checks)
     # ------------------------------------------------------------------
+    def points(self) -> list[str]:
+        """The point names this plan can fire, sorted (reporting aid)."""
+        return sorted(self._specs)
+
     def encounters(self, point: str) -> int:
         return self._encounters.get(point, 0)
 
@@ -157,9 +167,15 @@ def install_faults(db, plan: FaultPlan | None) -> FaultPlan | None:
     Pass ``None`` to uninstall. Re-run after ``recover()`` replaces the
     store with one sharing the old log device (nothing to redo there), and
     after a full re-provision (new ``FastVer``), which starts fault-free.
+    If a :class:`~repro.server.FastVerServer` fronts this database it is
+    found through its back-reference and armed with the same plan, so the
+    queue/wire/breaker/supervisor boundaries fire from the same trace.
     """
     db.faults = plan
     db.store.log.device.faults = plan
     db.enclave.faults = plan
     db.receipt_channel.faults = plan
+    server = getattr(db, "_server", None)
+    if server is not None:
+        server.faults = plan
     return plan

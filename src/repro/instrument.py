@@ -65,6 +65,18 @@ class Counters:
     # Workload
     ops: int = 0                    # client-level key-value operations
 
+    # Serving layer (repro.server / repro.client), one counter per
+    # pipeline stage so a dashboard can read the request lifecycle off
+    # this bag directly.
+    admitted: int = 0               # requests accepted into the pipeline
+    shed: int = 0                   # requests rejected at admission (overload)
+    deadline_expired: int = 0       # requests that timed out before execution
+    retried: int = 0                # client-SDK retry attempts
+    broken: int = 0                 # requests rejected by an open breaker
+    degraded: int = 0               # ops served/queued in degraded mode
+    recovered: int = 0              # successful supervisor recoveries
+    wire_drops: int = 0             # request/response messages lost in transit
+
     def reset(self) -> None:
         """Zero every counter in place."""
         for f in fields(self):

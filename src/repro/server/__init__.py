@@ -1,0 +1,26 @@
+"""The resilient serving layer: deadline-aware pipeline, circuit breaker,
+supervisor-driven recovery, and degraded-mode operation (see
+docs/PROTOCOL.md, "Transport, overload, and degraded-mode semantics")."""
+
+from repro.server.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.server.pipeline import (
+    FastVerServer,
+    ServerConfig,
+    ServerRequest,
+    ServerResult,
+    Ticket,
+)
+from repro.server.supervisor import Supervisor
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "FastVerServer",
+    "ServerConfig",
+    "ServerRequest",
+    "ServerResult",
+    "Supervisor",
+    "Ticket",
+]

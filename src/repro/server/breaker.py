@@ -1,0 +1,93 @@
+"""A circuit breaker around the enclave call gate.
+
+Classic three-state machine (Nygard's *Release It!* pattern, as deployed
+in front of every RPC fleet):
+
+* **closed** — requests flow; consecutive downstream failures are counted.
+* **open** — after ``threshold`` consecutive failures the breaker trips:
+  requests fail fast with :class:`~repro.errors.CircuitOpenError` (reads
+  may still be served from the degraded cache) instead of hammering a
+  verifier that is down, wedged, or mid-recovery.
+* **half-open** — once ``cooldown`` ticks of the server's simulated clock
+  have passed, exactly one probe request is let through. Success closes
+  the breaker; failure re-opens it and restarts the cooldown.
+
+The breaker is availability machinery only: it never sees, and cannot
+influence, integrity verdicts (an :class:`~repro.errors.IntegrityError`
+is not a *failure* of the verifier — it is the verifier working).
+"""
+
+from __future__ import annotations
+
+from repro.instrument import COUNTERS
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over a simulated clock."""
+
+    def __init__(self, threshold: int = 3, cooldown: float = 20.0):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown cannot be negative")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        self.trips = 0          # closed/half-open -> open transitions
+        self.probes = 0         # half-open probe requests admitted
+
+    # ------------------------------------------------------------------
+    def allow(self, now: float) -> bool:
+        """May a request proceed to the verifier at time ``now``?
+
+        An open breaker transitions to half-open (admitting this caller as
+        the probe) once the cooldown has elapsed. The caller must report
+        the probe's outcome via :meth:`record_success` /
+        :meth:`record_failure`, which resolves the half-open state.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.opened_at is not None and \
+                    now - self.opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self.probes += 1
+                return True
+            COUNTERS.broken += 1
+            return False
+        # HALF_OPEN: one probe is already in flight this cooldown window.
+        COUNTERS.broken += 1
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = CLOSED
+        self.opened_at = None
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or \
+                self.consecutive_failures >= self.threshold:
+            self.force_open(now)
+
+    def force_open(self, now: float) -> None:
+        """Trip the breaker immediately (also the injection point for the
+        ``server.breaker.trip`` fault)."""
+        if self.state != OPEN:
+            self.trips += 1
+        self.state = OPEN
+        self.opened_at = now
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trips": self.trips,
+            "probes": self.probes,
+        }

@@ -1,0 +1,507 @@
+"""The deadline-aware request pipeline in front of :class:`FastVer`.
+
+This is the front end the paper's deployment model assumes (§2, Figure 1:
+an untrusted host mediating between many clients and a small trusted
+verifier) and the ROADMAP's traffic target requires: a request passes
+through **admission** (bounded queue; overload is shed with a typed
+error, never silently dropped), a **deadline** check against the server's
+simulated clock, an **idempotency table** keyed by the client's own
+nonces (so a retried operation is answered from the recorded result
+instead of being re-applied or fed to the verifier's anti-replay window
+twice), a **circuit breaker** around the enclave call gate, and finally
+execution against the database. Failures flip the server into **degraded
+mode**: reads are served from the cache of checkpoint-durable verified
+values, writes are queued for idempotent replay, and the supervisor heals
+the verifier in the background of subsequent requests.
+
+Everything here is untrusted availability machinery. It cannot weaken
+integrity: results still carry verifier receipts, degraded reads are
+explicitly marked as such, and a lying pipeline is caught by exactly the
+checks that catch a lying host.
+
+Time is simulated: ``server.now`` advances per processed request and per
+backoff sleep, which keeps chaos soaks deterministic while still giving
+deadlines, breaker cooldowns, and retry pacing real meaning.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field, replace
+
+from repro.backoff import BackoffPolicy
+from repro.core.fastver import FastVer
+from repro.core.protocol import GetRequest, PutRequest
+from repro.errors import (
+    AvailabilityError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    DegradedModeError,
+    IntegrityError,
+    OverloadError,
+    ProtocolError,
+    WireDropError,
+)
+from repro.instrument import COUNTERS
+from repro.server.breaker import OPEN, CircuitBreaker
+from repro.server.supervisor import Supervisor
+from repro.store.recovery import rebuild_index_from_log
+
+
+@dataclass
+class ServerConfig:
+    """Serving-layer tuning knobs (all times in simulated ticks)."""
+
+    #: Admission queue bound; submissions beyond it are shed.
+    queue_capacity: int = 64
+    #: Deadline granted to a request that does not bring its own.
+    default_deadline: float = 200.0
+    #: Consecutive verifier failures before the breaker opens.
+    breaker_threshold: int = 3
+    #: Ticks an open breaker waits before admitting a half-open probe.
+    breaker_cooldown: float = 30.0
+    #: Degraded-mode write queue bound (beyond it, writes are shed).
+    degraded_write_capacity: int = 256
+    #: LRU capacity of the verified-read cache serving degraded reads.
+    read_cache_capacity: int = 65536
+    #: Idempotency-table capacity (completed request results).
+    completed_capacity: int = 8192
+    #: Simulated service time charged per processed request.
+    time_per_request: float = 1.0
+    #: Pacing/budget of one supervisor heal session (None = default).
+    heal_backoff: BackoffPolicy | None = None
+
+
+@dataclass
+class ServerRequest:
+    """The wire envelope: one client operation plus serving metadata."""
+
+    kind: str                        # "get" | "put"
+    op: GetRequest | PutRequest
+    deadline: float
+    worker: int = 0
+
+    @property
+    def client_id(self) -> int:
+        return self.op.client_id
+
+    @property
+    def nonce(self) -> int:
+        return self.op.nonce
+
+    @property
+    def dedup_key(self) -> tuple[int, int]:
+        return (self.op.client_id, self.op.nonce)
+
+
+@dataclass
+class ServerResult:
+    """What the server sends back over the wire."""
+
+    payload: bytes | None
+    nonce: int
+    #: Served from the degraded cache: verified and checkpoint-durable,
+    #: but possibly stale (see docs/PROTOCOL.md for the exact guarantee).
+    degraded: bool = False
+    #: Answered from the idempotency table (an earlier attempt applied).
+    deduped: bool = False
+
+
+@dataclass
+class Ticket:
+    """A submitted request's slot in the admission queue."""
+
+    request: ServerRequest
+    result: ServerResult | None = None
+    error: Exception | None = None
+    done: bool = False
+
+
+@dataclass
+class _Completion:
+    """Idempotency-table entry: the recorded outcome of an applied op."""
+
+    result: ServerResult
+    #: Covered by a checkpoint: survives recovery rollback.
+    durable: bool = False
+
+
+class FastVerServer:
+    """The resilient serving layer around one :class:`FastVer`.
+
+    ``salvage_hook``, when provided, is called with the list of
+    ``(key_bits, payload)`` records a lenient log-scan salvage recovered,
+    and returns the (possibly filtered) list to rebuild from — the chaos
+    harness uses it to validate survivors against its oracle.
+    """
+
+    def __init__(self, db: FastVer, config: ServerConfig | None = None,
+                 salvage_hook=None,
+                 warm: list[tuple[int | bytes, bytes]] | None = None):
+        self.db = db
+        db._server = self
+        self.config = config or ServerConfig()
+        cfg = self.config
+        self.now = 0.0
+        self.faults = db.faults
+        self.salvage_hook = salvage_hook
+        self.breaker = CircuitBreaker(cfg.breaker_threshold,
+                                      cfg.breaker_cooldown)
+        heal = cfg.heal_backoff or BackoffPolicy(
+            max_attempts=4, base_delay=2.0, max_delay=30.0, seed=1)
+        heal.sleep_fn = self._advance
+        self.supervisor = Supervisor(self, heal)
+        self.queue: deque[Ticket] = deque()
+        #: Degraded-mode write backlog, FIFO, deduplicated by nonce.
+        self.degraded_writes: "OrderedDict[tuple[int, int], ServerRequest]" \
+            = OrderedDict()
+        #: Idempotency table: (client_id, nonce) -> recorded outcome.
+        self.completed: "OrderedDict[tuple[int, int], _Completion]" \
+            = OrderedDict()
+        #: Verified values as of the last checkpoint (degraded-read tier).
+        self.committed_reads: OrderedDict = OrderedDict()
+        #: Verified values observed since the last checkpoint.
+        self.provisional_reads: dict = {}
+        self.degraded_since: float | None = None
+        self.degraded_reason: str | None = None
+        self.replayed_writes = 0
+        for key, payload in (warm or []):
+            self.committed_reads[db.data_key(key)] = payload
+        self._trim_read_cache()
+
+    # ==================================================================
+    # Clock
+    # ==================================================================
+    def _advance(self, ticks: float) -> None:
+        self.now += ticks
+
+    def advance(self, ticks: float) -> None:
+        """Let simulated time pass (tests drive deadlines through this)."""
+        if ticks < 0:
+            raise ValueError("time does not run backwards")
+        self._advance(ticks)
+
+    # ==================================================================
+    # Wire API
+    # ==================================================================
+    def bitkey(self, key: int | bytes):
+        """Map a client key to the data-width BitKey requests are signed
+        over (stable across recovery and salvage — it only depends on the
+        configured key width)."""
+        return self.db.data_key(key)
+
+    def submit(self, request: ServerRequest) -> Ticket:
+        """Admission control: accept the request into the bounded queue or
+        shed it with a typed error. Consults the wire fault point first —
+        a dropped request was never admitted anywhere."""
+        if self.faults is not None and \
+                self.faults.fire("server.wire.request"):
+            COUNTERS.wire_drops += 1
+            raise WireDropError("request lost on the client->server wire")
+        if len(self.queue) >= self.config.queue_capacity:
+            COUNTERS.shed += 1
+            raise OverloadError(
+                f"admission queue full ({self.config.queue_capacity})")
+        if self.faults is not None and \
+                self.faults.fire("server.queue.shed"):
+            COUNTERS.shed += 1
+            raise OverloadError("admission control shed the request")
+        COUNTERS.admitted += 1
+        ticket = Ticket(request)
+        self.queue.append(ticket)
+        return ticket
+
+    def pump(self, max_requests: int | None = None) -> int:
+        """Process queued requests FIFO; returns how many were processed."""
+        processed = 0
+        while self.queue and (max_requests is None
+                              or processed < max_requests):
+            ticket = self.queue.popleft()
+            self._advance(self.config.time_per_request)
+            try:
+                ticket.result = self._execute(ticket.request)
+            except Exception as exc:
+                ticket.error = exc
+            ticket.done = True
+            processed += 1
+        return processed
+
+    def handle(self, request: ServerRequest) -> ServerResult:
+        """Synchronous convenience: submit, drain the queue, and return
+        this request's outcome (raising its typed error, if any)."""
+        ticket = self.submit(request)
+        self.pump()
+        if ticket.error is not None:
+            raise ticket.error
+        assert ticket.result is not None
+        return ticket.result
+
+    def query(self, client_id: int, nonce: int):
+        """Idempotency lookup for a retrying client: ``("done", result)``
+        if the operation was applied, ``("pending", None)`` if it sits in
+        the degraded-mode write queue, else ``("unknown", None)`` —
+        meaning it was never applied and a fresh-nonce reissue is safe."""
+        hit = self.completed.get((client_id, nonce))
+        if hit is not None:
+            return ("done", replace(hit.result, deduped=True))
+        if (client_id, nonce) in self.degraded_writes:
+            return ("pending", None)
+        return ("unknown", None)
+
+    def cancel(self, client_id: int, nonce: int) -> ServerResult | None:
+        """Definitive resolution for a client giving up: returns the
+        recorded result if the operation was applied, otherwise removes it
+        from the degraded write queue and returns None — after which the
+        operation can never be applied."""
+        hit = self.completed.get((client_id, nonce))
+        if hit is not None:
+            return replace(hit.result, deduped=True)
+        self.degraded_writes.pop((client_id, nonce), None)
+        return None
+
+    # ==================================================================
+    # Execution
+    # ==================================================================
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_since is not None
+
+    @property
+    def recoveries(self) -> int:
+        return self.supervisor.heals
+
+    def _execute(self, request: ServerRequest) -> ServerResult:
+        self.supervisor.check_watchdog()
+        if self.now > request.deadline:
+            COUNTERS.deadline_expired += 1
+            raise DeadlineExceededError(
+                f"deadline {request.deadline:.0f} passed at "
+                f"{self.now:.0f} before execution; the operation was "
+                f"not applied")
+        if self.degraded and self.breaker.allow(self.now):
+            if not self.supervisor.try_heal():
+                self.breaker.record_failure(self.now)
+        # Dedup AFTER any heal: healing rolls non-durable completions
+        # back, so a hit here is either checkpoint-durable or was applied
+        # by this very recovery's replay — never a rolled-back ghost.
+        hit = self.completed.get(request.dedup_key)
+        if hit is not None:
+            return replace(hit.result, deduped=True)
+        if self.degraded:
+            return self._degraded_op(request)
+        if self.faults is not None and \
+                self.faults.fire("server.breaker.trip"):
+            self.breaker.force_open(self.now)
+        if not self.breaker.allow(self.now):
+            if request.kind == "get":
+                return self._cached_read(
+                    request, CircuitOpenError(
+                        "breaker open and key not in the verified-read "
+                        "cache"))
+            raise CircuitOpenError(
+                "circuit breaker open: writes fail fast until a probe "
+                "closes it")
+        try:
+            result = self._apply(request)
+        except IntegrityError:
+            raise  # the verifier working, not the verifier failing
+        except AvailabilityError as exc:
+            self.breaker.record_failure(self.now)
+            self._enter_degraded(f"{type(exc).__name__}: {exc}")
+            raise
+        self.breaker.record_success()
+        self._record_completion(request, result)
+        if self.faults is not None and \
+                self.faults.fire("server.wire.response"):
+            COUNTERS.wire_drops += 1
+            raise WireDropError(
+                "response lost on the server->client wire (the operation "
+                "WAS applied; the idempotency table remembers it)")
+        return result
+
+    def _apply(self, request: ServerRequest) -> ServerResult:
+        client = self.db.clients.get(request.client_id)
+        if client is None:
+            raise ProtocolError(
+                f"request from unregistered client {request.client_id}")
+        worker = request.worker % self.db.config.n_workers
+        if request.kind == "get":
+            op = self.db.apply_get(client, request.op, worker)
+        elif request.kind == "put":
+            op = self.db.apply_put(client, request.op, worker)
+        else:
+            raise ProtocolError(f"unknown request kind {request.kind!r}")
+        return ServerResult(op.payload, op.nonce)
+
+    def _record_completion(self, request: ServerRequest,
+                           result: ServerResult) -> None:
+        self.provisional_reads[request.op.key] = result.payload
+        self.completed[request.dedup_key] = _Completion(result)
+        while len(self.completed) > self.config.completed_capacity:
+            self.completed.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+    def _cached_read(self, request: ServerRequest,
+                     miss: Exception) -> ServerResult:
+        key = request.op.key
+        if key in self.committed_reads:
+            self.committed_reads.move_to_end(key)
+            COUNTERS.degraded += 1
+            return ServerResult(self.committed_reads[key], request.nonce,
+                                degraded=True)
+        raise miss
+
+    def _degraded_op(self, request: ServerRequest) -> ServerResult:
+        if request.kind == "get":
+            return self._cached_read(
+                request, DegradedModeError(
+                    "recovery in flight and key not in the verified-read "
+                    "cache"))
+        if request.dedup_key not in self.degraded_writes:
+            if len(self.degraded_writes) >= \
+                    self.config.degraded_write_capacity:
+                COUNTERS.shed += 1
+                raise OverloadError("degraded-mode write queue full")
+            self.degraded_writes[request.dedup_key] = request
+            COUNTERS.degraded += 1
+        raise DegradedModeError(
+            "recovery in flight; write queued for idempotent replay — "
+            "poll the idempotency table rather than reissuing")
+
+    def _enter_degraded(self, reason: str) -> None:
+        if self.degraded_since is None:
+            self.degraded_since = self.now
+            self.degraded_reason = reason
+
+    def _exit_degraded(self) -> None:
+        self.degraded_since = None
+        self.degraded_reason = None
+        self.breaker.record_success()
+
+    def _rollback_provisional(self) -> None:
+        """Checkpoint recovery rolled the database back; roll the serving
+        layer's un-checkpointed bookkeeping back with it."""
+        self.provisional_reads.clear()
+        self.completed = OrderedDict(
+            (k, v) for k, v in self.completed.items() if v.durable)
+
+    def _replay_degraded_writes(self) -> bool:
+        """Re-apply the degraded-mode write backlog FIFO. The original
+        requests travel with their original nonces and MACs, so replay is
+        idempotent end to end. Returns False (leaving the failed write at
+        the queue head) if the database fails again mid-replay."""
+        while self.degraded_writes:
+            key, request = next(iter(self.degraded_writes.items()))
+            try:
+                result = self._apply(request)
+            except AvailabilityError:
+                return False
+            self._record_completion(request, result)
+            self.degraded_writes.pop(key, None)
+            self.replayed_writes += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Salvage (the recovery ladder's last rung)
+    # ------------------------------------------------------------------
+    def _salvage(self) -> None:
+        """The checkpoint is unusable: lenient-rebuild from the log,
+        re-provision a fresh database over the survivors, re-register the
+        same clients (their keys and nonce counters carry over), and
+        rebase every serving-layer cache on the salvaged state."""
+        old_db = self.db
+        device = old_db.store.log.device
+        device.faults = None  # the salvage read pass itself runs clean
+        salvaged = rebuild_index_from_log(
+            device, old_db.store.log.tail_address,
+            ordered_width=old_db.config.key_width, strict=False)
+        width = old_db.config.key_width
+        items: list[tuple[int, bytes]] = []
+        for key, value, _aux in salvaged.items():
+            if key.length != width:
+                continue  # merkle plumbing; the fresh instance rebuilds it
+            payload = getattr(value, "payload", None)
+            if payload is None:
+                continue
+            items.append((key.bits, payload))
+        items.sort()
+        if self.salvage_hook is not None:
+            items = self.salvage_hook(items)
+        new_db = FastVer(old_db.config, items=items)
+        for client in old_db.clients.values():
+            new_db.register_client(client)
+        new_db.verify()
+        new_db.checkpoint()
+        old_db._server = None
+        new_db._server = self
+        self.db = new_db
+        from repro.faults.plan import install_faults
+        install_faults(new_db, self.faults)
+        # The salvaged snapshot is the durable truth now.
+        self.provisional_reads.clear()
+        self.completed.clear()
+        self.committed_reads = OrderedDict(
+            (new_db.data_key(k), payload) for k, payload in items)
+        self._trim_read_cache()
+
+    def _trim_read_cache(self) -> None:
+        while len(self.committed_reads) > self.config.read_cache_capacity:
+            self.committed_reads.popitem(last=False)
+
+    # ==================================================================
+    # Maintenance and health
+    # ==================================================================
+    def maintain(self):
+        """Epoch close + durable checkpoint through the pipeline's
+        protections; promotes provisional serving-layer state to durable.
+        Refuses (typed) while degraded — checkpointing a half-recovered
+        store would launder provisional state into the recovery point."""
+        if self.degraded:
+            if not self.supervisor.try_heal():
+                raise DegradedModeError(
+                    "cannot checkpoint while recovery is in flight")
+        try:
+            self.db.verify()
+            checkpoint = self.db.checkpoint()
+        except IntegrityError:
+            raise
+        except AvailabilityError as exc:
+            self.breaker.record_failure(self.now)
+            self._enter_degraded(f"{type(exc).__name__}: {exc}")
+            raise
+        for entry in self.completed.values():
+            entry.durable = True
+        self.committed_reads.update(self.provisional_reads)
+        self.provisional_reads.clear()
+        self._trim_read_cache()
+        return checkpoint
+
+    def force_heal(self) -> bool:
+        """Operator-initiated recovery (used after tamper cleanup): enter
+        degraded mode and run one heal session immediately."""
+        self._enter_degraded("operator-forced recovery")
+        return self.supervisor.try_heal()
+
+    def health(self) -> dict:
+        """Liveness surface: always answers, even degraded."""
+        return {
+            "now": self.now,
+            "mode": "degraded" if self.degraded else "normal",
+            "degraded_reason": self.degraded_reason,
+            "queue_depth": len(self.queue),
+            "degraded_writes": len(self.degraded_writes),
+            "breaker": self.breaker.snapshot(),
+            "enclave": self.db.enclave.probe(),
+            "recoveries": self.supervisor.heals,
+            "salvages": self.supervisor.salvages,
+            "replayed_writes": self.replayed_writes,
+        }
+
+    def ready(self) -> bool:
+        """Readiness probe: should a load balancer route new work here?"""
+        probe = self.db.enclave.probe()
+        return (not self.degraded and self.breaker.state != OPEN
+                and probe["alive"] and probe["loaded"]
+                and len(self.queue) < self.config.queue_capacity)

@@ -1,0 +1,101 @@
+"""The supervisor: watchdog, recovery ladder, and degraded-mode exit.
+
+The serving layer's availability story (docs/PROTOCOL.md, "Transport,
+overload, and degraded-mode semantics") hinges on one invariant: after
+*any* availability failure of the verifier path, no further data
+operation touches the database until a recovery has completed — a lost
+log batch would otherwise unbalance the epoch's set hashes at the next
+close. The supervisor owns that gate:
+
+* **Watchdog** — detects a verifier that rebooted *out of band* (no
+  operation failed, but the enclave's reboot counter moved, meaning its
+  volatile state is gone) and flips the server into degraded mode before
+  the next request can hit the empty enclave.
+* **Recovery ladder** — paced by a jittered
+  :class:`~repro.backoff.BackoffPolicy`, each heal attempt runs
+  checkpoint recovery (:meth:`FastVer.recover`) and falls back to lenient
+  log-scan salvage when the checkpoint itself is damaged
+  (:class:`~repro.errors.RecoveryError`). The ``server.supervisor.stall``
+  fault point models an attempt that dies before reaching the database.
+* **Degraded-mode exit** — after the database is healthy again, the
+  queued degraded-mode writes are replayed (idempotently: their original
+  client nonces travel with them) and only then does the server return to
+  normal service and count a recovery.
+"""
+
+from __future__ import annotations
+
+from repro.backoff import BackoffPolicy
+from repro.errors import AvailabilityError, RecoveryError
+from repro.instrument import COUNTERS
+
+
+class Supervisor:
+    """Heals the verifier behind a :class:`FastVerServer`."""
+
+    def __init__(self, server, policy: BackoffPolicy):
+        self.server = server
+        self.policy = policy
+        #: Successful heal sessions (normal service restored).
+        self.heals = 0
+        #: Heal sessions that fell back to lenient salvage.
+        self.salvages = 0
+        #: Individual heal attempts that failed (stall or recover error).
+        self.failed_attempts = 0
+        self._expected_reboots = server.db.enclave.reboots
+
+    # ------------------------------------------------------------------
+    def check_watchdog(self) -> None:
+        """Flag an out-of-band verifier reboot before it can serve a
+        request from empty volatile state."""
+        if self.server.db.enclave.reboots != self._expected_reboots:
+            self.server._enter_degraded("verifier rebooted out of band")
+
+    def note_reboots(self) -> None:
+        """Resynchronize the watchdog (recovery legitimately reboots)."""
+        self._expected_reboots = self.server.db.enclave.reboots
+
+    # ------------------------------------------------------------------
+    def try_heal(self) -> bool:
+        """One bounded heal session. Returns True when normal service is
+        restored; False leaves the server degraded for a later session
+        (every incoming request starts a new one, breaker permitting)."""
+        server = self.server
+        for delay in self.policy.delays():
+            self.policy.sleep(delay)
+            if server.faults is not None and \
+                    server.faults.fire("server.supervisor.stall"):
+                self.failed_attempts += 1
+                continue
+            db = server.db
+            try:
+                if db.last_checkpoint is None:
+                    raise RecoveryError("no checkpoint to recover from")
+                db.recover(db.last_checkpoint)
+            except AvailabilityError:
+                self.failed_attempts += 1
+                continue
+            except RecoveryError:
+                # The checkpoint itself is unusable: lenient salvage. A
+                # transient failure during salvage keeps us degraded.
+                try:
+                    server._salvage()
+                    self.salvages += 1
+                except AvailabilityError:
+                    self.failed_attempts += 1
+                    continue
+            else:
+                # Checkpoint recovery rolled the database back to its last
+                # durable state; un-checkpointed serving-layer bookkeeping
+                # (provisional caches, non-durable dedup entries) must
+                # follow it.
+                server._rollback_provisional()
+            self.note_reboots()
+            if not server._replay_degraded_writes():
+                self.failed_attempts += 1
+                continue
+            self.heals += 1
+            COUNTERS.recovered += 1
+            server._exit_degraded()
+            return True
+        return False

@@ -105,8 +105,14 @@ def take_checkpoint(store: FasterKV, version: int,
         if faults.fire("checkpoint.blob.corrupt") and blob:
             mid = len(blob) // 2
             blob = blob[:mid] + bytes([blob[mid] ^ 0xFF]) + blob[mid + 1:]
-    return CheckpointToken(version, store.log.tail_address, blob,
-                           store.ordered_width)
+    token = CheckpointToken(version, store.log.tail_address, blob,
+                            store.ordered_width)
+    # A successful checkpoint supersedes whatever lenient salvage produced
+    # this store: recovery now goes through this token, never back through
+    # the quarantined pages, so the quarantine list would only mislead a
+    # later strict-rebuild audit into reporting long-healed damage.
+    store.quarantined_addresses = []
+    return token
 
 
 def recover(token: CheckpointToken, device: LogDevice) -> FasterKV:

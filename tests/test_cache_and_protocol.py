@@ -278,3 +278,88 @@ class TestReceipts:
         delete = client.make_put(dk(3), None)
         empty = client.make_put(dk(3), b"")
         assert delete.tag != empty.tag
+
+
+class TestReceiptEpochStraddle:
+    """Receipt-channel faults that straddle an epoch boundary: an op
+    receipt from epoch N delayed until after the epoch-N batch receipt
+    arrived, and duplicates delivered on both sides of the boundary."""
+
+    def _op_receipt(self, client, epoch, payload=b"v"):
+        nonce = client.next_nonce()
+        receipt = OpReceipt(client.client_id, GET, dk(1), payload, nonce,
+                            epoch, b"")
+        receipt.tag = client.key.sign(*receipt.mac_fields())
+        return receipt
+
+    def _epoch_receipt(self, client, epoch):
+        receipt = EpochReceipt(epoch, b"")
+        receipt.tag = client.key.sign(*receipt.mac_fields())
+        return receipt
+
+    def test_op_receipt_delivered_after_its_epoch_settles(self):
+        from repro.core.protocol import ReceiptChannel
+        from repro.faults import FaultPlan
+
+        client = Client(1, MacKey.generate())
+        channel = ReceiptChannel()
+        channel.faults = FaultPlan(0, {"receipt.reorder": [0]})
+        held = self._op_receipt(client, epoch=1)
+        channel.deliver(held, client)               # withheld by the fault
+        assert channel.reordered == 1
+        channel.deliver(self._epoch_receipt(client, 1), client)
+        assert client.settled_epoch == 1
+        assert not client.settled(held.nonce)       # op receipt still missing
+        assert channel.flush_held() == 1            # late, out of order
+        assert client.settled(held.nonce)           # settles immediately
+
+    def test_straddling_receipts_interleave_with_next_epoch(self):
+        from repro.core.protocol import ReceiptChannel
+        from repro.faults import FaultPlan
+
+        client = Client(1, MacKey.generate())
+        channel = ReceiptChannel()
+        channel.faults = FaultPlan(0, {"receipt.reorder": [0]})
+        old = self._op_receipt(client, epoch=1)
+        channel.deliver(old, client)                # epoch-1 receipt held
+        channel.deliver(self._epoch_receipt(client, 1), client)
+        fresh = self._op_receipt(client, epoch=2)
+        channel.deliver(fresh, client)              # epoch 2 overtakes it
+        channel.deliver(self._epoch_receipt(client, 2), client)
+        assert client.settled(fresh.nonce)
+        channel.flush_held()
+        assert client.settled(old.nonce)
+        assert client.settled_epoch == 2            # the max wins, no regress
+
+    def test_duplicates_across_the_boundary_are_idempotent(self):
+        from repro.core.protocol import ReceiptChannel
+        from repro.faults import FaultPlan
+
+        client = Client(1, MacKey.generate())
+        channel = ReceiptChannel()
+        channel.faults = FaultPlan(0, {"receipt.duplicate": [0]})
+        receipt = self._op_receipt(client, epoch=0)
+        channel.deliver(receipt, client)            # accepted twice
+        assert channel.duplicated == 1
+        epoch = self._epoch_receipt(client, 0)
+        channel.deliver(epoch, client)
+        assert client.settled(receipt.nonce)
+        # Replays on the far side of the boundary change nothing.
+        channel.deliver(receipt, client)
+        channel.deliver(epoch, client)
+        channel.deliver(self._epoch_receipt(client, 0), client)
+        assert client.settled(receipt.nonce)
+        assert client.settled_epoch == 0
+
+    def test_reset_forgets_held_receipts(self):
+        from repro.core.protocol import ReceiptChannel
+        from repro.faults import FaultPlan
+
+        client = Client(1, MacKey.generate())
+        channel = ReceiptChannel()
+        channel.faults = FaultPlan(0, {"receipt.reorder": [0]})
+        held = self._op_receipt(client, epoch=1)
+        channel.deliver(held, client)
+        channel.reset()                             # e.g. across a recovery
+        assert channel.flush_held() == 0
+        assert not client.settled(held.nonce)

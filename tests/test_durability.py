@@ -118,3 +118,50 @@ class TestRollbackAttacks:
             db.flush()
             db.verify()
             db.flush()
+
+
+class TestAntiReplayFloorAcrossCycles:
+    """The verifier's anti-replay floor must survive (and not compound
+    across) consecutive checkpoint/recover cycles: stale requests stay
+    dead forever, fresh nonces keep working."""
+
+    def test_floor_survives_two_recover_cycles(self):
+        from repro.errors import ReplayError
+
+        db, client, ckpt1 = checkpointed_db()
+        stale = client.make_put(db.data_key(4), b"stale")  # nonce drawn now
+        db.apply_put(client, stale)
+        db.flush()
+
+        # Cycle 1: the restore burns every nonce <= the checkpointed mark,
+        # including `stale`'s even though it committed after the snapshot.
+        db.recover(ckpt1)
+        db.put(client, 4, b"fresh-1")  # fresh nonce: admitted
+        db.verify()
+        db.flush()
+
+        # Cycle 2: checkpoint the healed state and recover again.
+        ckpt2 = db.checkpoint()
+        db.recover(ckpt2)
+        db.put(client, 4, b"fresh-2")
+        db.verify()
+        db.flush()
+        assert db.get(client, 4).payload == b"fresh-2"
+
+        # The pre-cycle request is still a replay, two recoveries later.
+        with pytest.raises(ReplayError):
+            db.apply_put(client, stale)
+            db.flush()
+
+    def test_floor_does_not_compound(self):
+        """Each restore burns up to the *checkpointed* high-water mark —
+        repeated cycles with no intervening traffic must not creep the
+        floor past nonces the client never issued."""
+        db, client, ckpt = checkpointed_db()
+        for _ in range(2):
+            db.recover(ckpt)
+            ckpt = db.checkpoint()
+        db.put(client, 9, b"still-works")
+        db.verify()
+        db.flush()
+        assert db.get(client, 9).payload == b"still-works"

@@ -194,6 +194,20 @@ class TestLenientRebuild:
                                          ordered_width=16, strict=False)
         assert rebuilt.quarantined_addresses == []
 
+    def test_checkpoint_after_salvage_clears_quarantine(self):
+        """Regression: a successful checkpoint marks the salvage complete —
+        the quarantined addresses are resolved losses, not live damage, and
+        must not haunt the next recovery cycle."""
+        device, tail = self._damaged_device()
+        store = rebuild_index_from_log(device, tail, ordered_width=16,
+                                       strict=False)
+        assert store.quarantined_addresses == [7]
+        token = take_checkpoint(store, version=1)
+        assert store.quarantined_addresses == []
+        # The token round-trips into a store with a clean slate too.
+        recovered = recover(token, device)
+        assert recovered.quarantined_addresses == []
+
 
 class TestEnclaveFaults:
     def test_transient_ecall_retried_transparently(self):
