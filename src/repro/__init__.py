@@ -30,8 +30,15 @@ from repro.core.fastver import FastVer, FastVerConfig, OpResult, VerifyReport
 from repro.core.keys import BitKey
 from repro.core.protocol import Client
 from repro.crypto.mac import MacKey
-from repro.errors import AvailabilityError, IntegrityError, ReproError
+from repro.errors import (
+    AvailabilityError,
+    IntegrityError,
+    NotLeaderError,
+    ReproError,
+    UnrecoverableError,
+)
 from repro.faults import FaultPlan, install_faults
+from repro.replication import ReplicationConfig, ReplicationManager
 from repro.server import FastVerServer, ServerConfig
 
 __version__ = "1.0.0"
@@ -57,7 +64,11 @@ __all__ = [
     "AvailabilityError",
     "FaultPlan",
     "IntegrityError",
+    "NotLeaderError",
+    "ReplicationConfig",
+    "ReplicationManager",
     "ReproError",
+    "UnrecoverableError",
     "install_faults",
     "new_client",
     "__version__",

@@ -1,0 +1,106 @@
+"""Recovery-time-objective benchmark: warm failover vs cold restore.
+
+Builds two identical servers over the same seeded workload, fails the
+primary enclave in each, and measures the simulated ticks each recovery
+path charges:
+
+* **restore** — no standby attached: the supervisor's checkpoint-restore
+  rung pays a fixed base plus a per-record scan cost over the whole
+  store;
+* **failover** — warm standby attached: promotion pays a fixed base plus
+  a per-entry cost over only the *drained tail* (acknowledged writes not
+  yet shipped), which is bounded by the shipping cadence rather than the
+  database size.
+
+The acceptance bar (ISSUE 3 / ROADMAP) is failover RTO < 10% of the
+cold-restore RTO; the ratio is recorded in ``BENCH_failover.json``.
+"""
+
+from __future__ import annotations
+
+from repro.backoff import BackoffPolicy
+from repro.core.fastver import FastVer, FastVerConfig
+from repro.core.protocol import Client
+from repro.crypto.mac import MacKey
+from repro.errors import AvailabilityError
+from repro.server.pipeline import FastVerServer, ServerConfig
+
+TARGET_RATIO = 0.10
+
+
+def _build_server(records: int, ops: int, seed: int,
+                  standby: bool) -> FastVerServer:
+    """A server with ``records`` loaded and ``ops`` SDK operations worth
+    of history (checkpointed every 100), optionally with a warm standby."""
+    from repro.client import RetryingClient
+    from repro.workloads.ycsb import OP_PUT, WORKLOADS, YcsbGenerator
+
+    items = [(k, b"seed-%d" % k) for k in range(records)]
+    db = FastVer(
+        FastVerConfig(key_width=32, n_workers=2, partition_depth=4,
+                      cache_capacity=256),
+        items=items)
+    client = Client(1, MacKey.generate(f"bench-failover-{seed}"))
+    db.register_client(client)
+    db.verify()
+    db.checkpoint()
+    server = FastVerServer(db, ServerConfig(), warm=items)
+    if standby:
+        server.attach_standby()
+    sdk = RetryingClient(server, client,
+                         policy=BackoffPolicy(max_attempts=3, base_delay=2.0,
+                                              max_delay=8.0, seed=seed))
+    generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
+                              distribution="zipfian", theta=0.9, seed=seed)
+    for i, (kind, k, payload) in enumerate(generator.operations(ops)):
+        if kind == OP_PUT:
+            sdk.put(k, payload)
+        else:
+            sdk.get(k)
+        if (i + 1) % 100 == 0:
+            server.maintain()
+    return server
+
+
+def _measure_rto(server: FastVerServer, destroy: bool) -> float:
+    """Fail the primary enclave and heal; the supervisor records what the
+    successful heal session cost in simulated ticks.
+
+    ``destroy=False`` reboots the enclave (volatile state lost; the
+    checkpoint-restore rung applies). ``destroy=True`` tears it down
+    outright — restore-in-place is impossible, the strongest case for
+    failover."""
+    if destroy:
+        server.db.enclave.teardown()
+    else:
+        server.db.enclave.reboot()
+    try:
+        server.force_heal()
+    except AvailabilityError:
+        pass  # a failed session still leaves the server degraded
+    if server.degraded:
+        raise RuntimeError("bench server failed to heal after the fault")
+    return server.supervisor.last_recovery_ticks
+
+
+def run_failover_bench(records: int = 1200, ops: int = 400,
+                       seed: int = 7) -> dict:
+    """Measure both recovery paths; return the JSON-ready comparison."""
+    cold = _build_server(records, ops, seed, standby=False)
+    restore_rto = _measure_rto(cold, destroy=False)
+
+    warm = _build_server(records, ops, seed, standby=True)
+    failover_rto = _measure_rto(warm, destroy=True)
+    assert warm.generation == 1, "warm path did not fail over"
+
+    ratio = failover_rto / restore_rto if restore_rto else float("inf")
+    return {
+        "records": records,
+        "ops": ops,
+        "seed": seed,
+        "restore_rto_ticks": restore_rto,
+        "failover_rto_ticks": failover_rto,
+        "ratio": round(ratio, 6),
+        "target_ratio": TARGET_RATIO,
+        "ok": ratio < TARGET_RATIO,
+    }

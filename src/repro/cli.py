@@ -9,6 +9,8 @@ Commands:
 * ``attacks``— run the byzantine attack gallery
 * ``chaos``  — deterministic fault-injection soak asserting the tri-state
                invariant (verified / caught-tampering / recoverable)
+* ``bench-failover`` — recovery-time objective: warm-standby failover vs
+               cold checkpoint restore, recorded to BENCH_failover.json
 
 These wrap the same public APIs the examples use; the CLI exists so a
 downstream user can poke the system without writing code.
@@ -63,8 +65,22 @@ def _build_parser() -> argparse.ArgumentParser:
                             "pipeline (admission queue, deadlines, "
                             "idempotent retry, circuit breaker, "
                             "degraded mode) with its fault points armed")
+    chaos.add_argument("--failover", action="store_true",
+                       help="attach a warm standby (implies --server), arm "
+                            "the replication fault points, and kill the "
+                            "primary enclave twice mid-run so recovery "
+                            "goes through verified failover")
     chaos.add_argument("--check-deterministic", action="store_true",
                        help="run twice and require identical digests")
+
+    bench_fo = sub.add_parser(
+        "bench-failover",
+        help="measure failover RTO vs cold checkpoint-restore RTO and "
+             "write BENCH_failover.json")
+    bench_fo.add_argument("--records", type=int, default=1200)
+    bench_fo.add_argument("--ops", type=int, default=400)
+    bench_fo.add_argument("--seed", type=int, default=7)
+    bench_fo.add_argument("--out", default="BENCH_failover.json")
     return parser
 
 
@@ -171,17 +187,25 @@ def cmd_chaos(args) -> int:
 
     def once():
         return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
-                         tamper_every=args.tamper_every, server=args.server)
+                         tamper_every=args.tamper_every, server=args.server,
+                         failover=args.failover)
 
     report = once()
-    mode = "server pipeline" if args.server else "direct"
+    mode = ("failover" if args.failover
+            else "server pipeline" if args.server else "direct")
     print(f"chaos seed={report.seed} mode={mode} "
           f"ops={report.ops_attempted} ok={report.ops_ok}")
     print(f"availability errors  {report.availability_errors}")
     print(f"recoveries           {report.recoveries} "
-          f"(salvages {report.salvages})")
+          f"(salvages {report.salvages}, failovers {report.failovers})")
     print(f"integrity detections {report.integrity_detections}")
     print(f"receipts dropped     {report.receipts_dropped}")
+    if args.failover:
+        print(f"shipped batches      {report.shipped_batches} "
+              f"(channel rejects {report.repl_rejects})")
+    if report.unrecoverable:
+        print("UNRECOVERABLE: the recovery ladder ran out of rungs; the "
+              "error carries the fault seed and trace digest")
     print(f"fault fires          {report.fault_fires}")
     print(f"digest               {report.digest()}")
     if report.hard_failures:
@@ -193,7 +217,8 @@ def cmd_chaos(args) -> int:
               f"--ops {args.ops} --records {args.records}"
               + (f" --tamper-every {args.tamper_every}"
                  if args.tamper_every else "")
-              + (" --server" if args.server else ""))
+              + (" --server" if args.server else "")
+              + (" --failover" if args.failover else ""))
         return 1
     if args.check_deterministic:
         second = once()
@@ -206,6 +231,31 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench_failover(args) -> int:
+    import json
+
+    from repro.bench.failover import run_failover_bench
+
+    result = run_failover_bench(records=args.records, ops=args.ops,
+                                seed=args.seed)
+    print(f"records               {result['records']} "
+          f"(+{result['ops']} ops before failure)")
+    print(f"restore RTO           {result['restore_rto_ticks']:.2f} ticks "
+          f"(cold checkpoint restore)")
+    print(f"failover RTO          {result['failover_rto_ticks']:.2f} ticks "
+          f"(warm standby promotion)")
+    print(f"ratio                 {result['ratio']:.4f} "
+          f"(target < {result['target_ratio']})")
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if not result["ok"]:
+        print("FAILED: failover RTO did not beat the restore RTO target")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -214,6 +264,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit": cmd_audit,
         "attacks": cmd_attacks,
         "chaos": cmd_chaos,
+        "bench-failover": cmd_bench_failover,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,15 @@ behind a recovery) → keep polling the *same* request; ``unknown`` → the
 op was provably never applied, so re-issue under a *fresh* envelope
 (fresh nonce, fresh deadline). Integrity errors are never retried — they
 are the verifier speaking, and no amount of retrying un-tampers a store.
+
+Failover adds one more case: a :class:`~repro.errors.NotLeaderError`
+means a standby was promoted mid-conversation. The SDK fetches the new
+leadership generation plus this client's *fence receipt* (verified under
+the client's own MAC key — the host cannot forge it), after which every
+receipt from the deposed verifier's fenced epochs is refused, and the
+in-flight operation is resolved through the same idempotency query: done
+→ it crossed the handoff, return it; unknown → reissue fresh. Exactly
+once either way.
 """
 
 from __future__ import annotations
@@ -37,7 +46,9 @@ from repro.core.protocol import Client
 from repro.errors import (
     AvailabilityError,
     IntegrityError,
+    NotLeaderError,
     RetriesExhaustedError,
+    UnrecoverableError,
 )
 from repro.instrument import COUNTERS
 from repro.server.pipeline import FastVerServer, ServerRequest, ServerResult
@@ -59,6 +70,11 @@ class RetryingClient:
             self.policy.sleep_fn = server._advance
         #: Operations abandoned after a definitive cancel.
         self.gave_up = 0
+        #: Leadership generation this endpoint believes in; refreshed by
+        #: following a NotLeaderError redirect after a failover.
+        self.generation = server.generation
+        #: Redirects followed (failovers observed by this endpoint).
+        self.redirects = 0
 
     # ------------------------------------------------------------------
     def get(self, key: int | bytes) -> ServerResult:
@@ -76,7 +92,19 @@ class RetryingClient:
         else:
             op = self.client.make_put(bk, payload)
         deadline = self.server.now + self.server.config.default_deadline
-        return ServerRequest(kind, op, deadline, worker=bk.bits)
+        return ServerRequest(kind, op, deadline, worker=bk.bits,
+                             generation=self.generation)
+
+    def _follow_redirect(self, request: ServerRequest) -> None:
+        """Adopt the new leadership generation and its fence receipt: the
+        client verifies the fence under its own MAC key, after which it
+        refuses every receipt the deposed verifier could have signed."""
+        generation, fence = self.server.leader_info(self.client.client_id)
+        if fence is not None:
+            self.client.accept_fence(fence)
+        self.generation = generation
+        request.generation = generation
+        self.redirects += 1
 
     def _run(self, kind: str, key: int | bytes,
              payload: bytes | None) -> ServerResult:
@@ -90,6 +118,23 @@ class RetryingClient:
                 return self.server.handle(request)
             except IntegrityError:
                 raise
+            except UnrecoverableError:
+                raise  # the ladder is out of rungs; retrying cannot help
+            except NotLeaderError as exc:
+                # A failover happened under us. Adopt the fence, then let
+                # the idempotency query below resolve whether this very
+                # operation made it across the handoff — the ambiguous
+                # straddling-put case resolves exactly-once here.
+                last = exc
+                self._follow_redirect(request)
+                status, result = self.server.query(request.client_id,
+                                                   request.nonce)
+                if status == "done":
+                    return result  # it crossed the failover; don't fork
+                if status == "pending":
+                    continue
+                request = self._envelope(kind, key, payload)
+                continue
             except AvailabilityError as exc:
                 last = exc
                 status, result = self.server.query(request.client_id,

@@ -53,9 +53,11 @@ from repro.crypto.prf import Prf
 from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
 from repro.enclave.enclave import SimulatedEnclave
 from repro.errors import (
+    EnclaveDeadError,
     EnclaveRebootError,
     EnclaveUnavailableError,
     ProtocolError,
+    RecoveryError,
     StoreError,
     TransientIOError,
 )
@@ -233,7 +235,7 @@ class FastVer:
         return self._ecall_backoff.run(
             lambda: self.enclave.ecall(method, *args),
             retry_on=(EnclaveUnavailableError,),
-            no_retry=(EnclaveRebootError,),
+            no_retry=(EnclaveRebootError, EnclaveDeadError),
             on_retry=self._count_ecall_retry,
         )
 
@@ -973,6 +975,14 @@ class FastVer:
                 self._recover_once(checkpoint)
                 self.last_checkpoint = checkpoint
                 return
+            except EnclaveDeadError as exc:
+                # Torn down, not rebooted: this instance can never come
+                # back, so restore-in-place is hopeless. Typed as a
+                # RecoveryError so the supervisor falls through to the
+                # next rung (salvage re-provisions a fresh enclave).
+                raise RecoveryError(
+                    "enclave instance is destroyed; restore-in-place is "
+                    "impossible") from exc
             except (EnclaveUnavailableError, TransientIOError) as exc:
                 last_exc = exc
                 COUNTERS.ecall_retries += 1
@@ -1051,6 +1061,48 @@ class FastVer:
             if ptr is not None and ptr.key == key:
                 best = candidate
         return best
+
+    # ==================================================================
+    # Replication support (repro.replication)
+    # ==================================================================
+    def items_snapshot(self) -> list[tuple[int, bytes]]:
+        """The live data records as ``(key bits, payload)`` pairs, sorted.
+
+        Used to bootstrap a warm standby (and by the chaos oracle at
+        promotion). Only meaningful at a drained point — call
+        :meth:`flush` (or take it right after :meth:`verify`/
+        :meth:`checkpoint`) so no update is still buffered in a log.
+        Deleted records (tombstones) are omitted; Merkle plumbing and
+        anchors are excluded — a fresh load rebuilds them.
+        """
+        width = self.config.key_width
+        items: list[tuple[int, bytes]] = []
+        for key, value, _aux in self.store.items():
+            if key.length != width:
+                continue
+            payload = getattr(value, "payload", None)
+            if payload is None:
+                continue
+            items.append((key.bits, payload))
+        items.sort()
+        return items
+
+    def fence_to(self, target: int) -> int:
+        """Close epochs until ``current_epoch >= target`` (promotion fence).
+
+        Each close runs the full verification scan — migration plus the
+        aggregated set-hash check — so reaching the fence *verifies* the
+        replicated state rather than merely renumbering it. After this,
+        every receipt this verifier signs names an epoch ``>= target``,
+        and clients holding a fence receipt for ``target`` reject
+        anything below it (the deposed primary's entire signable range).
+        Returns the number of epochs closed.
+        """
+        closes = 0
+        while self.current_epoch < target:
+            self.verify()
+            closes += 1
+        return closes
 
     # ==================================================================
     # Introspection

@@ -28,8 +28,10 @@ from repro.core.protocol import (
     GET,
     GET_ABSENT,
     PUT,
+    SHIP,
     ClientTable,
     EpochReceipt,
+    FenceReceipt,
     OpReceipt,
     _payload_bytes,
 )
@@ -44,6 +46,7 @@ from repro.errors import (
     EnclaveUnavailableError,
     EpochError,
     ProtocolError,
+    ReplayError,
     SetHashMismatchError,
     SignatureError,
     StructuralError,
@@ -78,6 +81,11 @@ class VerifierGroup:
         ]
         self._combiner = combiner
         self._loaded = False
+        # Replication channel state (see repl_set_key). One key serves both
+        # roles: a primary signs shipments, a standby admits them.
+        self._repl_key: MacKey | None = None
+        self._repl_next_seq = 0
+        self._repl_chain = b"\x00" * 32
 
     def _require_loaded(self, what: str) -> None:
         """Refuse trusted work on a freshly-(re)booted verifier.
@@ -242,6 +250,76 @@ class VerifierGroup:
         for client_id in self.clients.nonces():
             receipt = EpochReceipt(epoch, b"")
             receipt.tag = self.clients.key_for(client_id).sign(*receipt.mac_fields())
+            receipts[client_id] = receipt
+        return receipts
+
+    # ------------------------------------------------------------------
+    # Replication channel (authenticated log shipping, PROTOCOL.md
+    # "Replication & failover"). The host carries shipments; these ecalls
+    # are what keep it a *delay-only* adversary: every batch is MAC'd
+    # under a shared session key, sequence-numbered, and hash-chained, so
+    # forging, reordering, truncating, or splicing the stream is detected
+    # by the standby before anything is applied.
+    # ------------------------------------------------------------------
+    def repl_set_key(self, key_bytes: bytes) -> None:
+        """Install the replication session key (models the key agreed
+        during mutual attestation of primary and standby) and reset the
+        stream position. Called on both peers at pairing time."""
+        self._repl_key = MacKey(key_bytes, name="repl-channel")
+        self._repl_next_seq = 0
+        self._repl_chain = b"\x00" * 32
+
+    def _require_repl_key(self) -> MacKey:
+        if self._repl_key is None:
+            raise ProtocolError("no replication channel key installed")
+        return self._repl_key
+
+    def repl_sign(self, seq: int, prev_digest: bytes,
+                  body_digest: bytes) -> bytes:
+        """Primary role: authenticate one shipment of log entries."""
+        key = self._require_repl_key()
+        return key.sign(SHIP, seq.to_bytes(8, "big"), prev_digest, body_digest)
+
+    def repl_admit(self, seq: int, prev_digest: bytes,
+                   body_digest: bytes, tag: bytes) -> None:
+        """Standby role: admit one shipment, or raise an IntegrityError.
+
+        Checks, in order: the MAC (host forged or corrupted the batch),
+        the sequence number (reorder/replay), and the hash chain
+        (truncation or splice of the stream). State advances only when
+        all three hold, so a rejected shipment can simply be
+        retransmitted — rejection never desynchronizes the channel.
+        """
+        key = self._require_repl_key()
+        key.verify(tag, SHIP, seq.to_bytes(8, "big"), prev_digest, body_digest)
+        if seq != self._repl_next_seq:
+            raise ReplayError(
+                f"shipment seq {seq} out of order "
+                f"(expected {self._repl_next_seq})")
+        if prev_digest != self._repl_chain:
+            raise ReplayError(
+                f"shipment {seq} breaks the hash chain "
+                f"(truncated or spliced stream)")
+        self._repl_next_seq += 1
+        self._repl_chain = body_digest
+
+    def issue_fence(self, generation: int) -> dict[int, FenceReceipt]:
+        """Promotion handoff: sign one fence receipt per registered client.
+
+        The fence epoch is this (promoted) verifier's current epoch; the
+        supervisor has already closed epochs past everything the deposed
+        primary could have named, so a client that adopts the fence
+        rejects every receipt a stale or split-brain primary can still
+        sign. Signed under each client's own key — the same key op
+        receipts use — so the untrusted host cannot fabricate a fence.
+        """
+        self._require_loaded("issue a fence")
+        fence_epoch = self.epochs.current
+        receipts: dict[int, FenceReceipt] = {}
+        for client_id in self.clients.nonces():
+            receipt = FenceReceipt(client_id, generation, fence_epoch, b"")
+            receipt.tag = self.clients.key_for(client_id).sign(
+                *receipt.mac_fields())
             receipts[client_id] = receipt
         return receipts
 

@@ -25,6 +25,8 @@ GET = b"GET"
 GET_ABSENT = b"GET_ABSENT"
 PUT = b"PUT"
 EPOCH = b"EPOCH"
+FENCE = b"FENCE"
+SHIP = b"SHIP"
 
 
 def _payload_bytes(payload: bytes | None) -> bytes:
@@ -66,6 +68,33 @@ class EpochReceipt:
 
 
 @dataclass
+class FenceReceipt:
+    """A promoted verifier's proof of leadership change.
+
+    Issued under the client's own MAC key by the standby enclave at
+    promotion (it inherited the client table through replication), so the
+    untrusted host cannot fabricate one. ``fence_epoch`` is the first
+    epoch the new verifier will ever name in a receipt: accepting the
+    fence makes the client reject every receipt from a lower epoch, which
+    is exactly the set a stale or split-brain old primary could still
+    sign. ``generation`` is the serving-layer leadership counter the
+    client echoes in subsequent requests."""
+
+    client_id: int
+    generation: int
+    fence_epoch: int
+    tag: bytes
+
+    def mac_fields(self) -> tuple:
+        return (
+            FENCE,
+            self.client_id.to_bytes(8, "big"),
+            self.generation.to_bytes(8, "big"),
+            self.fence_epoch.to_bytes(8, "big"),
+        )
+
+
+@dataclass
 class PutRequest:
     """A client-authorized update: the verifier rejects puts without a
     valid client tag, so the host cannot unilaterally modify data (§2.1)."""
@@ -99,6 +128,10 @@ class Client:
         self._next_nonce = 1
         self._pending: dict[int, OpReceipt] = {}   # nonce -> accepted receipt
         self._settled_epoch = -1
+        #: Receipts naming an epoch below this are from a deposed verifier.
+        self._fence_epoch = 0
+        #: Receipts rejected by the fence (split-brain evidence, counted).
+        self.fenced_receipts = 0
 
     # ------------------------------------------------------------------
     # Request construction
@@ -136,12 +169,35 @@ class Client:
         if not 0 < receipt.nonce < self._next_nonce:
             raise ReplayError(f"receipt for unknown nonce {receipt.nonce}")
         self.key.verify(receipt.tag, *receipt.mac_fields())
+        if receipt.epoch < self._fence_epoch:
+            self.fenced_receipts += 1
+            return
         self._pending[receipt.nonce] = receipt
 
     def accept_epoch(self, receipt: EpochReceipt) -> None:
         self.key.verify(receipt.tag, *receipt.mac_fields())
+        if receipt.epoch < self._fence_epoch:
+            self.fenced_receipts += 1
+            return
         if receipt.epoch > self._settled_epoch:
             self._settled_epoch = receipt.epoch
+
+    def accept_fence(self, receipt: FenceReceipt) -> None:
+        """Adopt a leadership fence: from now on, receipts naming any epoch
+        below ``fence_epoch`` — the only epochs a deposed primary could
+        still sign — are dropped (and counted) instead of accepted."""
+        if receipt.client_id != self.client_id:
+            raise ProtocolError(
+                f"fence for client {receipt.client_id} delivered to "
+                f"client {self.client_id}"
+            )
+        self.key.verify(receipt.tag, *receipt.mac_fields())
+        if receipt.fence_epoch > self._fence_epoch:
+            self._fence_epoch = receipt.fence_epoch
+
+    @property
+    def fence_epoch(self) -> int:
+        return self._fence_epoch
 
     def settled(self, nonce: int) -> bool:
         """Is the operation fully validated (op receipt + epoch receipt)?"""

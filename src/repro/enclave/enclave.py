@@ -26,6 +26,7 @@ from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
 from repro.enclave.sealed import SealedSlot
 from repro.errors import (
     CapacityError,
+    EnclaveDeadError,
     EnclaveError,
     EnclaveRebootError,
     EnclaveUnavailableError,
@@ -62,7 +63,9 @@ class SimulatedEnclave:
         expose the batching benefit.
         """
         if not self._alive:
-            raise EnclaveError("enclave has been torn down")
+            raise EnclaveDeadError(
+                "enclave has been torn down; only failover to a standby "
+                "or a full re-provision can restore service")
         if self.faults is not None:
             if self.faults.fire("ecall.reboot"):
                 # Surprise power loss: the call never dispatches and the

@@ -154,12 +154,35 @@ class RetriesExhaustedError(AvailabilityError):
     server's idempotency table, that the operation was never applied."""
 
 
+class NotLeaderError(AvailabilityError):
+    """The request carried a fenced leadership generation: a standby was
+    promoted since the client last refreshed its view. Nothing was applied.
+    The client should fetch ``leader_info`` (picking up the fence receipt),
+    adopt the new generation, and resolve the in-flight op through the
+    idempotency table before re-issuing."""
+
+
+class UnrecoverableError(AvailabilityError):
+    """The supervisor's whole recovery ladder — failover, checkpoint
+    restore, lenient salvage — failed. Retrying cannot help; the message
+    carries the fault seed and injection-trace digest so the failure can
+    be replayed for manual intervention."""
+
+
 class CapacityError(ReproError):
     """A fixed-size resource (verifier cache, enclave memory) is exhausted."""
 
 
 class EnclaveError(ReproError):
     """Errors in the simulated enclave runtime (bad call gate usage, etc.)."""
+
+
+class EnclaveDeadError(EnclaveUnavailableError, EnclaveError):
+    """The enclave instance was destroyed (torn down or fenced) and can
+    never serve again; only failover to a standby or a re-provision helps.
+    Typed as both an availability failure (the supervisor routes it into
+    the recovery ladder) and an enclave runtime error (call-gate misuse
+    against a dead instance)."""
 
 
 class StoreError(ReproError):

@@ -33,8 +33,9 @@ from repro.errors import (
     AvailabilityError,
     IntegrityError,
     RecoveryError,
+    UnrecoverableError,
 )
-from repro.faults.plan import FaultPlan, install_faults
+from repro.faults.plan import FaultPlan, FaultSpec, install_faults
 from repro.store.recovery import rebuild_index_from_log
 from repro.workloads.ycsb import OP_GET, OP_PUT, WORKLOADS, YcsbGenerator
 
@@ -63,6 +64,17 @@ SERVER_SPECS = dict(DEFAULT_SPECS, **{
     "server.supervisor.stall": 0.25,
 })
 
+#: ``--failover`` mode arms the replication channel on top of the server
+#: mix: lossy/corrupting/reordering shipment delivery, standby lag
+#: spikes, and (added per-run with explicit encounter indices, so every
+#: soak exercises it) the primary-enclave kill that forces promotion.
+FAILOVER_SPECS = dict(SERVER_SPECS, **{
+    "repl.ship.drop": 0.02,
+    "repl.ship.reorder": 0.02,
+    "repl.ship.corrupt": 0.02,
+    "repl.standby.lag": 0.01,
+})
+
 
 @dataclass
 class ChaosReport:
@@ -76,6 +88,15 @@ class ChaosReport:
     salvages: int = 0
     integrity_detections: int = 0
     receipts_dropped: int = 0
+    #: Heal sessions resolved by promoting the warm standby (--failover).
+    failovers: int = 0
+    #: Authenticated shipments the primary packaged for the standby.
+    shipped_batches: int = 0
+    #: Shipments the standby's enclave rejected (drop/reorder/corrupt —
+    #: each one retransmitted; rejects are the *detection* count).
+    repl_rejects: int = 0
+    #: The recovery ladder ran out of rungs (UnrecoverableError).
+    unrecoverable: bool = False
     fault_fires: dict = field(default_factory=dict)
     trace_digest: str = ""
     #: Tri-state violations. MUST stay empty; each entry is a hard failure.
@@ -92,7 +113,9 @@ class ChaosReport:
         h.update(self.trace_digest.encode())
         for part in (self.seed, self.ops_attempted, self.ops_ok,
                      self.availability_errors, self.recoveries,
-                     self.salvages, self.integrity_detections):
+                     self.salvages, self.integrity_detections,
+                     self.failovers, self.shipped_batches,
+                     self.repl_rejects, int(self.unrecoverable)):
             h.update(str(part).encode() + b";")
         for point in sorted(self.fault_fires):
             h.update(f"{point}={self.fault_fires[point]};".encode())
@@ -109,14 +132,26 @@ class _ChaosRun:
 
     def __init__(self, seed: int, ops: int, records: int,
                  plan: FaultPlan | None, tamper_every: int | None,
-                 server: bool = False):
+                 server: bool = False, failover: bool = False):
         self.seed = seed
         self.n_ops = ops
         self.n_records = records
-        self.plan = plan if plan is not None else FaultPlan(
-            seed=seed, specs=SERVER_SPECS if server else DEFAULT_SPECS)
+        if plan is not None:
+            self.plan = plan
+        elif failover:
+            specs = dict(FAILOVER_SPECS)
+            # Kill the primary enclave at fixed points mid-run so every
+            # failover soak exercises promotion (twice: the re-attached
+            # standby absorbs a double failover).
+            specs["repl.primary.kill"] = FaultSpec(
+                at_counts=(max(1, ops // 3), max(2, 2 * ops // 3)))
+            self.plan = FaultPlan(seed=seed, specs=specs)
+        else:
+            self.plan = FaultPlan(
+                seed=seed, specs=SERVER_SPECS if server else DEFAULT_SPECS)
         self.tamper_every = tamper_every
-        self.server_mode = server
+        self.server_mode = server or failover
+        self.failover_mode = failover
         self.server = None   # FastVerServer in --server mode
         self.sdk = None      # RetryingClient in --server mode
         self._db = None      # the database outside --server mode
@@ -171,6 +206,10 @@ class _ChaosRun:
             self.server = FastVerServer(
                 db, ServerConfig(),
                 salvage_hook=self._server_salvage_hook, warm=items)
+            if self.failover_mode:
+                # Standby first, faults after: the bootstrap snapshot runs
+                # clean, exactly like the baseline checkpoint above.
+                self.server.attach_standby(promote_hook=self._promote_hook)
             self.sdk = RetryingClient(
                 self.server, self.client,
                 policy=BackoffPolicy(max_attempts=5, base_delay=2.0,
@@ -208,6 +247,34 @@ class _ChaosRun:
         self.current = dict(survivors)
         self.committed = dict(survivors)
         return survivors
+
+    def _promote_hook(self, items: list[tuple[int, bytes]]) -> None:
+        """Called at each failover promotion with the promoted database's
+        records. Two checks, then the oracle rebases wholesale:
+
+        * **fabrication** — a value never written is the standby lying;
+        * **lost acknowledged write** — a key the oracle expects (an op
+          the SDK reported applied) missing from the promoted state means
+          the handoff dropped an acknowledged write. The *value* may
+          legitimately be newer than the oracle's (a completed put whose
+          response was still in flight), which the history check covers.
+        """
+        promoted: dict[int, bytes] = {}
+        for k, payload in items:
+            if k in self.history and payload not in self.history[k]:
+                self.report.hard_failures.append(
+                    f"failover fabrication: key {k} holds {payload!r}, "
+                    f"never written")
+                continue
+            promoted[k] = payload
+        for k, expected in self.current.items():
+            if expected is not None and k not in promoted:
+                self.report.hard_failures.append(
+                    f"failover lost acknowledged write: key {k} "
+                    f"(expected {expected!r}) missing after promotion")
+        self.report.failovers += 1
+        self.current = dict(promoted)
+        self.committed = dict(promoted)
 
     def _recover_sequence(self) -> None:
         """Restore service after an availability error: checkpoint
@@ -403,6 +470,13 @@ class _ChaosRun:
                 kind, payload = OP_GET, None  # A-mix never scans; belt+braces
             try:
                 self._one_op(kind, k, payload)
+            except UnrecoverableError:
+                # The ladder escalated: typed, definitive, run over. Not a
+                # hard failure — the invariant held all the way down; the
+                # operator gets the seed + trace repro handle in the error.
+                self.report.unrecoverable = True
+                self.report.availability_errors += 1
+                break
             except AvailabilityError:
                 self.report.availability_errors += 1
                 # In --server mode the pipeline heals itself (supervisor +
@@ -424,6 +498,10 @@ class _ChaosRun:
                 since_maintain = 0
                 try:
                     self._maintain()
+                except UnrecoverableError:
+                    self.report.unrecoverable = True
+                    self.report.availability_errors += 1
+                    break
                 except AvailabilityError:
                     self.report.availability_errors += 1
                     if self.server is None and not self._try_recover(i):
@@ -440,6 +518,11 @@ class _ChaosRun:
             if self.plan.fires(point)
         }
         self.report.receipts_dropped = self.db.receipt_channel.dropped
+        if self.server is not None and self.server.replication is not None:
+            self.report.failovers = self.server.supervisor.failovers
+            self.report.shipped_batches = \
+                self.server.replication.shipped_batches
+            self.report.repl_rejects = self.server.replication.rejects
         self.report.trace_digest = self.plan.trace_digest()
         return self.report
 
@@ -447,7 +530,7 @@ class _ChaosRun:
 def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
               plan: FaultPlan | None = None,
               tamper_every: int | None = None,
-              server: bool = False) -> ChaosReport:
+              server: bool = False, failover: bool = False) -> ChaosReport:
     """Run one chaos soak; see the module docstring for the contract.
 
     ``server=True`` drives the workload through the full serving pipeline
@@ -455,5 +538,13 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     FastVer) via the retrying client SDK, with the serving-layer fault
     points armed on top of the storage/enclave mix; recovery is then the
     *server's* job (supervisor watchdog + heal ladder), not the harness's.
+
+    ``failover=True`` (implies server mode) additionally attaches a warm
+    standby fed by authenticated log shipping, arms the ``repl.*`` fault
+    points, and schedules two primary-enclave kills mid-run, so recovery
+    is dominated by failover promotion; the oracle then also demands that
+    no acknowledged write is lost across a promotion and that no value
+    the workload never wrote appears in the promoted state.
     """
-    return _ChaosRun(seed, ops, records, plan, tamper_every, server).run()
+    return _ChaosRun(seed, ops, records, plan, tamper_every, server,
+                     failover).run()

@@ -44,6 +44,12 @@ KNOWN_POINTS = frozenset({
     "server.wire.response",     # response lost after the op was applied
     "server.breaker.trip",      # circuit breaker forced open (downstream flap)
     "server.supervisor.stall",  # one supervisor recovery attempt fails
+    # Replication channel (replication/manager.py)
+    "repl.ship.drop",           # shipment lost in transit (retransmitted)
+    "repl.ship.reorder",        # a later shipment delivered first
+    "repl.ship.corrupt",        # one byte of the shipment body flips
+    "repl.standby.lag",         # standby apply stalls this pump (lag spike)
+    "repl.primary.kill",        # primary enclave destroyed mid-epoch
 })
 
 

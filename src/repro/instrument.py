@@ -77,6 +77,12 @@ class Counters:
     recovered: int = 0              # successful supervisor recoveries
     wire_drops: int = 0             # request/response messages lost in transit
 
+    # Replication / failover (repro.replication, server supervisor)
+    failovers: int = 0              # standby promotions completed
+    shipped_batches: int = 0        # authenticated log shipments packaged
+    replication_lag_max: int = 0    # peak unshipped+unacked backlog (entries)
+    recovery_ticks: int = 0         # simulated ticks spent in heal sessions
+
     def reset(self) -> None:
         """Zero every counter in place."""
         for f in fields(self):
@@ -95,10 +101,19 @@ class Counters:
             }
         )
 
+    #: Fields that merge as a running maximum, not a sum: a peak observed
+    #: by any worker is the peak of the merged bag.
+    _MAX_MERGE = frozenset({"replication_lag_max"})
+
     def add(self, other: "Counters") -> None:
         """Accumulate another counter bag into this one (per-worker merge)."""
         for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+            if f.name in self._MAX_MERGE:
+                setattr(self, f.name,
+                        max(getattr(self, f.name), getattr(other, f.name)))
+            else:
+                setattr(self, f.name,
+                        getattr(self, f.name) + getattr(other, f.name))
 
     @contextmanager
     def scoped(self):

@@ -1,0 +1,25 @@
+"""Warm-standby verifier replication (see docs/PROTOCOL.md).
+
+A second simulated enclave tails the primary's authenticated operation
+log: every applied put and every epoch close is packaged into a MAC'd,
+sequence-numbered, hash-chained *shipment* that crosses the untrusted
+host to the standby. The host can delay shipments but can never forge,
+reorder, truncate, or splice the stream undetected — the standby's
+enclave rejects anything that breaks the chain, and a rejected shipment
+is simply retransmitted. On primary failure the supervisor promotes the
+standby: it drains the unshipped tail, closes epochs up to a fence past
+everything the dead primary could have signed, and hands clients fence
+receipts so no receipt from the deposed verifier is ever accepted again.
+"""
+
+from repro.replication.manager import ReplicationConfig, ReplicationManager
+from repro.replication.shipper import LogShipper, Shipment
+from repro.replication.standby import StandbyVerifier
+
+__all__ = [
+    "LogShipper",
+    "ReplicationConfig",
+    "ReplicationManager",
+    "Shipment",
+    "StandbyVerifier",
+]

@@ -1,0 +1,221 @@
+"""Wires a primary server to its warm standby: shipping and promotion.
+
+The :class:`ReplicationManager` lives host-side (untrusted): it carries
+shipments between the two enclaves, which is why nothing here is load-
+bearing for integrity — the enclave-side channel checks (``repl_sign`` /
+``repl_admit``) and the clients' own receipt MACs are. What the manager
+*is* responsible for is availability choreography:
+
+* **pump** — package the outbox into signed shipments and deliver them,
+  subject to the ``repl.*`` fault points (drop/reorder/corrupt deliveries
+  are rejected by the standby and retransmitted — the host is a
+  delay-only adversary on this channel);
+* **promote** — the supervisor's failover rung: drain the unshipped tail
+  into the standby, close epochs up to the fence, collect per-client
+  fence receipts from the standby's enclave, seal a fresh anti-replay
+  floor, tear down the deposed enclave, and swap the standby in as the
+  server's database under a bumped leadership generation;
+* **resync** — after a checkpoint-restore or salvage heal the primary's
+  timeline rolled back, so the standby (which applied acknowledged
+  writes the restore discarded) is rebuilt from the healed primary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.protocol import ReceiptChannel
+from repro.crypto.mac import MacKey
+from repro.errors import AvailabilityError, ProtocolError
+from repro.instrument import COUNTERS
+from repro.replication.shipper import LogShipper
+from repro.replication.standby import StandbyVerifier
+
+
+@dataclass
+class ReplicationConfig:
+    """Replication tuning knobs."""
+
+    #: Ship when the outbox holds at least this many entries (an epoch
+    #: marker or an idle channel ships immediately regardless).
+    batch_entries: int = 8
+    #: After a promotion, bootstrap a fresh standby from the new primary
+    #: so a second failure can fail over too (double-failover support).
+    auto_reattach: bool = True
+
+
+class ReplicationManager:
+    """Log shipping + verified failover for one :class:`FastVerServer`."""
+
+    def __init__(self, server, config: ReplicationConfig | None = None,
+                 promote_hook=None):
+        self.server = server
+        self.config = config or ReplicationConfig()
+        #: Called with the promoted database's ``items_snapshot()`` right
+        #: after a promotion (the chaos oracle rebases on it).
+        self.promote_hook = promote_hook
+        self.standby: StandbyVerifier | None = None
+        self.shipper = LogShipper(self._sign)
+        self.failovers = 0
+        self.shipped_batches = 0
+        self.rejects = 0
+        self.lag_max = 0
+        self._bootstrap()
+
+    # ------------------------------------------------------------------
+    # Pairing
+    # ------------------------------------------------------------------
+    def _sign(self, seq: int, prev_digest: bytes, digest: bytes) -> bytes:
+        return self.server.db._ecall("repl_sign", seq, prev_digest, digest)
+
+    def _client_source(self, client_id: int):
+        return self.server.db.clients.get(client_id)
+
+    def _bootstrap(self) -> None:
+        """Provision a standby from the current primary's live records and
+        install a fresh replication session key on both enclaves."""
+        db = self.server.db
+        db.flush()
+        key = MacKey.generate("repl-channel")
+        db._ecall("repl_set_key", key.key_bytes())
+        self.standby = StandbyVerifier(
+            db.config, db.items_snapshot(), list(db.clients.values()),
+            key.key_bytes(), client_source=self._client_source)
+        self.shipper = LogShipper(self._sign)
+
+    def _try_bootstrap(self) -> None:
+        try:
+            self._bootstrap()
+        except AvailabilityError:
+            # Primary not healthy enough to snapshot right now; serve
+            # without a standby (the restore/salvage rungs still work).
+            self.standby = None
+            self.shipper = LogShipper(self._sign)
+
+    def resync(self) -> None:
+        """Rebuild the standby after a restore/salvage heal: the primary's
+        timeline rolled back, so the old replica (which applied writes the
+        rollback discarded) no longer extends it."""
+        self.standby = None
+        self._try_bootstrap()
+
+    # ------------------------------------------------------------------
+    # Shipping
+    # ------------------------------------------------------------------
+    def note_put(self, request) -> None:
+        self.shipper.note_put(request)
+
+    def note_epoch(self, epoch: int) -> None:
+        self.shipper.note_epoch(epoch)
+
+    def lag(self) -> int:
+        """Acknowledged-but-unreplicated entries (observable lag bound)."""
+        return self.shipper.backlog()
+
+    def pump(self) -> None:
+        """One shipping round: package and deliver, under fault injection."""
+        faults = self.server.faults
+        if faults is not None and faults.fire("repl.primary.kill"):
+            enclave = self.server.db.enclave
+            if enclave.probe()["alive"]:
+                enclave.teardown()
+        if self.standby is not None and not self.standby.failed:
+            try:
+                self._pump_inner(faults)
+            except AvailabilityError:
+                pass  # the primary's gate is down; the supervisor acts next
+        self._note_lag()
+
+    def _pump_inner(self, faults) -> None:
+        sh = self.shipper
+        if sh.outbox and (len(sh.outbox) >= self.config.batch_entries
+                          or sh.epoch_pending or not sh.unacked):
+            sh.make_shipment()
+            self.shipped_batches += 1
+        if not sh.unacked:
+            return
+        if faults is not None and faults.fire("repl.standby.lag"):
+            return  # the standby's apply loop stalls this round
+        if faults is not None and len(sh.unacked) >= 2 \
+                and faults.fire("repl.ship.reorder"):
+            # Deliver a later shipment first: the standby's sequence check
+            # rejects it without touching state, and in-order delivery
+            # below proceeds as if nothing happened.
+            out_of_order = list(sh.unacked.values())[1]
+            self._deliver(out_of_order, corrupt=False)
+        for seq in list(sh.unacked):
+            shipment = sh.unacked[seq]
+            if faults is not None and faults.fire("repl.ship.drop"):
+                break  # lost in transit; retransmitted next pump
+            corrupt = faults is not None and faults.fire("repl.ship.corrupt")
+            if not self._deliver(shipment, corrupt):
+                break  # rejected; the canonical copy retransmits next pump
+            sh.ack(seq)
+
+    def _deliver(self, shipment, corrupt: bool) -> bool:
+        body = shipment.body
+        if corrupt and body:
+            body = bytes([body[0] ^ 0x01]) + body[1:]
+        ok = self.standby.admit(shipment.seq, shipment.prev_digest, body,
+                                shipment.tag, shipment.entries)
+        if not ok:
+            self.rejects += 1
+        return ok
+
+    def _note_lag(self) -> None:
+        lag = self.shipper.backlog()
+        if lag > self.lag_max:
+            self.lag_max = lag
+        if lag > COUNTERS.replication_lag_max:
+            COUNTERS.replication_lag_max = lag
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def can_promote(self) -> bool:
+        return self.standby is not None and self.standby.healthy()
+
+    def promote(self) -> int:
+        """Promote the standby to primary. Returns the number of drained
+        entries (the promotion cost driver).
+
+        Sequence: (1) drain the acknowledged-but-unshipped tail into the
+        standby — this is the supervisor-authenticated handoff; the
+        primary may be dead, so these entries bypass channel signing, but
+        every put still carries its client MAC and is re-validated by the
+        standby's enclave; (2) close epochs up to the fence, which runs
+        the full set-hash verification over everything replicated; (3)
+        collect per-client fence receipts and seal a fresh anti-replay
+        floor; (4) tear down the deposed enclave — exactly one live
+        verifier identity — and swap the standby in under a new
+        leadership generation.
+        """
+        server = self.server
+        standby = self.standby
+        if standby is None or not standby.healthy():
+            raise ProtocolError("no healthy standby to promote")
+        old_db = server.db
+        entries = self.shipper.drain_entries()
+        standby.apply_entries(entries)
+        # The host mirror of the dead primary's epoch can trail its
+        # enclave by one (a kill mid-close); +2 clears it with margin.
+        fence_target = max(old_db.current_epoch + 2,
+                           standby.db.current_epoch + 1)
+        standby.db.fence_to(fence_target)
+        generation = server.generation + 1
+        fences = standby.db._ecall("issue_fence", generation)
+        standby.db.receipt_channel = ReceiptChannel()  # unmute
+        standby.db.checkpoint()  # seal the floor at the fence
+        if old_db.enclave.probe()["alive"]:
+            old_db.enclave.teardown()
+        items = standby.db.items_snapshot()
+        server._adopt_promoted(standby.db, generation, fences, items)
+        self.failovers += 1
+        COUNTERS.failovers += 1
+        self.standby = None
+        self.shipper = LogShipper(self._sign)
+        if self.promote_hook is not None:
+            self.promote_hook(items)
+        if self.config.auto_reattach:
+            self._try_bootstrap()
+        return len(entries)

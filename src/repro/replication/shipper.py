@@ -1,0 +1,152 @@
+"""The primary-side log shipper: authenticated, resumable batches.
+
+The shipper tails the primary's operation stream — one entry per applied
+put plus one marker per closed epoch — and packages it into
+:class:`Shipment` batches. Each shipment is:
+
+* **sequence-numbered** — the standby admits shipment *n* only after
+  *n-1*, so the host cannot reorder or replay batches;
+* **hash-chained** — each shipment names the digest of its predecessor's
+  body, so the host cannot truncate or splice the stream;
+* **MAC'd in-enclave** — the tag over ``(seq, prev_digest, body_digest)``
+  is computed by the primary's enclave under the replication session key
+  (``repl_sign``), so the host cannot forge batches at all.
+
+Shipments stay in the unacked buffer until the standby admits them; a
+dropped or corrupted delivery is retransmitted from the canonical copy,
+which is what makes the adversarial host a *delay-only* adversary on
+this channel. ``drain_entries`` hands the entire unshipped tail to the
+supervisor at promotion — the piece that guarantees no acknowledged
+write is lost in a failover.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.protocol import PutRequest, _payload_bytes
+from repro.crypto.hashing import encode_fields
+from repro.instrument import COUNTERS
+
+#: A log entry is ("put", PutRequest) or ("epoch", closed_epoch_number).
+Entry = tuple
+
+
+def _encode_entry(entry: Entry) -> bytes:
+    kind, payload = entry
+    if kind == "put":
+        req: PutRequest = payload
+        return encode_fields(
+            b"put",
+            req.client_id.to_bytes(8, "big"),
+            req.key.to_bytes(),
+            _payload_bytes(req.payload),
+            req.nonce.to_bytes(8, "big"),
+            req.tag,
+        )
+    if kind == "epoch":
+        return encode_fields(b"epoch", int(payload).to_bytes(8, "big"))
+    raise ValueError(f"unknown log entry kind {kind!r}")
+
+
+def encode_body(entries: list[Entry]) -> bytes:
+    """Canonical wire encoding of a shipment body."""
+    return encode_fields(*[_encode_entry(e) for e in entries])
+
+
+def body_digest(body: bytes) -> bytes:
+    return hashlib.sha256(body).digest()
+
+
+@dataclass
+class Shipment:
+    """One authenticated batch of log entries in flight to the standby."""
+
+    seq: int
+    entries: list[Entry]
+    body: bytes          # canonical encoding (the copy faults corrupt is
+                         # the *transit* copy; this one backs retransmits)
+    prev_digest: bytes   # hash-chain link to the previous shipment
+    tag: bytes           # enclave MAC over (seq, prev_digest, digest(body))
+
+    @property
+    def digest(self) -> bytes:
+        return body_digest(self.body)
+
+
+class LogShipper:
+    """Packages the primary's op tail into authenticated shipments.
+
+    ``sign_fn(seq, prev_digest, digest) -> tag`` crosses into the primary
+    enclave (``repl_sign``); it may raise an AvailabilityError when the
+    primary is down — the caller just retries on the next pump, and at
+    promotion the unsigned tail is drained instead of shipped.
+    """
+
+    def __init__(self, sign_fn: Callable[[int, bytes, bytes], bytes]):
+        self._sign = sign_fn
+        #: Entries not yet packaged into a shipment.
+        self.outbox: list[Entry] = []
+        #: seq -> shipment packaged but not yet admitted by the standby.
+        self.unacked: "OrderedDict[int, Shipment]" = OrderedDict()
+        self.next_seq = 0
+        self._chain = b"\x00" * 32
+        #: An epoch marker is waiting in the outbox (ship promptly so the
+        #: standby can close the epoch and checkpoint).
+        self.epoch_pending = False
+
+    # ------------------------------------------------------------------
+    def note_put(self, request: PutRequest) -> None:
+        self.outbox.append(("put", request))
+
+    def note_epoch(self, epoch: int) -> None:
+        self.outbox.append(("epoch", epoch))
+        self.epoch_pending = True
+
+    def backlog(self) -> int:
+        """Entries acknowledged to clients but not yet admitted by the
+        standby — the observable replication lag."""
+        return len(self.outbox) + sum(
+            len(s.entries) for s in self.unacked.values())
+
+    # ------------------------------------------------------------------
+    def make_shipment(self) -> Shipment:
+        """Package the whole outbox into one signed shipment.
+
+        The enclave signature may fail with an AvailabilityError; the
+        outbox is only consumed after signing succeeds, so a failed
+        attempt changes nothing.
+        """
+        entries = list(self.outbox)
+        body = encode_body(entries)
+        digest = body_digest(body)
+        tag = self._sign(self.next_seq, self._chain, digest)
+        shipment = Shipment(self.next_seq, entries, body, self._chain, tag)
+        self.unacked[shipment.seq] = shipment
+        self.outbox.clear()
+        self.epoch_pending = False
+        self._chain = digest
+        self.next_seq += 1
+        COUNTERS.shipped_batches += 1
+        return shipment
+
+    def ack(self, seq: int) -> None:
+        """The standby admitted (and applied) shipment ``seq``."""
+        self.unacked.pop(seq, None)
+
+    def drain_entries(self) -> list[Entry]:
+        """Hand over every entry not yet admitted by the standby, oldest
+        first, clearing the shipper. Used by the supervisor at promotion:
+        these entries were acknowledged to clients, so the standby must
+        apply them before it can serve."""
+        entries: list[Entry] = []
+        for shipment in self.unacked.values():
+            entries.extend(shipment.entries)
+        entries.extend(self.outbox)
+        self.unacked.clear()
+        self.outbox.clear()
+        self.epoch_pending = False
+        return entries

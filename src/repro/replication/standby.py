@@ -1,0 +1,122 @@
+"""The warm standby: a second verifier enclave tailing the shipped log.
+
+A :class:`StandbyVerifier` owns a full :class:`~repro.core.fastver.FastVer`
+— its own simulated enclave, store, logs, and mirrors — bootstrapped from
+a snapshot of the primary's data records and kept warm by applying each
+admitted shipment. Two things distinguish it from a primary:
+
+* its receipt channel is muted: the receipts it mints while tailing are
+  redundant with the primary's (clients already hold them) and must not
+  reach clients while the primary is the leader — exactly one live
+  verifier identity speaks at a time;
+* every put it applies is *independently* re-validated: the client MACs
+  travel inside the shipped :class:`~repro.core.protocol.PutRequest`, so
+  a host that somehow spliced a fabricated put into a shipment would
+  still be caught by the standby's own enclave.
+
+Epoch markers in the stream drive the standby's own epoch closes and
+checkpoints, so its sealed anti-replay floor advances in step with the
+primary's and a post-promotion restore cannot be rolled back past the
+handoff.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.fastver import FastVer, FastVerConfig
+from repro.core.protocol import Client, ReceiptChannel
+from repro.errors import IntegrityError, ProtocolError
+from repro.replication.shipper import Entry, body_digest
+
+
+class MutedReceiptChannel(ReceiptChannel):
+    """Swallows receipts: the standby's signatures stay inside the pair
+    until promotion unmutes it (by swapping in a fresh live channel)."""
+
+    def __init__(self):
+        super().__init__()
+        self.muted = 0
+
+    def deliver(self, receipt, client) -> None:
+        self.muted += 1
+
+
+class StandbyVerifier:
+    """A warm replica of the primary verifier, fed by admitted shipments."""
+
+    def __init__(self, config: FastVerConfig,
+                 items: list[tuple[int, bytes]],
+                 clients: list[Client],
+                 repl_key_bytes: bytes,
+                 client_source: Callable[[int], Client | None] | None = None):
+        self.db = FastVer(config, items=items)
+        self.db.receipt_channel = MutedReceiptChannel()
+        for client in clients:
+            self.db.register_client(client)
+        self._client_source = client_source
+        # Establish the replication session (models mutual attestation).
+        self.db._ecall("repl_set_key", repl_key_bytes)
+        # Align the sealed floor with the bootstrap point.
+        self.db.verify()
+        self.db.checkpoint()
+        self.applied_entries = 0
+        self.applied_epochs = 0
+        self.rejects = 0
+        #: Set when the standby itself died (its enclave faulted); a
+        #: failed standby is never promotable.
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        if self.failed:
+            return False
+        probe = self.db.enclave.probe()
+        return bool(probe["alive"] and probe["loaded"])
+
+    # ------------------------------------------------------------------
+    def admit(self, seq: int, prev_digest: bytes, body: bytes, tag: bytes,
+              entries: list[Entry]) -> bool:
+        """Admit one delivered shipment; apply its entries on success.
+
+        ``body`` is the transit copy (possibly corrupted by the host);
+        the digest is recomputed from it, so any flipped byte makes the
+        in-enclave MAC check fail. Rejection (False) leaves the channel
+        state untouched — the sender retransmits the canonical copy.
+        """
+        digest = body_digest(body)
+        try:
+            self.db._ecall("repl_admit", seq, prev_digest, digest, tag)
+        except IntegrityError:
+            self.rejects += 1
+            return False
+        self.apply_entries(entries)
+        return True
+
+    def apply_entries(self, entries: list[Entry]) -> None:
+        """Replay admitted (or supervisor-drained) entries onto the
+        replica. Raising here is loud on purpose: an entry that fails the
+        standby's own validation after passing the channel checks means
+        real tampering, not transport noise."""
+        n_workers = self.db.config.n_workers
+        for kind, payload in entries:
+            if kind == "put":
+                client = self.db.clients.get(payload.client_id)
+                if client is None and self._client_source is not None:
+                    client = self._client_source(payload.client_id)
+                    if client is not None:
+                        self.db.register_client(client)
+                if client is None:
+                    raise ProtocolError(
+                        f"shipped put for unknown client "
+                        f"{payload.client_id}")
+                self.db.apply_put(client, payload,
+                                  worker=payload.key.bits % n_workers)
+                self.applied_entries += 1
+            else:
+                # Epoch marker: close our own epoch and advance the
+                # sealed floor alongside the primary's.
+                self.db.verify()
+                self.db.checkpoint()
+                self.applied_epochs += 1
+                self.applied_entries += 1

@@ -38,6 +38,7 @@ from repro.errors import (
     DeadlineExceededError,
     DegradedModeError,
     IntegrityError,
+    NotLeaderError,
     OverloadError,
     ProtocolError,
     WireDropError,
@@ -70,6 +71,18 @@ class ServerConfig:
     time_per_request: float = 1.0
     #: Pacing/budget of one supervisor heal session (None = default).
     heal_backoff: BackoffPolicy | None = None
+    # --- recovery-ladder cost model (simulated ticks per rung) --------
+    #: Fixed cost of a checkpoint restore, plus a per-record scan cost.
+    restore_base_ticks: float = 5.0
+    restore_tick_per_record: float = 0.05
+    #: Fixed cost of a lenient log-scan salvage, plus per-record cost.
+    salvage_base_ticks: float = 10.0
+    salvage_tick_per_record: float = 0.05
+    #: Fixed cost of a failover promotion, plus a cost per drained
+    #: (acknowledged-but-unshipped) log entry — the warm standby already
+    #: holds everything else, which is the whole RTO argument.
+    promote_base_ticks: float = 1.0
+    promote_tick_per_entry: float = 0.02
 
 
 @dataclass
@@ -80,6 +93,10 @@ class ServerRequest:
     op: GetRequest | PutRequest
     deadline: float
     worker: int = 0
+    #: Leadership generation the client believes it is talking to; a
+    #: mismatch after a failover earns a typed redirect (NotLeaderError)
+    #: instead of silent service from a possibly-stale view.
+    generation: int = 0
 
     @property
     def client_id(self) -> int:
@@ -165,6 +182,12 @@ class FastVerServer:
         self.degraded_since: float | None = None
         self.degraded_reason: str | None = None
         self.replayed_writes = 0
+        #: Leadership generation; bumped by each failover promotion.
+        self.generation = 0
+        #: client_id -> FenceReceipt from the most recent promotion.
+        self._fences: dict = {}
+        #: Warm-standby replication, attached via :meth:`attach_standby`.
+        self.replication = None
         for key, payload in (warm or []):
             self.committed_reads[db.data_key(key)] = payload
         self._trim_read_cache()
@@ -224,6 +247,8 @@ class FastVerServer:
                 ticket.error = exc
             ticket.done = True
             processed += 1
+        if self.replication is not None:
+            self.replication.pump()
         return processed
 
     def handle(self, request: ServerRequest) -> ServerResult:
@@ -287,6 +312,15 @@ class FastVerServer:
         hit = self.completed.get(request.dedup_key)
         if hit is not None:
             return replace(hit.result, deduped=True)
+        # Generation fence: after the dedup lookup (a stale client whose
+        # op DID land still gets its recorded answer), before any fresh
+        # work is accepted from a client that hasn't adopted the fence.
+        if request.generation != self.generation:
+            raise NotLeaderError(
+                f"request names leadership generation "
+                f"{request.generation}, current is {self.generation}; "
+                f"fetch leader_info, adopt the fence receipt, and resolve "
+                f"in-flight operations through the idempotency table")
         if self.degraded:
             return self._degraded_op(request)
         if self.faults is not None and \
@@ -337,6 +371,11 @@ class FastVerServer:
                            result: ServerResult) -> None:
         self.provisional_reads[request.op.key] = result.payload
         self.completed[request.dedup_key] = _Completion(result)
+        if self.replication is not None and request.kind == "put":
+            # Ship the signed request itself: the standby's enclave
+            # re-validates the client MAC, so the channel never has to be
+            # trusted with the op's authenticity.
+            self.replication.note_put(request.op)
         while len(self.completed) > self.config.completed_capacity:
             self.completed.popitem(last=False)
 
@@ -450,6 +489,54 @@ class FastVerServer:
         while len(self.committed_reads) > self.config.read_cache_capacity:
             self.committed_reads.popitem(last=False)
 
+    # ------------------------------------------------------------------
+    # Replication and failover
+    # ------------------------------------------------------------------
+    def attach_standby(self, config=None, promote_hook=None):
+        """Provision a warm standby fed by authenticated log shipping;
+        the supervisor's recovery ladder gains a failover rung."""
+        from repro.replication.manager import ReplicationManager
+        self.replication = ReplicationManager(self, config=config,
+                                              promote_hook=promote_hook)
+        return self.replication
+
+    def leader_info(self, client_id: int):
+        """Redirect target for a fenced client: the current generation
+        plus this client's fence receipt from the latest promotion (None
+        when no failover has happened yet)."""
+        return (self.generation, self._fences.get(client_id))
+
+    def _adopt_promoted(self, db: FastVer, generation: int, fences: dict,
+                        items: list[tuple[int, bytes]]) -> None:
+        """Swap the promoted standby in as this server's database.
+
+        Called by :meth:`ReplicationManager.promote` after the fence is
+        closed and the deposed enclave is down. Every recorded completion
+        becomes durable — the standby holds every shipped *and* drained
+        operation, so nothing in the idempotency table can roll back.
+        """
+        old_db = self.db
+        old_db._server = None
+        db._server = self
+        self.db = db
+        self.generation = generation
+        self._fences = dict(fences)
+        # Clients registered after the standby was bootstrapped may never
+        # have shipped a put; carry them over so queued degraded writes
+        # and fresh requests still resolve.
+        for client in old_db.clients.values():
+            if client.client_id not in db.clients:
+                db.register_client(client)
+        from repro.faults.plan import install_faults
+        install_faults(db, self.faults)
+        self.provisional_reads.clear()
+        self.committed_reads = OrderedDict(
+            (db.data_key(k), payload) for k, payload in items)
+        self._trim_read_cache()
+        for entry in self.completed.values():
+            entry.durable = True
+        self.supervisor.note_reboots()
+
     # ==================================================================
     # Maintenance and health
     # ==================================================================
@@ -463,7 +550,7 @@ class FastVerServer:
                 raise DegradedModeError(
                     "cannot checkpoint while recovery is in flight")
         try:
-            self.db.verify()
+            report = self.db.verify()
             checkpoint = self.db.checkpoint()
         except IntegrityError:
             raise
@@ -471,11 +558,17 @@ class FastVerServer:
             self.breaker.record_failure(self.now)
             self._enter_degraded(f"{type(exc).__name__}: {exc}")
             raise
+        if self.replication is not None:
+            # The epoch close is on the log too: the standby closes its
+            # own epoch and advances its sealed floor in step.
+            self.replication.note_epoch(report.epoch)
         for entry in self.completed.values():
             entry.durable = True
         self.committed_reads.update(self.provisional_reads)
         self.provisional_reads.clear()
         self._trim_read_cache()
+        if self.replication is not None:
+            self.replication.pump()
         return checkpoint
 
     def force_heal(self) -> bool:
@@ -497,6 +590,14 @@ class FastVerServer:
             "recoveries": self.supervisor.heals,
             "salvages": self.supervisor.salvages,
             "replayed_writes": self.replayed_writes,
+            "generation": self.generation,
+            "failovers": self.supervisor.failovers,
+            "replication": None if self.replication is None else {
+                "standby_healthy": self.replication.can_promote(),
+                "lag": self.replication.lag(),
+                "shipped_batches": self.replication.shipped_batches,
+                "rejects": self.replication.rejects,
+            },
         }
 
     def ready(self) -> bool:

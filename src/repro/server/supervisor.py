@@ -12,21 +12,32 @@ close. The supervisor owns that gate:
   volatile state is gone) and flips the server into degraded mode before
   the next request can hit the empty enclave.
 * **Recovery ladder** — paced by a jittered
-  :class:`~repro.backoff.BackoffPolicy`, each heal attempt runs
-  checkpoint recovery (:meth:`FastVer.recover`) and falls back to lenient
-  log-scan salvage when the checkpoint itself is damaged
-  (:class:`~repro.errors.RecoveryError`). The ``server.supervisor.stall``
-  fault point models an attempt that dies before reaching the database.
+  :class:`~repro.backoff.BackoffPolicy`, each heal attempt climbs three
+  rungs in cost order: **failover** to the warm standby when one is
+  attached and healthy (the cheap rung — the standby already holds every
+  acknowledged write), else **checkpoint restore**
+  (:meth:`FastVer.recover`), else lenient **log-scan salvage** when the
+  checkpoint itself is damaged (:class:`~repro.errors.RecoveryError`).
+  When salvage *also* reports the state unrecoverable, the ladder
+  escalates with a typed :class:`~repro.errors.UnrecoverableError`
+  carrying the fault seed and trace digest — the operator's repro
+  handle. The ``server.supervisor.stall`` fault point models an attempt
+  that dies before reaching the database.
 * **Degraded-mode exit** — after the database is healthy again, the
   queued degraded-mode writes are replayed (idempotently: their original
   client nonces travel with them) and only then does the server return to
   normal service and count a recovery.
+
+Each rung charges simulated ticks proportional to the work it really
+does (per record restored/salvaged, per entry drained at promotion), so
+recovery-time objectives are measurable: ``last_recovery_ticks`` holds
+the cost of the latest successful heal session.
 """
 
 from __future__ import annotations
 
 from repro.backoff import BackoffPolicy
-from repro.errors import AvailabilityError, RecoveryError
+from repro.errors import AvailabilityError, RecoveryError, UnrecoverableError
 from repro.instrument import COUNTERS
 
 
@@ -40,8 +51,12 @@ class Supervisor:
         self.heals = 0
         #: Heal sessions that fell back to lenient salvage.
         self.salvages = 0
+        #: Heal sessions resolved by promoting the warm standby.
+        self.failovers = 0
         #: Individual heal attempts that failed (stall or recover error).
         self.failed_attempts = 0
+        #: Simulated ticks the latest successful heal session cost.
+        self.last_recovery_ticks = 0.0
         self._expected_reboots = server.db.enclave.reboots
 
     # ------------------------------------------------------------------
@@ -59,43 +74,96 @@ class Supervisor:
     def try_heal(self) -> bool:
         """One bounded heal session. Returns True when normal service is
         restored; False leaves the server degraded for a later session
-        (every incoming request starts a new one, breaker permitting)."""
+        (every incoming request starts a new one, breaker permitting).
+        Raises :class:`UnrecoverableError` when the bottom rung of the
+        ladder reports the state unrecoverable — retrying cannot help."""
         server = self.server
+        t0 = server.now
         for delay in self.policy.delays():
             self.policy.sleep(delay)
             if server.faults is not None and \
                     server.faults.fire("server.supervisor.stall"):
                 self.failed_attempts += 1
                 continue
-            db = server.db
-            try:
-                if db.last_checkpoint is None:
-                    raise RecoveryError("no checkpoint to recover from")
-                db.recover(db.last_checkpoint)
-            except AvailabilityError:
-                self.failed_attempts += 1
+            if not self._heal_once():
                 continue
-            except RecoveryError:
-                # The checkpoint itself is unusable: lenient salvage. A
-                # transient failure during salvage keeps us degraded.
-                try:
-                    server._salvage()
-                    self.salvages += 1
-                except AvailabilityError:
-                    self.failed_attempts += 1
-                    continue
-            else:
-                # Checkpoint recovery rolled the database back to its last
-                # durable state; un-checkpointed serving-layer bookkeeping
-                # (provisional caches, non-durable dedup entries) must
-                # follow it.
-                server._rollback_provisional()
             self.note_reboots()
             if not server._replay_degraded_writes():
                 self.failed_attempts += 1
                 continue
             self.heals += 1
             COUNTERS.recovered += 1
+            self.last_recovery_ticks = server.now - t0
+            COUNTERS.recovery_ticks += int(round(self.last_recovery_ticks))
             server._exit_degraded()
             return True
         return False
+
+    def _heal_once(self) -> bool:
+        """One rung-climbing attempt: failover, else checkpoint restore,
+        else lenient salvage. True when the database is healthy again."""
+        server = self.server
+        cfg = server.config
+        repl = server.replication
+        # Rung 1: failover. The warm standby already holds every
+        # acknowledged write, so promotion costs only the drained tail —
+        # this is the RTO argument for replication.
+        if repl is not None and repl.can_promote():
+            try:
+                drained = repl.promote()
+            except AvailabilityError:
+                self.failed_attempts += 1
+                return False
+            self.failovers += 1
+            server._advance(cfg.promote_base_ticks
+                            + drained * cfg.promote_tick_per_entry)
+            # No _rollback_provisional here: the promoted state holds
+            # every operation the idempotency table ever recorded.
+            return True
+        db = server.db
+        # Rung 2: checkpoint restore in place.
+        try:
+            if db.last_checkpoint is None:
+                raise RecoveryError("no checkpoint to recover from")
+            db.recover(db.last_checkpoint)
+        except RecoveryError as restore_exc:
+            # Rung 3: the checkpoint is unusable — lenient log-scan
+            # salvage. A RecoveryError *here too* means the ladder is out
+            # of rungs; escalate with the repro handle instead of
+            # retrying an attempt that cannot succeed.
+            try:
+                server._salvage()
+            except RecoveryError as exc:
+                faults = server.faults
+                seed = getattr(faults, "seed", None)
+                trace = faults.trace_digest() if faults is not None else "-"
+                raise UnrecoverableError(
+                    f"recovery ladder exhausted: "
+                    f"restore failed ({restore_exc}); "
+                    f"salvage failed ({exc}); no promotable standby; "
+                    f"fault seed={seed} trace={trace}") from exc
+            except AvailabilityError:
+                self.failed_attempts += 1
+                return False
+            self.salvages += 1
+            server._advance(
+                cfg.salvage_base_ticks
+                + len(server.db.store) * cfg.salvage_tick_per_record)
+        except AvailabilityError:
+            self.failed_attempts += 1
+            return False
+        else:
+            # Checkpoint recovery rolled the database back to its last
+            # durable state; un-checkpointed serving-layer bookkeeping
+            # (provisional caches, non-durable dedup entries) must
+            # follow it.
+            server._rollback_provisional()
+            server._advance(
+                cfg.restore_base_ticks
+                + len(db.store) * cfg.restore_tick_per_record)
+        if repl is not None:
+            # The healed primary's timeline rolled back past writes the
+            # standby already applied; the old replica no longer extends
+            # it. Rebuild the pair from the healed state.
+            repl.resync()
+        return True

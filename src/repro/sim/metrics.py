@@ -16,7 +16,7 @@ preserves the paper's comparisons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
 from repro.instrument import Counters
@@ -42,6 +42,10 @@ class RunMetrics:
     verify_wall_ns: float
     n_verifications: int
     verifier_fraction: float
+    #: Replication/failover summary (from the run's counters): failovers,
+    #: shipped_batches, replication_lag_max, recovery_ticks. All zero for
+    #: runs without a warm standby attached.
+    replication: dict = field(default_factory=dict)
 
     @property
     def total_wall_ns(self) -> float:
@@ -116,4 +120,10 @@ class MetricsBuilder:
             verify_wall_ns=ver.wall_ns,
             n_verifications=self.n_verifications,
             verifier_fraction=fraction,
+            replication={
+                "failovers": combined.failovers,
+                "shipped_batches": combined.shipped_batches,
+                "replication_lag_max": combined.replication_lag_max,
+                "recovery_ticks": combined.recovery_ticks,
+            },
         )
