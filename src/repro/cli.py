@@ -11,6 +11,9 @@ Commands:
                invariant (verified / caught-tampering / recoverable)
 * ``bench-failover`` — recovery-time objective: warm-standby failover vs
                cold checkpoint restore, recorded to BENCH_failover.json
+* ``bench-batching`` — group-commit crossing amortization: modeled
+               throughput across a batch-size sweep, recorded to
+               BENCH_batching.json
 
 These wrap the same public APIs the examples use; the CLI exists so a
 downstream user can poke the system without writing code.
@@ -70,6 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "the replication fault points, and kill the "
                             "primary enclave twice mid-run so recovery "
                             "goes through verified failover")
+    chaos.add_argument("--batched", action="store_true",
+                       help="run the serving loop with group commit on "
+                            "(implies --server): ops travel in bursts, "
+                            "each settled by one multi-shard ecall, and "
+                            "the oracle resolves put outcomes through "
+                            "the idempotency table")
     chaos.add_argument("--check-deterministic", action="store_true",
                        help="run twice and require identical digests")
 
@@ -81,6 +90,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_fo.add_argument("--ops", type=int, default=400)
     bench_fo.add_argument("--seed", type=int, default=7)
     bench_fo.add_argument("--out", default="BENCH_failover.json")
+
+    bench_ba = sub.add_parser(
+        "bench-batching",
+        help="sweep group-commit batch sizes, assert the amortization "
+             "curve, and write BENCH_batching.json")
+    bench_ba.add_argument("--records", type=int, default=400)
+    bench_ba.add_argument("--ops", type=int, default=2000)
+    bench_ba.add_argument("--seed", type=int, default=7)
+    bench_ba.add_argument("--out", default="BENCH_batching.json")
     return parser
 
 
@@ -188,10 +206,11 @@ def cmd_chaos(args) -> int:
     def once():
         return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
                          tamper_every=args.tamper_every, server=args.server,
-                         failover=args.failover)
+                         failover=args.failover, batched=args.batched)
 
     report = once()
     mode = ("failover" if args.failover
+            else "batched server pipeline" if args.batched
             else "server pipeline" if args.server else "direct")
     print(f"chaos seed={report.seed} mode={mode} "
           f"ops={report.ops_attempted} ok={report.ops_ok}")
@@ -218,7 +237,8 @@ def cmd_chaos(args) -> int:
               + (f" --tamper-every {args.tamper_every}"
                  if args.tamper_every else "")
               + (" --server" if args.server else "")
-              + (" --failover" if args.failover else ""))
+              + (" --failover" if args.failover else "")
+              + (" --batched" if args.batched else ""))
         return 1
     if args.check_deterministic:
         second = once()
@@ -256,6 +276,40 @@ def cmd_bench_failover(args) -> int:
     return 0
 
 
+def cmd_bench_batching(args) -> int:
+    import json
+
+    from repro.bench.batching import run_batching_bench
+
+    result = run_batching_bench(records=args.records, ops=args.ops,
+                                seed=args.seed)
+    print(f"records               {result['records']} "
+          f"({result['ops']} YCSB-A ops, {result['n_workers']} shards)")
+    for row in result["rows"]:
+        print(f"batch {row['batch']:>4}            "
+              f"{row['crossings']:>5} crossings "
+              f"(saved {row['crossings_saved']:>5}, "
+              f"fill {row['batch_fill_avg']:>7.2f})  "
+              f"{row['throughput_mops']:.3f} Mops/s modeled")
+    print(f"throughput ratio      {result['ratio_64_over_1']:.2f}x "
+          f"(batch 64 vs 1; target >= {result['target_ratio']})")
+    print(f"crossings_saved       "
+          f"{'monotone' if result['crossings_saved_monotone'] else 'NOT monotone'} "
+          f"in batch size")
+    cache = result["bitkey_cache"]
+    print(f"bitkey memo           {cache['derive_ns_per_call']:.0f} ns/derive "
+          f"-> {cache['memoized_ns_per_call']:.0f} ns memoized "
+          f"({cache['hits']} hits / {cache['misses']} misses)")
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if not result["ok"]:
+        print("FAILED: the amortization curve missed the acceptance bar")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -265,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         "attacks": cmd_attacks,
         "chaos": cmd_chaos,
         "bench-failover": cmd_bench_failover,
+        "bench-batching": cmd_bench_batching,
     }
     return handlers[args.command](args)
 

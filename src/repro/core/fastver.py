@@ -53,6 +53,8 @@ from repro.crypto.prf import Prf
 from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
 from repro.enclave.enclave import SimulatedEnclave
 from repro.errors import (
+    AvailabilityError,
+    BatchAbortedError,
     EnclaveDeadError,
     EnclaveRebootError,
     EnclaveUnavailableError,
@@ -137,6 +139,21 @@ class OpResult:
     payload: bytes | None
     nonce: int
     worker: int
+
+
+@dataclass
+class BatchOpOutcome:
+    """Per-operation outcome of a group-commit batch (:meth:`FastVer.apply_batch`).
+
+    Exactly one of ``payload``/``error`` is meaningful: a poisoned
+    operation fails alone with its typed error while the rest of its batch
+    commits (partial-batch isolation), so the serving layer can resolve
+    each ticket independently."""
+
+    payload: bytes | None
+    nonce: int
+    worker: int
+    error: Exception | None = None
 
 
 @dataclass
@@ -635,6 +652,255 @@ class FastVer:
                       tag=request.tag)
         self._after_op()
         return OpResult(request.payload, request.nonce, worker)
+
+    # ==================================================================
+    # Group-commit batching (the serving loop's crossing amortizer)
+    # ==================================================================
+    def apply_batch(self, ops: list[tuple]) -> list[BatchOpOutcome]:
+        """Execute many pre-made requests under ONE enclave crossing.
+
+        ``ops`` is a list of ``(client, request, kind, worker)`` tuples
+        (``client`` may be None for an unregistered sender — that op fails
+        alone). Host-side staging runs the normal per-op engine, which
+        buffers verifier entries instead of crossing; then a single
+        multi-shard ``apply_batch`` ecall settles everything and receipts
+        drain with zero further crossings.
+
+        Failure semantics (see PROTOCOL.md "Batched execution & group
+        commit"):
+
+        * a client-attributable rejection (bad MAC, replayed nonce) on an
+          op that only *updated* existing state is **isolated**: its
+          validate entry is dropped, the host store is compensated back to
+          the pre-op value (keeping the already-applied add/evict pair
+          balanced in the set hashes), and only that op's outcome carries
+          the error — the rest of the batch re-flushes and commits;
+        * a rejection on an op that changed tree *structure* (insert
+          extend/split), or that collides on a key with a later op in the
+          same batch, voids the batch with :class:`BatchAbortedError` (an
+          availability error: the server degrades, heals, and clients
+          resolve through the idempotency table);
+        * an enclave reboot or gate exhaustion reinstates every
+          undispatched entry and propagates, exactly like a log flush.
+
+        The epoch close driven by ``config.batch_ops`` lands on the batch
+        boundary — never between two ops of one batch.
+        """
+        if not ops:
+            return []
+        # Entries buffered by non-batched entry points flush under their
+        # own crossing first, so entry->op ownership starts from empty
+        # buffers.
+        for log in self.logs:
+            if log.pending:
+                log.flush()
+        width = self.config.key_width
+        results: list[BatchOpOutcome] = []
+        owners_by_vid: dict[int, list] = {vid: [] for vid in range(len(self.logs))}
+        #: Per-op compensation record: (mode, key, pre-op value) where mode
+        #: is "skip" (never staged), "none" (absence proof only), "value"
+        #: (store value restore), "cached" (mirror + store restore), or
+        #: "insert" (not compensatable -> batch abort).
+        comp: list[tuple] = []
+        staged = 0
+        for i, (client, request, kind, worker) in enumerate(ops):
+            if client is None:
+                results.append(BatchOpOutcome(
+                    None, request.nonce, worker, ProtocolError(
+                        f"request from unregistered client "
+                        f"{request.client_id}")))
+                comp.append(("skip", None, None))
+                continue
+            if kind not in ("get", "put"):
+                results.append(BatchOpOutcome(
+                    None, request.nonce, worker,
+                    ProtocolError(f"unknown request kind {kind!r}")))
+                comp.append(("skip", None, None))
+                continue
+            key = request.key
+            pre = self.store.read_record(key)
+            pre_value = pre.value if pre is not None else None
+            try:
+                if kind == "get":
+                    payload = self._data_op(worker, client, key, "get",
+                                            nonce=request.nonce)
+                else:
+                    payload = self._data_op(worker, client, key, "put",
+                                            nonce=request.nonce,
+                                            payload=request.payload,
+                                            tag=request.tag)
+            except AvailabilityError:
+                raise  # gate down mid-staging: the whole batch resolves
+                       # through recovery, like any availability failure
+            except Exception as exc:
+                # Host-side rejection. If it staged nothing it fails
+                # alone; a half-staged op cannot be unstitched, so it
+                # voids the batch (recovery discards the buffers).
+                before = sum(len(o) for o in owners_by_vid.values())
+                self._sync_owners(owners_by_vid, i)
+                if sum(len(o) for o in owners_by_vid.values()) != before:
+                    raise
+                results.append(BatchOpOutcome(None, request.nonce, worker, exc))
+                comp.append(("skip", None, None))
+                continue
+            if pre is None:
+                mode = "none" if self.store.read_record(key) is None \
+                    else "insert"
+            elif key in self.cached_where and key.length == width:
+                mode = "cached"
+            else:
+                mode = "value"
+            comp.append((mode, key, pre_value))
+            results.append(BatchOpOutcome(payload, request.nonce, worker))
+            staged += 1
+            COUNTERS.ops += 1
+            self.ops_since_close += 1
+            self._sync_owners(owners_by_vid, i)
+        if self.faults is not None:
+            eligible = [i for i, c in enumerate(comp)
+                        if c[0] == "value" and ops[i][2] == "put"
+                        and results[i].error is None]
+            if eligible and self.faults.fire("batch.partial"):
+                self._poison_staged_put(owners_by_vid, eligible[-1])
+        ecalls = self._group_flush(ops, owners_by_vid, comp, results)
+        COUNTERS.batches += 1
+        COUNTERS.batch_ops_total += staged
+        COUNTERS.crossings_saved += max(0, staged - ecalls)
+        self._drain_all()
+        if (self.config.batch_ops is not None
+                and self.ops_since_close >= self.config.batch_ops):
+            self.verify()  # epoch closes on the batch boundary (§8.1)
+        return results
+
+    def _sync_owners(self, owners_by_vid: dict[int, list], op_index: int) -> None:
+        """Attribute newly-buffered log entries to ``op_index``.
+
+        A capacity auto-flush inside staging dispatches the buffer's
+        *front*; dropping the same prefix from the owner list keeps the
+        remaining suffix aligned."""
+        for vid, log in enumerate(self.logs):
+            owners = owners_by_vid[vid]
+            cur = log.pending
+            if cur < len(owners):
+                del owners[:len(owners) - cur]
+            while len(owners) < cur:
+                owners.append(op_index)
+
+    def _poison_staged_put(self, owners_by_vid: dict[int, list],
+                           target: int) -> bool:
+        """`batch.partial` fault body: corrupt the client MAC of one
+        staged update-class put so the enclave genuinely rejects exactly
+        that entry and the isolation path runs end to end."""
+        for vid, log in enumerate(self.logs):
+            owners = owners_by_vid[vid]
+            for pos, owner in enumerate(owners):
+                if owner != target:
+                    continue
+                method, args = log._buffer[pos]
+                if method != "validate_put_update":
+                    continue
+                client_id, key, payload, nonce, tag = args
+                bad = bytes([tag[0] ^ 0x01]) + tag[1:]
+                log._buffer[pos] = (method,
+                                    (client_id, key, payload, nonce, bad))
+                return True
+        return False
+
+    @staticmethod
+    def _key_conflict(comp: list[tuple], op_idx: int) -> bool:
+        """A later op in the batch staged entries embedding this key's
+        post-op value; dropping the failed validate would falsify them."""
+        key = comp[op_idx][1]
+        for j in range(op_idx + 1, len(comp)):
+            if comp[j][0] != "skip" and comp[j][1] == key:
+                return True
+        return False
+
+    def _compensate(self, record: tuple) -> None:
+        """Undo the host-visible effect of a poisoned (rejected) op: the
+        verifier evicted the *old* value, so the host store (and mirror,
+        for a retained record) must say the old value too — that keeps the
+        already-applied add/evict pair balanced in the set hashes."""
+        mode, key, old_value = record
+        if mode == "none":
+            return
+        if mode == "cached":
+            vid = self.cached_where.get(key)
+            if vid is not None and key in self.mirrors[vid].entries:
+                self.mirrors[vid].entries[key].value = old_value
+        current = self.store.read_record(key)
+        if current is not None and old_value is not None:
+            self.store.upsert(key, old_value, current.aux)
+
+    def _group_flush(self, ops: list[tuple], owners_by_vid: dict[int, list],
+                     comp: list[tuple],
+                     results: list[BatchOpOutcome]) -> int:
+        """Settle every buffered shard in one ``apply_batch`` crossing
+        (re-crossing only to finish a partially-failed batch). Returns the
+        number of crossings spent."""
+        pending: list[list] = []
+        for vid, log in enumerate(self.logs):
+            if log.pending:
+                entries = log.take_pending()
+                owners = owners_by_vid.get(vid) or []
+                if len(owners) != len(entries):
+                    owners = [None] * len(entries)
+                pending.append([vid, entries, owners])
+                log.flushes += 1
+        ecalls = 0
+        guard = len(ops) + 2
+        while pending:
+            guard -= 1
+            shards = [(vid, entries) for vid, entries, _ in pending]
+            ecalls += 1
+            try:
+                shard_results, failure = self._ecall("apply_batch", shards)
+            except Exception:
+                # Reboot, gate exhaustion, or a structural integrity
+                # alarm: reinstate everything undispatched (losing buffered
+                # entries would silently unbalance the set hashes) and let
+                # the typed error drive recovery.
+                for vid, entries, _ in pending:
+                    self.logs[vid].reinstate(entries)
+                raise
+            # Shards before the failure point completed; the failing shard
+            # executed a prefix. Absorb exactly what ran.
+            for (vid, entries, _), res in zip(pending, shard_results):
+                self.logs[vid].absorb(res)
+            if failure is None:
+                return ecalls
+            si, ei, exc = failure
+            vid, entries, owners = pending[si]
+            op_idx = owners[ei]
+            tail_entries = entries[ei + 1:]
+            tail_owners = owners[ei + 1:]
+            rest = pending[si + 1:]
+            mode = comp[op_idx][0] if op_idx is not None else None
+            isolatable = (
+                op_idx is not None and guard > 0
+                and entries[ei][0].startswith("validate_")
+                and mode in ("none", "value", "cached")
+                and results[op_idx].error is None
+                and not self._key_conflict(comp, op_idx)
+            )
+            if not isolatable:
+                self.logs[vid].reinstate(tail_entries)
+                for v2, e2, _ in rest:
+                    self.logs[v2].reinstate(e2)
+                raise BatchAbortedError(
+                    f"group-commit batch voided: failing entry "
+                    f"{entries[ei][0]!r} cannot be isolated "
+                    f"({type(exc).__name__}: {exc})") from exc
+            # Drop the poisoned validate, compensate the host, fail the op
+            # alone, and re-flush the undispatched remainder. Validations
+            # never advance the verifier clock, so every later evict
+            # prediction still holds.
+            self._compensate(comp[op_idx])
+            results[op_idx] = BatchOpOutcome(
+                None, results[op_idx].nonce, results[op_idx].worker, exc)
+            pending = ([[vid, tail_entries, tail_owners]]
+                       if tail_entries else []) + rest
+        return ecalls
 
     def scan(self, client: Client, start_key: int | bytes, count: int,
              worker: int = 0) -> list[tuple[int, bytes]]:

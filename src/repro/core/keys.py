@@ -35,7 +35,7 @@ class BitKey:
     (the empty string).
     """
 
-    __slots__ = ("length", "bits")
+    __slots__ = ("length", "bits", "_hash")
 
     def __init__(self, length: int, bits: int):
         if length < 0:
@@ -212,7 +212,16 @@ class BitKey:
         return self.length < other.length
 
     def __hash__(self) -> int:
-        return hash((self.length, self.bits))
+        # Keys are dict keys everywhere hot (store index, mirrors, caches,
+        # owner maps), so the tuple hash is computed once and memoized.
+        # The lazy slot keeps construction cheap for the many short-lived
+        # keys (parents, prefixes, LCAs) that are never hashed at all.
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.length, self.bits))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __repr__(self) -> str:
         return f"BitKey('{self.to_bits_string()}')"

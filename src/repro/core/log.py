@@ -93,3 +93,26 @@ class VerificationLog:
     @property
     def pending(self) -> int:
         return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Group-commit plumbing (core/fastver.py `apply_batch`): the batching
+    # layer takes several logs' buffers, marshals them into one multi-shard
+    # ecall, and hands results (or unexecuted tails) back. The entries
+    # never leave host custody, so reinstating preserves the §5.3
+    # set-hash balance exactly like `flush`'s own failure path.
+    # ------------------------------------------------------------------
+    def take_pending(self) -> list[LogEntry]:
+        """Hand the buffered entries over to a group flush, emptying the
+        buffer. The caller owns dispatch (and failure handling) now."""
+        batch, self._buffer = self._buffer, []
+        return batch
+
+    def reinstate(self, batch: list[LogEntry]) -> None:
+        """Put undispatched entries back at the front of the buffer."""
+        if batch:
+            self._buffer = list(batch) + self._buffer
+
+    def absorb(self, results: list[Any]) -> None:
+        """Record results produced by a group flush on this log's behalf
+        (they surface through :meth:`drain` like any flush's results)."""
+        self._results.extend(results)

@@ -139,29 +139,60 @@ class VerifierGroup:
     # ------------------------------------------------------------------
     # The batched command stream (one ecall per log-buffer flush, §7)
     # ------------------------------------------------------------------
+    def _dispatch_entry(self, thread: VerifierThread, method: str, args: tuple) -> Any:
+        """Execute one buffered verifier call against ``thread``."""
+        if method in _RAW_METHODS:
+            return getattr(thread, method)(*args)
+        if method == "validate_get":
+            return self._validate_get(thread, *args)
+        if method == "validate_get_absent":
+            return self._validate_get_absent(thread, *args)
+        if method == "validate_put_update":
+            return self._validate_put(thread, "update", *args)
+        if method == "validate_put_extend":
+            return self._validate_put(thread, "extend", *args)
+        if method == "validate_put_split":
+            return self._validate_put(thread, "split", *args)
+        raise ProtocolError(f"unknown verifier entry {method!r}")
+
     def process_batch(self, verifier_id: int, entries: list[tuple[str, tuple]]) -> list[Any]:
         """Execute a worker's buffered verifier calls in order."""
         self._require_loaded("process a batch")
         if not 0 <= verifier_id < len(self.threads):
             raise ProtocolError(f"no verifier thread {verifier_id}")
         thread = self.threads[verifier_id]
-        results: list[Any] = []
-        for method, args in entries:
-            if method in _RAW_METHODS:
-                results.append(getattr(thread, method)(*args))
-            elif method == "validate_get":
-                results.append(self._validate_get(thread, *args))
-            elif method == "validate_get_absent":
-                results.append(self._validate_get_absent(thread, *args))
-            elif method == "validate_put_update":
-                results.append(self._validate_put(thread, "update", *args))
-            elif method == "validate_put_extend":
-                results.append(self._validate_put(thread, "extend", *args))
-            elif method == "validate_put_split":
-                results.append(self._validate_put(thread, "split", *args))
-            else:
-                raise ProtocolError(f"unknown verifier entry {method!r}")
-        return results
+        return [self._dispatch_entry(thread, method, args)
+                for method, args in entries]
+
+    def apply_batch(self, shards: list[tuple[int, list[tuple[str, tuple]]]]):
+        """Group commit: execute several shards' command streams in ONE
+        crossing (the serving loop's batch amortization lever).
+
+        Returns ``(shard_results, failure)``. ``shard_results`` holds one
+        result list per shard, in order, covering every entry that
+        executed. ``failure`` is ``None`` on full success; otherwise it is
+        ``(shard_index, entry_index, exc)`` naming the first entry whose
+        *client-attributable* validation failed (bad MAC or replayed
+        nonce) — execution stops there, entries after it never ran, and
+        the host decides whether the poisoned operation can fail alone.
+        Every other exception (structural integrity alarms, epoch errors)
+        raises out of the ecall exactly as it would from
+        :meth:`process_batch` — a batch never downgrades an alarm.
+        """
+        self._require_loaded("apply a batch")
+        out: list[list[Any]] = []
+        for si, (verifier_id, entries) in enumerate(shards):
+            if not 0 <= verifier_id < len(self.threads):
+                raise ProtocolError(f"no verifier thread {verifier_id}")
+            thread = self.threads[verifier_id]
+            shard_out: list[Any] = []
+            out.append(shard_out)
+            for ei, (method, args) in enumerate(entries):
+                try:
+                    shard_out.append(self._dispatch_entry(thread, method, args))
+                except (SignatureError, ReplayError) as exc:
+                    return out, (si, ei, exc)
+        return out, None
 
     # -- validations -----------------------------------------------------
     def _receipt(self, client_id: int, kind: bytes, key: BitKey,

@@ -77,6 +77,17 @@ class SimulatedEnclave:
             if self.faults.fire("ecall.transient"):
                 raise EnclaveUnavailableError(
                     f"call gate failed transiently for {method!r} (EAGAIN)")
+            if method == "apply_batch" and \
+                    self.faults.fire("batch.reboot_mid_batch"):
+                # Power loss while a group commit executes. However many
+                # entries ran, the reboot wipes ALL volatile verifier
+                # state, so "mid-batch" and "pre-dispatch" are
+                # observationally identical to the host: it reinstates
+                # the whole batch and recovers from the sealed checkpoint.
+                self.reboot()
+                raise EnclaveRebootError(
+                    "enclave rebooted while executing a group-commit "
+                    "batch; the batch was not settled")
         COUNTERS.enclave_entries += 1
         fn = getattr(self._program, method, None)
         if fn is None or method.startswith("_"):

@@ -149,6 +149,14 @@ class DegradedModeError(AvailabilityError):
     this missed the degraded cache and produced nothing."""
 
 
+class BatchAbortedError(AvailabilityError):
+    """A group-commit batch could not be isolated around a failing entry
+    (the poisoned operation had already mutated host tree structure, e.g.
+    an insert path) and the whole batch was voided. No operation in the
+    batch was acknowledged; the server enters recovery and clients resolve
+    through the idempotency table, exactly as for any availability error."""
+
+
 class RetriesExhaustedError(AvailabilityError):
     """The client SDK spent its whole retry budget and confirmed, via the
     server's idempotency table, that the operation was never applied."""

@@ -130,9 +130,13 @@ class _ChaosRun:
     MAX_RECOVER_ATTEMPTS = 3
     VERIFY_EVERY = 250
 
+    #: Burst width in --batched mode: ops accumulated before one pump.
+    BURST = 4
+
     def __init__(self, seed: int, ops: int, records: int,
                  plan: FaultPlan | None, tamper_every: int | None,
-                 server: bool = False, failover: bool = False):
+                 server: bool = False, failover: bool = False,
+                 batched: bool = False):
         self.seed = seed
         self.n_ops = ops
         self.n_records = records
@@ -148,10 +152,14 @@ class _ChaosRun:
             self.plan = FaultPlan(seed=seed, specs=specs)
         else:
             self.plan = FaultPlan(
-                seed=seed, specs=SERVER_SPECS if server else DEFAULT_SPECS)
+                seed=seed, specs=(SERVER_SPECS if server or batched
+                                  else DEFAULT_SPECS))
         self.tamper_every = tamper_every
-        self.server_mode = server or failover
+        self.server_mode = server or failover or batched
         self.failover_mode = failover
+        self.batched_mode = batched
+        #: Ops accumulated for the next group-commit pump (--batched).
+        self._burst: list[tuple] = []
         self.server = None   # FastVerServer in --server mode
         self.sdk = None      # RetryingClient in --server mode
         self._db = None      # the database outside --server mode
@@ -203,8 +211,15 @@ class _ChaosRun:
             from repro.client import RetryingClient
             from repro.server import FastVerServer, ServerConfig
 
+            cfg = ServerConfig()
+            if self.batched_mode:
+                # Small batches + a generous linger window: the soak's
+                # bursts fill shards within one pump, and every ticket
+                # resolves before the pump returns.
+                cfg = ServerConfig(group_commit=True, max_batch_ops=4,
+                                   max_batch_ticks=16.0)
             self.server = FastVerServer(
-                db, ServerConfig(),
+                db, cfg,
                 salvage_hook=self._server_salvage_hook, warm=items)
             if self.failover_mode:
                 # Standby first, faults after: the bootstrap snapshot runs
@@ -329,6 +344,10 @@ class _ChaosRun:
     # ------------------------------------------------------------------
     def _maintain(self) -> None:
         """Periodic epoch close + checkpoint (the §7 durability cadence)."""
+        if self.batched_mode:
+            # The maintain marker lands on a burst boundary, never inside
+            # one — mirrors the server flushing open batches first.
+            self._flush_burst()
         if self.server is not None:
             try:
                 self.server.maintain()
@@ -345,6 +364,11 @@ class _ChaosRun:
         self.committed = dict(self.current)
 
     def _one_op(self, kind: str, k: int, payload: bytes | None) -> None:
+        if self.batched_mode:
+            self._burst.append((kind, k, payload))
+            if len(self._burst) >= self.BURST:
+                self._flush_burst()
+            return
         if self.server is not None:
             self._one_op_server(kind, k, payload)
             return
@@ -401,6 +425,101 @@ class _ChaosRun:
             self.current[k] = payload
         self.report.ops_ok += 1
 
+    def _classify_burst_error(self, desc: str, err: Exception) -> bool:
+        """Tri-state classification of one burst ticket's typed error.
+        Returns True when the error escalated past the recovery ladder."""
+        if isinstance(err, UnrecoverableError):
+            self.report.availability_errors += 1
+            return True
+        if isinstance(err, AvailabilityError):
+            self.report.availability_errors += 1
+        elif isinstance(err, IntegrityError):
+            self.report.hard_failures.append(
+                f"{desc}: spurious {type(err).__name__} with no "
+                f"tampering: {err}")
+        else:
+            self.report.hard_failures.append(
+                f"{desc}: untyped {type(err).__name__}: {err}")
+        return False
+
+    def _flush_burst(self) -> None:
+        """Drive one accumulated burst through the batched serving loop.
+
+        The oracle has to understand *batched* completion: tickets resolve
+        in submission order, and ops on the same key land in the same
+        shard (worker = key bits), so same-key effects commit in order
+        even though different shards settle independently. Puts resolve
+        through ``cancel`` — definitive applied/not-applied even when an
+        intra-pump heal rolled an already-committed batch back. A get's
+        answer may predate such a heal, so it is also honest if it matches
+        the pre-heal oracle state.
+        """
+        burst, self._burst = self._burst, []
+        if not burst:
+            return
+        from repro.server import ServerRequest
+        tickets: list[tuple] = []
+        for kind, k, payload in burst:
+            self.report.ops_attempted += 1
+            bk = self.server.bitkey(k)
+            if kind == OP_PUT:
+                self.history.setdefault(k, set()).add(payload)
+                op = self.client.make_put(bk, payload)
+            else:
+                op = self.client.make_get(bk)
+            request = ServerRequest(
+                kind, op,
+                self.server.now + self.server.config.default_deadline,
+                worker=bk.bits, generation=self.server.generation)
+            try:
+                ticket = self.server.submit(request)
+            except AvailabilityError:
+                # Shed or dropped on the wire: never admitted anywhere.
+                self.report.availability_errors += 1
+                continue
+            tickets.append((kind, k, payload, ticket))
+        self.server.pump()
+        pre = dict(self.current)
+        self._absorb_heals()
+        unrecoverable = False
+        for kind, k, payload, ticket in tickets:
+            if not ticket.done:
+                self.report.hard_failures.append(
+                    f"burst {kind} {k}: ticket left unresolved by pump")
+                continue
+            if kind == OP_PUT:
+                outcome = self.server.cancel(self.client.client_id,
+                                             ticket.request.nonce)
+                if outcome is not None:
+                    # In the completed table now = applied and surviving
+                    # (a heal would have rolled a non-durable entry out).
+                    self.current[k] = payload
+                    pre[k] = payload
+                if ticket.error is None:
+                    self.report.ops_ok += 1
+                elif self._classify_burst_error(f"burst put {k}",
+                                                ticket.error):
+                    unrecoverable = True
+            elif ticket.error is not None:
+                if self._classify_burst_error(f"burst get {k}",
+                                              ticket.error):
+                    unrecoverable = True
+            else:
+                result = ticket.result
+                expected = (self.committed.get(k) if result.degraded
+                            else self.current.get(k))
+                if result.payload != expected and \
+                        result.payload != pre.get(k):
+                    self.report.hard_failures.append(
+                        f"silent wrong answer: batched get({k}) returned "
+                        f"{result.payload!r} (degraded={result.degraded}), "
+                        f"oracle says {expected!r}")
+                else:
+                    self.report.ops_ok += 1
+        if unrecoverable:
+            raise UnrecoverableError(
+                "a burst operation escalated past the recovery ladder")
+
     def _tamper_round(self, k: int) -> None:
         """Scheduled tampering: corrupt the store, demand detection."""
         install_faults(self.db, None)  # isolate: pure-integrity check
@@ -443,9 +562,16 @@ class _ChaosRun:
                         f"faults armed")
                 self._absorb_heals()
             else:
-                self.db.recover(self.db.last_checkpoint)
-                self.report.recoveries += 1
-                self.current = dict(self.committed)
+                try:
+                    self.db.recover(self.db.last_checkpoint)
+                except RecoveryError:
+                    # An earlier device fault corrupted the checkpoint's
+                    # index blob: an undecodable checkpoint is treated the
+                    # same as a missing one — fall through to salvage.
+                    self._salvage()
+                else:
+                    self.report.recoveries += 1
+                    self.current = dict(self.committed)
         finally:
             install_faults(self.db, self.plan)
 
@@ -511,7 +637,20 @@ class _ChaosRun:
                         f"maintenance after op {i}: spurious "
                         f"{type(exc).__name__}: {exc}")
             if self.tamper_every and (i + 1) % self.tamper_every == 0:
+                if self.batched_mode:
+                    try:
+                        self._flush_burst()
+                    except UnrecoverableError:
+                        self.report.unrecoverable = True
+                        self.report.availability_errors += 1
+                        break
                 self._tamper_round(k)
+        if self.batched_mode and self._burst:
+            try:
+                self._flush_burst()
+            except UnrecoverableError:
+                self.report.unrecoverable = True
+                self.report.availability_errors += 1
         self.report.fault_fires = {
             point: self.plan.fires(point)
             for point in self.plan.points()
@@ -530,7 +669,8 @@ class _ChaosRun:
 def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
               plan: FaultPlan | None = None,
               tamper_every: int | None = None,
-              server: bool = False, failover: bool = False) -> ChaosReport:
+              server: bool = False, failover: bool = False,
+              batched: bool = False) -> ChaosReport:
     """Run one chaos soak; see the module docstring for the contract.
 
     ``server=True`` drives the workload through the full serving pipeline
@@ -545,6 +685,12 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     is dominated by failover promotion; the oracle then also demands that
     no acknowledged write is lost across a promotion and that no value
     the workload never wrote appears in the promoted state.
+
+    ``batched=True`` (implies server mode) runs the serving loop with
+    group commit enabled: ops accumulate into bursts, each burst is
+    settled by one pump over per-shard batches, and the oracle resolves
+    put outcomes through the idempotency table (``cancel``), which stays
+    definitive under batched completion order.
     """
     return _ChaosRun(seed, ops, records, plan, tamper_every, server,
-                     failover).run()
+                     failover, batched).run()

@@ -34,6 +34,12 @@ KNOWN_POINTS = frozenset({
     # Enclave call gate (enclave/enclave.py)
     "ecall.transient",          # call gate fails before dispatch (EAGAIN)
     "ecall.reboot",             # surprise reboot: volatile state lost
+    # Group-commit batching (core/fastver.py, enclave/enclave.py)
+    "batch.partial",            # one staged put's client MAC corrupted, so
+                                # the enclave rejects exactly that entry and
+                                # the partial-batch isolation path runs
+    "batch.reboot_mid_batch",   # enclave reboots while an apply_batch is
+                                # executing; the host reinstates the batch
     # Client receipt channel (core/protocol.py)
     "receipt.drop",             # receipt lost in transit
     "receipt.duplicate",        # receipt delivered twice
@@ -50,6 +56,9 @@ KNOWN_POINTS = frozenset({
     "repl.ship.corrupt",        # one byte of the shipment body flips
     "repl.standby.lag",         # standby apply stalls this pump (lag spike)
     "repl.primary.kill",        # primary enclave destroyed mid-epoch
+    # The standby's own enclave (replication/standby.py)
+    "standby.reboot",           # replica enclave reboots; replica is rebuilt
+    "standby.stall_mid_apply",  # replica dies partway through an apply
 })
 
 

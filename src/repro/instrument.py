@@ -83,6 +83,19 @@ class Counters:
     replication_lag_max: int = 0    # peak unshipped+unacked backlog (entries)
     recovery_ticks: int = 0         # simulated ticks spent in heal sessions
 
+    # Group-commit batching (server/pipeline.py + core/fastver.py)
+    batches: int = 0                # apply_batch group commits flushed
+    batch_ops_total: int = 0        # client ops carried by those batches
+    crossings_saved: int = 0        # ecalls avoided vs. one-crossing-per-op
+
+    @property
+    def batch_fill_avg(self) -> float:
+        """Mean ops per group-commit batch (derived, so per-worker merges
+        and diffs stay exact — an average cannot be summed)."""
+        if not self.batches:
+            return 0.0
+        return self.batch_ops_total / self.batches
+
     def reset(self) -> None:
         """Zero every counter in place."""
         for f in fields(self):

@@ -80,7 +80,8 @@ class ReplicationManager:
         db._ecall("repl_set_key", key.key_bytes())
         self.standby = StandbyVerifier(
             db.config, db.items_snapshot(), list(db.clients.values()),
-            key.key_bytes(), client_source=self._client_source)
+            key.key_bytes(), client_source=self._client_source,
+            faults_source=lambda: self.server.faults)
         self.shipper = LogShipper(self._sign)
 
     def _try_bootstrap(self) -> None:
@@ -108,6 +109,9 @@ class ReplicationManager:
     def note_epoch(self, epoch: int) -> None:
         self.shipper.note_epoch(epoch)
 
+    def note_boundary(self) -> None:
+        self.shipper.note_boundary()
+
     def lag(self) -> int:
         """Acknowledged-but-unreplicated entries (observable lag bound)."""
         return self.shipper.backlog()
@@ -119,6 +123,14 @@ class ReplicationManager:
             enclave = self.server.db.enclave
             if enclave.probe()["alive"]:
                 enclave.teardown()
+        if self.standby is not None and self.standby.failed \
+                and self.config.auto_reattach:
+            # The replica itself died (a standby.* fault): rebuild it from
+            # the live primary. A full resync — the primary's snapshot
+            # already reflects every acknowledged put, so the discarded
+            # outbox/unacked tail must NOT be replayed onto the fresh
+            # replica (it would trip the standby's own anti-replay check).
+            self._try_bootstrap()
         if self.standby is not None and not self.standby.failed:
             try:
                 self._pump_inner(faults)
@@ -129,7 +141,8 @@ class ReplicationManager:
     def _pump_inner(self, faults) -> None:
         sh = self.shipper
         if sh.outbox and (len(sh.outbox) >= self.config.batch_entries
-                          or sh.epoch_pending or not sh.unacked):
+                          or sh.epoch_pending or sh.boundary_pending
+                          or not sh.unacked):
             sh.make_shipment()
             self.shipped_batches += 1
         if not sh.unacked:

@@ -97,6 +97,10 @@ class LogShipper:
         #: An epoch marker is waiting in the outbox (ship promptly so the
         #: standby can close the epoch and checkpoint).
         self.epoch_pending = False
+        #: A group-commit batch boundary closed over outbox entries: ship
+        #: them as one shipment next pump, so the replication stream
+        #: coalesces along the same boundaries the clients observed.
+        self.boundary_pending = False
 
     # ------------------------------------------------------------------
     def note_put(self, request: PutRequest) -> None:
@@ -105,6 +109,12 @@ class LogShipper:
     def note_epoch(self, epoch: int) -> None:
         self.outbox.append(("epoch", epoch))
         self.epoch_pending = True
+
+    def note_boundary(self) -> None:
+        """The serving loop settled a group-commit batch; everything it
+        produced is in the outbox and should travel together."""
+        if self.outbox:
+            self.boundary_pending = True
 
     def backlog(self) -> int:
         """Entries acknowledged to clients but not yet admitted by the
@@ -128,6 +138,7 @@ class LogShipper:
         self.unacked[shipment.seq] = shipment
         self.outbox.clear()
         self.epoch_pending = False
+        self.boundary_pending = False
         self._chain = digest
         self.next_seq += 1
         COUNTERS.shipped_batches += 1
@@ -149,4 +160,5 @@ class LogShipper:
         self.unacked.clear()
         self.outbox.clear()
         self.epoch_pending = False
+        self.boundary_pending = False
         return entries

@@ -26,7 +26,12 @@ from typing import Callable
 
 from repro.core.fastver import FastVer, FastVerConfig
 from repro.core.protocol import Client, ReceiptChannel
-from repro.errors import IntegrityError, ProtocolError
+from repro.errors import (
+    AvailabilityError,
+    EnclaveUnavailableError,
+    IntegrityError,
+    ProtocolError,
+)
 from repro.replication.shipper import Entry, body_digest
 
 
@@ -49,12 +54,18 @@ class StandbyVerifier:
                  items: list[tuple[int, bytes]],
                  clients: list[Client],
                  repl_key_bytes: bytes,
-                 client_source: Callable[[int], Client | None] | None = None):
+                 client_source: Callable[[int], Client | None] | None = None,
+                 faults_source: Callable[[], object] | None = None):
         self.db = FastVer(config, items=items)
         self.db.receipt_channel = MutedReceiptChannel()
         for client in clients:
             self.db.register_client(client)
         self._client_source = client_source
+        #: Resolves the *server's* fault plan at fire time, so the
+        #: standby's own fault points (standby.*) draw from the same
+        #: seeded trace as every other boundary — including plans
+        #: installed after this replica was bootstrapped.
+        self._faults_source = faults_source
         # Establish the replication session (models mutual attestation).
         self.db._ecall("repl_set_key", repl_key_bytes)
         # Align the sealed floor with the bootstrap point.
@@ -66,6 +77,11 @@ class StandbyVerifier:
         #: Set when the standby itself died (its enclave faulted); a
         #: failed standby is never promotable.
         self.failed = False
+
+    # ------------------------------------------------------------------
+    def _fire(self, point: str) -> bool:
+        plan = self._faults_source() if self._faults_source else None
+        return plan is not None and plan.fire(point)
 
     # ------------------------------------------------------------------
     def healthy(self) -> bool:
@@ -84,13 +100,28 @@ class StandbyVerifier:
         in-enclave MAC check fail. Rejection (False) leaves the channel
         state untouched — the sender retransmits the canonical copy.
         """
+        if self._fire("standby.reboot"):
+            # The replica's enclave lost power: its volatile verifier
+            # state — and the replication session with it — is gone. The
+            # replica is failed, never resumed; the manager rebuilds it
+            # from the primary on a later pump.
+            self.db.enclave.reboot()
+            self.failed = True
+            return False
         digest = body_digest(body)
         try:
             self.db._ecall("repl_admit", seq, prev_digest, digest, tag)
         except IntegrityError:
             self.rejects += 1
             return False
-        self.apply_entries(entries)
+        try:
+            self.apply_entries(entries)
+        except AvailabilityError:
+            # Died partway through an admitted shipment: the replica's
+            # state no longer matches its channel position, so it cannot
+            # be resumed — only rebuilt.
+            self.failed = True
+            return False
         return True
 
     def apply_entries(self, entries: list[Entry]) -> None:
@@ -100,6 +131,12 @@ class StandbyVerifier:
         real tampering, not transport noise."""
         n_workers = self.db.config.n_workers
         for kind, payload in entries:
+            if self._fire("standby.stall_mid_apply"):
+                self.failed = True
+                self.db.enclave.reboot()
+                raise EnclaveUnavailableError(
+                    "standby verifier stalled mid-apply; the replica's "
+                    "state no longer extends its channel position")
             if kind == "put":
                 client = self.db.clients.get(payload.client_id)
                 if client is None and self._client_source is not None:

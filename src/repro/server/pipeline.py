@@ -69,6 +69,15 @@ class ServerConfig:
     completed_capacity: int = 8192
     #: Simulated service time charged per processed request.
     time_per_request: float = 1.0
+    # --- group-commit batching (opt-in; see docs/PROTOCOL.md) ---------
+    #: Stage queued operations into per-verifier-shard batches and settle
+    #: each batch in a single multi-shard ecall (receipt-synchronous group
+    #: commit). Off by default: the legacy pump is byte-identical.
+    group_commit: bool = False
+    #: Flush a shard's batch once it holds this many operations.
+    max_batch_ops: int = 8
+    #: Flush a shard's batch once its oldest op has lingered this long.
+    max_batch_ticks: float = 8.0
     #: Pacing/budget of one supervisor heal session (None = default).
     heal_backoff: BackoffPolicy | None = None
     # --- recovery-ladder cost model (simulated ticks per rung) --------
@@ -188,6 +197,19 @@ class FastVerServer:
         self._fences: dict = {}
         #: Warm-standby replication, attached via :meth:`attach_standby`.
         self.replication = None
+        #: Group-commit staging: shard id -> open batch of tickets.
+        self._shard_batches: dict[int, list[Ticket]] = {}
+        #: shard id -> simulated time its open batch admitted its first op.
+        self._shard_opened: dict[int, float] = {}
+        #: (client_id, nonce) -> shard currently staging that operation.
+        self._staged_keys: dict[tuple[int, int], int] = {}
+        self.batches_flushed = 0
+        self.batch_ops_flushed = 0
+        #: bitkey() memo. The derivation is pure in the configured key
+        #: width, so entries stay valid across recovery and salvage.
+        self._bitkey_cache: OrderedDict = OrderedDict()
+        self.bitkey_hits = 0
+        self.bitkey_misses = 0
         for key, payload in (warm or []):
             self.committed_reads[db.data_key(key)] = payload
         self._trim_read_cache()
@@ -207,11 +229,27 @@ class FastVerServer:
     # ==================================================================
     # Wire API
     # ==================================================================
+    #: bitkey() memo bound (entries are tiny; the bound only guards
+    #: against pathological key churn).
+    BITKEY_CACHE_CAPACITY = 65536
+
     def bitkey(self, key: int | bytes):
         """Map a client key to the data-width BitKey requests are signed
         over (stable across recovery and salvage — it only depends on the
-        configured key width)."""
-        return self.db.data_key(key)
+        configured key width). Memoized: SDK clients derive the same key's
+        BitKey once per operation, and at batched throughputs the hash
+        derivation shows up ahead of the enclave in the host profile."""
+        hit = self._bitkey_cache.get(key)
+        if hit is not None:
+            self._bitkey_cache.move_to_end(key)
+            self.bitkey_hits += 1
+            return hit
+        self.bitkey_misses += 1
+        derived = self.db.data_key(key)
+        self._bitkey_cache[key] = derived
+        if len(self._bitkey_cache) > self.BITKEY_CACHE_CAPACITY:
+            self._bitkey_cache.popitem(last=False)
+        return derived
 
     def submit(self, request: ServerRequest) -> Ticket:
         """Admission control: accept the request into the bounded queue or
@@ -235,18 +273,27 @@ class FastVerServer:
         return ticket
 
     def pump(self, max_requests: int | None = None) -> int:
-        """Process queued requests FIFO; returns how many were processed."""
-        processed = 0
-        while self.queue and (max_requests is None
-                              or processed < max_requests):
-            ticket = self.queue.popleft()
-            self._advance(self.config.time_per_request)
-            try:
-                ticket.result = self._execute(ticket.request)
-            except Exception as exc:
-                ticket.error = exc
-            ticket.done = True
-            processed += 1
+        """Process queued requests FIFO; returns how many were processed.
+
+        With ``config.group_commit`` set, the drain stages operations into
+        per-verifier-shard batches and settles each in a single
+        multi-shard ecall; every ticket still resolves before pump
+        returns (receipt-synchronous group commit). Otherwise each
+        request executes on its own — the legacy loop, unchanged."""
+        if self.config.group_commit:
+            processed = self._pump_batched(max_requests)
+        else:
+            processed = 0
+            while self.queue and (max_requests is None
+                                  or processed < max_requests):
+                ticket = self.queue.popleft()
+                self._advance(self.config.time_per_request)
+                try:
+                    ticket.result = self._execute(ticket.request)
+                except Exception as exc:
+                    ticket.error = exc
+                ticket.done = True
+                processed += 1
         if self.replication is not None:
             self.replication.pump()
         return processed
@@ -295,7 +342,14 @@ class FastVerServer:
     def recoveries(self) -> int:
         return self.supervisor.heals
 
-    def _execute(self, request: ServerRequest) -> ServerResult:
+    def _admission(self, request: ServerRequest) -> ServerResult | None:
+        """Everything that happens to a request *before* it reaches the
+        database, in the exact order the legacy path runs it: watchdog,
+        deadline, background heal, idempotency lookup, generation fence,
+        degraded-mode service, and the circuit breaker. Returns a result
+        for requests answered here (dedup hits, degraded/cached reads),
+        raises their typed errors, and returns None for requests cleared
+        to execute. Shared verbatim by the per-op and batched pumps."""
         self.supervisor.check_watchdog()
         if self.now > request.deadline:
             COUNTERS.deadline_expired += 1
@@ -335,6 +389,12 @@ class FastVerServer:
             raise CircuitOpenError(
                 "circuit breaker open: writes fail fast until a probe "
                 "closes it")
+        return None
+
+    def _execute(self, request: ServerRequest) -> ServerResult:
+        early = self._admission(request)
+        if early is not None:
+            return early
         try:
             result = self._apply(request)
         except IntegrityError:
@@ -378,6 +438,149 @@ class FastVerServer:
             self.replication.note_put(request.op)
         while len(self.completed) > self.config.completed_capacity:
             self.completed.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Group-commit batching (opt-in via config.group_commit)
+    # ------------------------------------------------------------------
+    def _pump_batched(self, max_requests: int | None = None) -> int:
+        """Drain the admission queue into per-shard batches and settle
+        each batch in one multi-shard ecall.
+
+        Flush policy: a shard flushes when it reaches ``max_batch_ops``,
+        when its oldest staged op has lingered ``max_batch_ticks``, when a
+        staged op's deadline is about to expire, or when a retry of an
+        already-staged (client, nonce) arrives (so the retry is answered
+        from the idempotency table instead of being staged twice). Every
+        open batch flushes before pump returns — group commit batches
+        crossings, never acknowledgements."""
+        processed = 0
+        while self.queue and (max_requests is None
+                              or processed < max_requests):
+            ticket = self.queue.popleft()
+            self._advance(self.config.time_per_request)
+            processed += 1
+            try:
+                early = self._admission(ticket.request)
+            except Exception as exc:
+                ticket.error = exc
+                ticket.done = True
+                continue
+            if early is not None:
+                ticket.result = early
+                ticket.done = True
+                continue
+            dedup_key = ticket.request.dedup_key
+            staged_at = self._staged_keys.get(dedup_key)
+            if staged_at is not None:
+                # Dedup-aware flush: commit the staged twin first, then
+                # answer this retry from the table it just landed in.
+                self._flush_shard(staged_at)
+                hit = self.completed.get(dedup_key)
+                if hit is not None:
+                    ticket.result = replace(hit.result, deduped=True)
+                    ticket.done = True
+                    continue
+                # The twin failed; this attempt proceeds on its own.
+            shard = ticket.request.worker % self.db.config.n_workers
+            batch = self._shard_batches.setdefault(shard, [])
+            if not batch:
+                self._shard_opened[shard] = self.now
+            batch.append(ticket)
+            self._staged_keys[dedup_key] = shard
+            if len(batch) >= self.config.max_batch_ops:
+                self._flush_shard(shard)
+            else:
+                self._flush_due()
+        self._flush_open_batches()
+        return processed
+
+    def _flush_due(self) -> None:
+        """Flush shards whose linger window closed or whose oldest staged
+        deadline would not survive another service tick."""
+        horizon = self.now + self.config.time_per_request
+        for shard in list(self._shard_batches):
+            batch = self._shard_batches.get(shard)
+            if not batch:
+                continue
+            age = self.now - self._shard_opened.get(shard, self.now)
+            if age >= self.config.max_batch_ticks or \
+                    any(t.request.deadline <= horizon for t in batch):
+                self._flush_shard(shard)
+
+    def _flush_open_batches(self) -> None:
+        for shard in list(self._shard_batches):
+            self._flush_shard(shard)
+
+    def _flush_shard(self, shard: int) -> None:
+        """Settle one shard's open batch through ``FastVer.apply_batch``
+        and resolve its tickets, mirroring the legacy path's post-apply
+        stages (breaker accounting, degraded-mode entry, completion
+        recording, response-wire fault) per operation."""
+        batch = self._shard_batches.pop(shard, None)
+        self._shard_opened.pop(shard, None)
+        if not batch:
+            return
+        ops = []
+        live: list[Ticket] = []
+        for ticket in batch:
+            self._staged_keys.pop(ticket.request.dedup_key, None)
+            request = ticket.request
+            if self.now > request.deadline:
+                # It lingered past its deadline waiting for batch-mates.
+                COUNTERS.deadline_expired += 1
+                ticket.error = DeadlineExceededError(
+                    f"deadline {request.deadline:.0f} passed at "
+                    f"{self.now:.0f} while staged for group commit; the "
+                    f"operation was not applied")
+                ticket.done = True
+                continue
+            client = self.db.clients.get(request.client_id)
+            worker = request.worker % self.db.config.n_workers
+            ops.append((client, request.op, request.kind, worker))
+            live.append(ticket)
+        if not ops:
+            return
+        self.batches_flushed += 1
+        self.batch_ops_flushed += len(ops)
+        try:
+            outcomes = self.db.apply_batch(ops)
+        except IntegrityError as exc:
+            # The verifier working, not the verifier failing — but with a
+            # group commit the alarm voids every op in flight.
+            for ticket in live:
+                ticket.error = exc
+                ticket.done = True
+            return
+        except AvailabilityError as exc:
+            self.breaker.record_failure(self.now)
+            self._enter_degraded(f"{type(exc).__name__}: {exc}")
+            for ticket in live:
+                ticket.error = exc
+                ticket.done = True
+            return
+        for ticket, outcome in zip(live, outcomes):
+            if outcome.error is not None:
+                ticket.error = outcome.error
+                ticket.done = True
+                continue
+            result = ServerResult(outcome.payload, outcome.nonce)
+            self.breaker.record_success()
+            self._record_completion(ticket.request, result)
+            if self.faults is not None and \
+                    self.faults.fire("server.wire.response"):
+                COUNTERS.wire_drops += 1
+                ticket.error = WireDropError(
+                    "response lost on the server->client wire (the "
+                    "operation WAS applied; the idempotency table "
+                    "remembers it)")
+                ticket.done = True
+                continue
+            ticket.result = result
+            ticket.done = True
+        if self.replication is not None:
+            # Shipping coalesces along batch boundaries: everything this
+            # group commit produced travels in one shipment.
+            self.replication.note_boundary()
 
     # ------------------------------------------------------------------
     # Degraded mode
@@ -545,6 +748,11 @@ class FastVerServer:
         protections; promotes provisional serving-layer state to durable.
         Refuses (typed) while degraded — checkpointing a half-recovered
         store would launder provisional state into the recovery point."""
+        if self._shard_batches:
+            # A checkpoint must not straddle an open group commit: settle
+            # staged work first so the maintain marker lands on a batch
+            # boundary.
+            self._flush_open_batches()
         if self.degraded:
             if not self.supervisor.try_heal():
                 raise DegradedModeError(
@@ -592,6 +800,16 @@ class FastVerServer:
             "replayed_writes": self.replayed_writes,
             "generation": self.generation,
             "failovers": self.supervisor.failovers,
+            "batching": {
+                "group_commit": self.config.group_commit,
+                "open_shards": len(self._shard_batches),
+                "staged_ops": sum(len(b)
+                                  for b in self._shard_batches.values()),
+                "batches_flushed": self.batches_flushed,
+                "batch_ops_flushed": self.batch_ops_flushed,
+                "bitkey_cache": {"hits": self.bitkey_hits,
+                                 "misses": self.bitkey_misses},
+            },
             "replication": None if self.replication is None else {
                 "standby_healthy": self.replication.can_promote(),
                 "lag": self.replication.lag(),

@@ -98,6 +98,15 @@ class CostModel:
                  modeled_db_records: int) -> float:
         return self.verifier_ns(c, profile) + self.host_ns(c, modeled_db_records)
 
+    def amortized_crossing_ns(self, ops: int, enclave_entries: int,
+                              profile: EnclaveCostProfile) -> float:
+        """Per-operation crossing overhead after batching: the group-commit
+        lever (§7) moves this from one full ``crossing_ns`` per op toward
+        ``crossing_ns / batch_fill`` as batches widen."""
+        if ops <= 0:
+            return 0.0
+        return enclave_entries * profile.crossing_ns / ops
+
     def parallel_ns(self, serial_ns: float, n_workers: int) -> float:
         """Wall time for work that parallelizes across n workers with the
         paper's observed (imperfect) scaling."""

@@ -1,0 +1,318 @@
+"""Group-commit batching tests: one-ecall batches, partial-batch
+isolation, epoch-at-boundary semantics, maintain straddling, anti-replay
+floor behaviour, standby fault points, and the bitkey/BitKey memo caches.
+
+Everything here drives the *opt-in* batched serving loop
+(``ServerConfig(group_commit=True)``); the legacy per-op path's
+behavioural identity is separately pinned by the chaos digest baselines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.keys import BitKey
+from repro.errors import (
+    AvailabilityError,
+    BatchAbortedError,
+    EnclaveRebootError,
+    ProtocolError,
+    ReplayError,
+    SignatureError,
+)
+from repro.faults import FaultPlan, install_faults
+from repro.instrument import COUNTERS
+from repro.server import FastVerServer, ServerConfig, ServerRequest
+from tests.conftest import small_fastver
+
+
+def batched_setup(specs=None, seed=3, n_records=50, standby=False,
+                  **cfg_kwargs):
+    """A checkpointed FastVer behind a group-commit server."""
+    db, client = small_fastver(n_records=n_records)
+    db.verify()
+    db.flush()
+    db.checkpoint()
+    cfg_kwargs.setdefault("group_commit", True)
+    cfg_kwargs.setdefault("max_batch_ops", 8)
+    cfg_kwargs.setdefault("max_batch_ticks", 1000.0)
+    cfg_kwargs.setdefault("queue_capacity", 256)
+    server = FastVerServer(db, ServerConfig(**cfg_kwargs))
+    if standby:
+        server.attach_standby()
+    if specs is not None:
+        install_faults(db, FaultPlan(seed, specs))
+    return db, client, server
+
+
+def envelope(server, client, kind, key, payload=None):
+    bk = server.bitkey(key)
+    op = client.make_get(bk) if kind == "get" else client.make_put(bk, payload)
+    return ServerRequest(kind, op, server.now + 10_000.0, worker=bk.bits,
+                         generation=server.generation)
+
+
+class TestGroupCommit:
+    def test_one_crossing_per_shard_batch(self):
+        db, client, server = batched_setup(max_batch_ops=64)
+        tickets = [server.submit(envelope(server, client, "put", k, b"p%d" % k))
+                   for k in range(32)]
+        before = COUNTERS.enclave_entries
+        server.pump()
+        crossings = COUNTERS.enclave_entries - before
+        assert all(t.done and t.error is None for t in tickets)
+        # 32 ops over n_workers shards settle in at most one ecall each.
+        assert crossings <= db.config.n_workers
+        assert COUNTERS.crossings_saved > 0
+
+    def test_batch_one_matches_legacy_results(self):
+        # Receipt-synchronous batch=1 must answer exactly like the legacy
+        # pump — same payloads, same nonce echo — for the same stream.
+        db1, client1 = small_fastver(n_records=20)
+        db1.verify(); db1.flush(); db1.checkpoint()
+        legacy = FastVerServer(db1, ServerConfig())
+        db2, client2 = small_fastver(n_records=20)
+        db2.verify(); db2.flush(); db2.checkpoint()
+        batched = FastVerServer(db2, ServerConfig(group_commit=True,
+                                                  max_batch_ops=1))
+        for k in range(15):
+            a = legacy.handle(envelope(legacy, client1, "put", k, b"w%d" % k))
+            b = batched.handle(envelope(batched, client2, "put", k, b"w%d" % k))
+            assert (a.payload, a.degraded, a.deduped) == \
+                (b.payload, b.degraded, b.deduped)
+        for k in range(15):
+            a = legacy.handle(envelope(legacy, client1, "get", k))
+            b = batched.handle(envelope(batched, client2, "get", k))
+            assert a.payload == b.payload == b"w%d" % k
+        db1.verify()
+        db2.verify()
+
+    def test_unregistered_client_fails_alone(self):
+        from repro.crypto.mac import MacKey
+        from repro.core.protocol import Client
+
+        db, client, server = batched_setup()
+        stranger = Client(99, MacKey.generate("stranger"))
+        good = server.submit(envelope(server, client, "put", 1, b"ok"))
+        bad = server.submit(ServerRequest(
+            "put", stranger.make_put(server.bitkey(2), b"no"),
+            server.now + 10_000.0, worker=0))
+        server.pump()
+        assert good.error is None and good.result.payload == b"ok"
+        assert isinstance(bad.error, ProtocolError)
+        db.verify()
+
+    def test_epoch_closes_on_batch_boundary(self):
+        # config.batch_ops inside a batch must defer the close to the
+        # boundary: one close for the whole batch, never mid-batch.
+        db, client, server = batched_setup(max_batch_ops=16)
+        db.config.batch_ops = 4
+        epoch_before = db.current_epoch
+        for k in range(6):
+            server.submit(envelope(server, client, "put", k, b"e%d" % k))
+        server.pump()
+        # 6 ops crossed the threshold of 4 exactly once, at the boundary.
+        assert db.current_epoch == epoch_before + 1
+        assert db.ops_since_close == 0
+
+    def test_health_exposes_batching_surface(self):
+        db, client, server = batched_setup()
+        server.handle(envelope(server, client, "put", 1, b"h"))
+        surface = server.health()["batching"]
+        assert surface["group_commit"] is True
+        assert surface["batches_flushed"] >= 1
+        assert surface["open_shards"] == 0
+
+
+class TestPartialBatch:
+    def test_poisoned_op_fails_alone(self):
+        db, client, server = batched_setup({"batch.partial": [0]})
+        tickets = [server.submit(envelope(server, client, "put", k, b"p%d" % k))
+                   for k in range(8)]
+        server.pump()
+        failed = [(i, t) for i, t in enumerate(tickets) if t.error is not None]
+        assert len(failed) == 1
+        bad_index, bad_ticket = failed[0]
+        assert isinstance(bad_ticket.error, SignatureError)
+        assert not server.degraded  # isolation, not recovery
+        # The poisoned key still reads its pre-batch value; the verifier
+        # agrees with the store (verify stays green).
+        readback = server.handle(envelope(server, client, "get", bad_index))
+        assert readback.payload == b"v%d" % bad_index
+        for i, ticket in enumerate(tickets):
+            if i == bad_index:
+                continue
+            assert ticket.error is None
+            out = server.handle(envelope(server, client, "get", i))
+            assert out.payload == b"p%d" % i
+        db.verify()
+
+    def test_same_key_conflict_voids_batch(self):
+        # The poisoned put is followed (same batch) by a get of the same
+        # key whose staged entries embed the poisoned value: isolation is
+        # impossible and the whole batch resolves as an availability
+        # failure — nothing applied, server degrades and heals.
+        # Keys 2 and 4 both route to shard 0 (worker % n_workers), so all
+        # three ops share one batch and the poison hits the last put.
+        db, client, server = batched_setup({"batch.partial": [0]})
+        t_put_a = server.submit(envelope(server, client, "put", 2, b"aa"))
+        t_put_b = server.submit(envelope(server, client, "put", 4, b"bb"))
+        t_get_b = server.submit(envelope(server, client, "get", 4))
+        server.pump()
+        errors = [t.error for t in (t_put_a, t_put_b, t_get_b)
+                  if t.error is not None]
+        assert any(isinstance(e, BatchAbortedError) for e in errors)
+        # Cancel is definitive: neither put was applied.
+        for t in (t_put_a, t_put_b):
+            assert server.cancel(client.client_id, t.request.nonce) is None
+        # Heal brings the pre-batch values back.
+        assert server.handle(envelope(server, client, "get", 2)).payload == b"v2"
+        assert server.handle(envelope(server, client, "get", 4)).payload == b"v4"
+        db.verify()
+
+    def test_reboot_mid_batch_voids_and_recovers(self):
+        db, client, server = batched_setup({"batch.reboot_mid_batch": [0]})
+        # Even keys keep all eight ops in one shard batch.
+        tickets = [server.submit(envelope(server, client, "put", 2 * k,
+                                          b"r%d" % k))
+                   for k in range(8)]
+        server.pump()
+        assert all(isinstance(t.error, EnclaveRebootError) for t in tickets)
+        assert server.degraded
+        out = server.handle(envelope(server, client, "get", 0))
+        assert out.payload == b"v0"  # rolled back to the checkpoint
+        assert not server.degraded
+        db.verify()
+
+
+class TestAntiReplayAcrossBatches:
+    def test_retry_after_batch_answers_from_dedup(self):
+        db, client, server = batched_setup()
+        first = envelope(server, client, "put", 5, b"once")
+        a = server.handle(first)
+        retry = ServerRequest("put", first.op, server.now + 10_000.0,
+                              worker=first.worker)
+        b = server.handle(retry)
+        assert a.payload == b.payload == b"once"
+        assert b.deduped
+
+    def test_direct_reapply_trips_the_floor(self):
+        # Bypassing the server's dedup table, the verifier's own
+        # anti-replay window rejects the nonce the batch consumed. The
+        # rejection lands at validation time (the staged entry's flush),
+        # which is where the batch path surfaces it too.
+        db, client, server = batched_setup()
+        request = envelope(server, client, "put", 5, b"once")
+        server.handle(request)
+        db.apply_put(client, request.op, worker=0)
+        with pytest.raises(ReplayError):
+            db.flush()
+
+    def test_floor_advances_once_per_batch_and_seals(self):
+        # A full batch of nonces lands, the maintain marker seals the
+        # floor, and every consumed nonce stays rejected after a reboot
+        # + recovery (the sealed floor covers the whole batch).
+        db, client, server = batched_setup()
+        requests = [envelope(server, client, "put", k, b"f%d" % k)
+                    for k in range(8)]
+        for r in requests:
+            server.submit(r)
+        server.pump()
+        server.maintain()
+        db.enclave.reboot()
+        db.recover(db.last_checkpoint)
+        # The restored floor burns every nonce up to the high-water mark;
+        # the lowest nonce of the batch is the strongest probe (monotone
+        # floor ⇒ rejecting it rejects the whole batch).
+        db.apply_put(client, requests[0].op, worker=0)
+        with pytest.raises(ReplayError):
+            db.flush()
+
+
+class TestMaintainStraddlesBatch:
+    def test_open_batch_flushes_before_checkpoint(self):
+        from repro.server.pipeline import Ticket
+
+        db, client, server = batched_setup()
+        request = envelope(server, client, "put", 7, b"straddle")
+        ticket = Ticket(request)
+        server._shard_batches[0] = [ticket]
+        server._shard_opened[0] = server.now
+        server._staged_keys[request.dedup_key] = 0
+        server.maintain()
+        # The maintain marker landed on a batch boundary: the staged op
+        # committed first and is inside the checkpoint's durable tier.
+        assert ticket.done and ticket.error is None
+        assert not server._shard_batches
+        assert server.committed_reads[request.op.key] == b"straddle"
+        db.enclave.reboot()
+        db.recover(db.last_checkpoint)
+        out = server.handle(envelope(server, client, "get", 7))
+        assert out.payload == b"straddle"
+
+
+class TestStandbyFaultPoints:
+    def _soak(self, point):
+        db, client, server = batched_setup({point: [0]}, standby=True,
+                                           group_commit=False)
+        for i in range(20):
+            server.handle(envelope(server, client, "put", i % 50, b"s%d" % i))
+        return db, client, server
+
+    @pytest.mark.parametrize("point",
+                             ["standby.reboot", "standby.stall_mid_apply"])
+    def test_failed_standby_is_rebuilt_and_promotable(self, point):
+        db, client, server = self._soak(point)
+        repl = server.replication
+        assert repl.rejects >= 1  # the faulted shipment was not admitted
+        assert repl.can_promote()  # the manager rebuilt the replica
+        repl.promote()
+        assert server.generation == 1
+        out = server.handle(envelope(server, client, "get", 3))
+        assert out.payload == b"s3"
+
+    def test_boundary_coalesces_shipments(self):
+        db, client, server = batched_setup(standby=True)
+        shipper = server.replication.shipper
+        for k in range(6):
+            server.submit(envelope(server, client, "put", k, b"b%d" % k))
+        server.pump()
+        # Batch boundaries marked the outbox for prompt shipping, and the
+        # pump drained it: nothing acknowledged is still sitting locally.
+        assert not shipper.boundary_pending
+        assert server.replication.lag() == 0
+        assert server.replication.shipped_batches >= 1
+
+
+class TestMicroCaches:
+    def test_bitkey_memo_hits(self):
+        db, client, server = batched_setup()
+        first = server.bitkey(9)
+        again = server.bitkey(9)
+        assert first == again
+        assert server.bitkey_hits >= 1
+        # Memoized keys stay valid across recovery (width-pure derivation).
+        db.enclave.reboot()
+        db.recover(db.last_checkpoint)
+        assert server.bitkey(9) == db.data_key(9)
+
+    def test_bitkey_hash_is_memoized_and_stable(self):
+        key = BitKey(64, 12345)
+        assert hash(key) == hash(BitKey(64, 12345))
+        assert hash(key) == key._hash  # slot populated lazily
+        with pytest.raises(AttributeError):
+            key.bits = 1  # immutability guard intact
+        assert BitKey(4, 5) != BitKey(5, 5)
+
+
+class TestBatchingBenchShape:
+    def test_tiny_sweep_is_monotone(self):
+        from repro.bench.batching import _run_one
+
+        rows = []
+        for batch in (1, 8):
+            row, _server = _run_one(batch, records=60, ops=120, seed=5)
+            rows.append(row)
+        assert rows[0]["crossings_saved"] == 0  # batch=1 is the baseline
+        assert rows[1]["crossings_saved"] > 0
+        assert rows[1]["crossings"] < rows[0]["crossings"]
