@@ -23,6 +23,8 @@ from repro.core.fastver import FastVer, FastVerConfig
 from repro.core.protocol import Client
 from repro.crypto.mac import MacKey
 from repro.errors import AvailabilityError
+from repro.obs import LATENCIES
+from repro.obs import reset as obs_reset
 from repro.server.pipeline import FastVerServer, ServerConfig
 
 TARGET_RATIO = 0.10
@@ -86,12 +88,20 @@ def _measure_rto(server: FastVerServer, destroy: bool) -> float:
 def run_failover_bench(records: int = 1200, ops: int = 400,
                        seed: int = 7) -> dict:
     """Measure both recovery paths; return the JSON-ready comparison."""
+    obs_reset()
     cold = _build_server(records, ops, seed, standby=False)
     restore_rto = _measure_rto(cold, destroy=False)
+    restore_latency = {name: LATENCIES.get(name).summary()
+                       for name in LATENCIES.names()
+                       if LATENCIES.get(name).count}
 
+    obs_reset()
     warm = _build_server(records, ops, seed, standby=True)
     failover_rto = _measure_rto(warm, destroy=True)
     assert warm.generation == 1, "warm path did not fail over"
+    failover_latency = {name: LATENCIES.get(name).summary()
+                        for name in LATENCIES.names()
+                        if LATENCIES.get(name).count}
 
     ratio = failover_rto / restore_rto if restore_rto else float("inf")
     return {
@@ -102,5 +112,9 @@ def run_failover_bench(records: int = 1200, ops: int = 400,
         "failover_rto_ticks": failover_rto,
         "ratio": round(ratio, 6),
         "target_ratio": TARGET_RATIO,
+        # Latency histogram summaries from each run's op phase (the warm
+        # run's verified_latency includes ops settled across a failover).
+        "latency": {"restore_run": restore_latency,
+                    "failover_run": failover_latency},
         "ok": ratio < TARGET_RATIO,
     }

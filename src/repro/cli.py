@@ -14,6 +14,13 @@ Commands:
 * ``bench-batching`` — group-commit crossing amortization: modeled
                throughput across a batch-size sweep, recorded to
                BENCH_batching.json
+* ``metrics`` — one measured run with the observability layer armed:
+               latency histograms (p50/p95/p99/p99.9), per-subsystem
+               cost attribution, and run metrics, exported as JSON,
+               Prometheus text, or a human-readable report
+* ``trace``  — run a chaos scenario and query its span-based trace ring:
+               filter by trace id / event kind, or reconstruct a full
+               request lifecycle with ``--find-lifecycle``
 
 These wrap the same public APIs the examples use; the CLI exists so a
 downstream user can poke the system without writing code.
@@ -99,6 +106,50 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_ba.add_argument("--ops", type=int, default=2000)
     bench_ba.add_argument("--seed", type=int, default=7)
     bench_ba.add_argument("--out", default="BENCH_batching.json")
+
+    met = sub.add_parser(
+        "metrics",
+        help="measured run with histograms + cost attribution; export "
+             "JSON / Prometheus text / human-readable report")
+    met.add_argument("--records", type=int, default=400)
+    met.add_argument("--ops", type=int, default=2000)
+    met.add_argument("--seed", type=int, default=7)
+    met.add_argument("--workers", type=int, default=4)
+    met.add_argument("--batch", type=int, default=8)
+    met.add_argument("--maintain-every", type=int, default=250,
+                     help="close an epoch (settling verified latencies) "
+                          "every N ops")
+    met.add_argument("--format", choices=["json", "prom", "text"],
+                     default="text")
+    met.add_argument("--out", default=None,
+                     help="also write the export to this file")
+    met.add_argument("--check", action="store_true",
+                     help="validate the payload (schema, attribution "
+                          "consistency, quantile monotonicity) and fail "
+                          "on any problem")
+
+    tr = sub.add_parser(
+        "trace",
+        help="run a chaos scenario and query the span-based trace ring")
+    tr.add_argument("--seed", type=int, default=7)
+    tr.add_argument("--ops", type=int, default=2000)
+    tr.add_argument("--records", type=int, default=200)
+    tr.add_argument("--tamper-every", type=int, default=None)
+    tr.add_argument("--server", action="store_true")
+    tr.add_argument("--failover", action="store_true")
+    tr.add_argument("--batched", action="store_true")
+    tr.add_argument("--trace", default=None,
+                    help="print the full span for this trace id")
+    tr.add_argument("--kind", default=None,
+                    help="print only events of this kind")
+    tr.add_argument("--last", type=int, default=None,
+                    help="print the last N events in the ring")
+    tr.add_argument("--find-lifecycle", default=None, metavar="KINDS",
+                    help="comma-separated event kinds; find and print one "
+                         "trace whose span covers all of them (exit 1 if "
+                         "none does)")
+    tr.add_argument("--json", action="store_true",
+                    help="emit events as JSON lines instead of columns")
     return parser
 
 
@@ -227,6 +278,14 @@ def cmd_chaos(args) -> int:
               "error carries the fault seed and trace digest")
     print(f"fault fires          {report.fault_fires}")
     print(f"digest               {report.digest()}")
+    if report.forensics is not None:
+        import json
+        path = f"trace_forensics_seed{report.seed}.json"
+        with open(path, "w") as fh:
+            json.dump(report.forensics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({len(report.forensics['events'])} trace "
+              f"events for forensics)")
     if report.hard_failures:
         for failure in report.hard_failures:
             print("HARD FAILURE:", failure)
@@ -300,6 +359,11 @@ def cmd_bench_batching(args) -> int:
     print(f"bitkey memo           {cache['derive_ns_per_call']:.0f} ns/derive "
           f"-> {cache['memoized_ns_per_call']:.0f} ns memoized "
           f"({cache['hits']} hits / {cache['misses']} misses)")
+    overhead = result["tracing_overhead"]
+    print(f"tracing overhead      "
+          f"{overhead['relative_delta'] * 100:.2f}% modeled-throughput "
+          f"delta at batch {overhead['batch']} "
+          f"(bound {overhead['bound'] * 100:.0f}%)")
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -307,6 +371,105 @@ def cmd_bench_batching(args) -> int:
     if not result["ok"]:
         print("FAILED: the amortization curve missed the acceptance bar")
         return 1
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    from repro.obs.export import check_payload, to_prometheus
+    from repro.obs.profile import CostAttribution
+    from repro.obs.runner import run_instrumented
+
+    run = run_instrumented(records=args.records, ops=args.ops,
+                           seed=args.seed, n_workers=args.workers,
+                           batch=args.batch,
+                           maintain_every=args.maintain_every)
+    payload = run.payload()
+    if args.format == "json":
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    elif args.format == "prom":
+        rendered = to_prometheus(payload)
+    else:
+        m = payload["metrics"]
+        lat = payload["latency"]
+        att = payload["attribution"]
+        lines = [
+            f"run                  {args.ops} YCSB-A ops over "
+            f"{args.records} records (seed {args.seed}, "
+            f"batch {args.batch}, {args.workers} shards)",
+            f"throughput           {m['throughput_mops']:.3f} Mops/s "
+            f"(modeled)",
+            f"verifier fraction    {m['verifier_fraction']:.2f}",
+            f"verification latency {m['verification_latency_s'] * 1e3:.3f} ms",
+            "",
+            "latency histograms (simulated):",
+        ]
+        for name in sorted(lat):
+            s = lat[name]
+            lines.append(
+                f"  {name:<16} n={s['count']:<6} p50={s['p50']:<8g} "
+                f"p95={s['p95']:<8g} p99={s['p99']:<8g} "
+                f"p99.9={s['p99.9']:<8g} ({s['unit']})")
+        lines += [""]
+        attribution = CostAttribution(parts=dict(att["parts_ns"]),
+                                      model_total_ns=att["model_total_ns"])
+        lines.append(attribution.flame_report())
+        rendered = "\n".join(lines) + "\n"
+    sys.stdout.write(rendered)
+    if args.out:
+        with open(args.out, "w") as fh:
+            if args.format in ("prom", "text"):
+                fh.write(rendered)
+            else:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        problems = check_payload(payload)
+        if problems:
+            for problem in problems:
+                print("CHECK FAILED:", problem)
+            return 1
+        print("payload check: ok")
+    return 0
+
+
+def _print_events(events, as_json: bool) -> None:
+    import json
+
+    for event in events:
+        if as_json:
+            print(json.dumps(event.as_dict(), sort_keys=True))
+        else:
+            detail = " ".join(f"{k}={v}" for k, v in event.detail.items())
+            trace = event.trace if event.trace is not None else "-"
+            print(f"{event.ts:>12.1f} {event.kind:<9} {trace:<16} {detail}")
+
+
+def cmd_trace(args) -> int:
+    from repro.faults.chaos import run_chaos
+    from repro.obs import TRACER
+
+    run_chaos(seed=args.seed, ops=args.ops, records=args.records,
+              tamper_every=args.tamper_every, server=args.server,
+              failover=args.failover, batched=args.batched)
+    print(f"# trace ring: {len(TRACER)} events held, "
+          f"{TRACER.dropped} dropped (capacity {TRACER.capacity})")
+    if args.find_lifecycle:
+        kinds = {k.strip() for k in args.find_lifecycle.split(",") if k.strip()}
+        trace = TRACER.find_lifecycle(kinds)
+        if trace is None:
+            print(f"no trace covers all of: {sorted(kinds)}")
+            return 1
+        print(f"# lifecycle trace {trace} covers {sorted(kinds)}:")
+        _print_events(TRACER.lifecycle(trace), args.json)
+        return 0
+    events = TRACER.events(trace=args.trace, kind=args.kind, last=args.last)
+    if not events:
+        print("no events matched the filter")
+        return 1
+    _print_events(events, args.json)
     return 0
 
 
@@ -320,6 +483,8 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": cmd_chaos,
         "bench-failover": cmd_bench_failover,
         "bench-batching": cmd_bench_batching,
+        "metrics": cmd_metrics,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

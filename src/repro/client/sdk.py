@@ -51,6 +51,7 @@ from repro.errors import (
     UnrecoverableError,
 )
 from repro.instrument import COUNTERS
+from repro.obs import TRACER
 from repro.server.pipeline import FastVerServer, ServerRequest, ServerResult
 
 
@@ -75,6 +76,10 @@ class RetryingClient:
         self.generation = server.generation
         #: Redirects followed (failovers observed by this endpoint).
         self.redirects = 0
+        #: Trace ids minted by this endpoint (one per logical operation;
+        #: retries and fresh envelopes keep the same id, so the whole
+        #: retry saga is one span in the ring).
+        self._trace_seq = 0
 
     # ------------------------------------------------------------------
     def get(self, key: int | bytes) -> ServerResult:
@@ -85,7 +90,8 @@ class RetryingClient:
 
     # ------------------------------------------------------------------
     def _envelope(self, kind: str, key: int | bytes,
-                  payload: bytes | None) -> ServerRequest:
+                  payload: bytes | None,
+                  trace: str | None = None) -> ServerRequest:
         bk = self.server.bitkey(key)
         if kind == "get":
             op = self.client.make_get(bk)
@@ -93,7 +99,7 @@ class RetryingClient:
             op = self.client.make_put(bk, payload)
         deadline = self.server.now + self.server.config.default_deadline
         return ServerRequest(kind, op, deadline, worker=bk.bits,
-                             generation=self.generation)
+                             generation=self.generation, trace=trace)
 
     def _follow_redirect(self, request: ServerRequest) -> None:
         """Adopt the new leadership generation and its fence receipt: the
@@ -108,12 +114,17 @@ class RetryingClient:
 
     def _run(self, kind: str, key: int | bytes,
              payload: bytes | None) -> ServerResult:
-        request = self._envelope(kind, key, payload)
+        self._trace_seq += 1
+        trace = f"c{self.client.client_id}-{self._trace_seq}"
+        request = self._envelope(kind, key, payload, trace)
         last: Exception | None = None
         for attempt, delay in enumerate(self.policy.delays()):
             self.policy.sleep(delay)
             if attempt:
                 COUNTERS.retried += 1
+                TRACER.record("retry", self.server.now, trace,
+                              attempt=attempt,
+                              after=type(last).__name__ if last else None)
             try:
                 return self.server.handle(request)
             except IntegrityError:
@@ -127,13 +138,15 @@ class RetryingClient:
                 # straddling-put case resolves exactly-once here.
                 last = exc
                 self._follow_redirect(request)
+                TRACER.record("redirect", self.server.now, trace,
+                              generation=self.generation)
                 status, result = self.server.query(request.client_id,
                                                    request.nonce)
                 if status == "done":
                     return result  # it crossed the failover; don't fork
                 if status == "pending":
                     continue
-                request = self._envelope(kind, key, payload)
+                request = self._envelope(kind, key, payload, trace)
                 continue
             except AvailabilityError as exc:
                 last = exc
@@ -145,7 +158,7 @@ class RetryingClient:
                     continue  # queued behind a recovery: poll, don't fork
                 # "unknown": provably never applied — a fresh envelope
                 # (fresh nonce, fresh deadline) is safe and necessary.
-                request = self._envelope(kind, key, payload)
+                request = self._envelope(kind, key, payload, trace)
         resolved = self.server.cancel(request.client_id, request.nonce)
         if resolved is not None:
             return resolved

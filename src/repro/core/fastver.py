@@ -65,6 +65,8 @@ from repro.errors import (
 )
 from repro.instrument import COUNTERS
 from repro.merkle.sparse import ABSENT_NULL, FOUND, lookup
+from repro.obs import LATENCIES, TRACER
+from repro.sim.costs import DEFAULT_COSTS
 from repro.store.atomic import NO_CONTENTION, ContentionInjector
 from repro.store.faster import FasterKV
 
@@ -243,18 +245,53 @@ class FastVer:
     def _count_ecall_retry(self, _exc: Exception) -> None:
         COUNTERS.ecall_retries += 1
 
+    def _sim_now(self) -> float:
+        """The serving layer's simulated clock when one is attached (the
+        server backrefs itself as ``_server``); 0.0 for bare instances —
+        trace timestamps then just order by sequence number."""
+        server = getattr(self, "_server", None)
+        return server.now if server is not None else 0.0
+
     def _ecall(self, method: str, *args):
         """Cross into the enclave, absorbing transient call-gate failures
         with jittered exponential backoff under a configurable budget (a
         failed gate never dispatched, so a retry is safe). Reboots are
         never retried here — volatile verifier state is gone and only
-        :meth:`recover` can bring it back."""
-        return self._ecall_backoff.run(
+        :meth:`recover` can bring it back.
+
+        The gate is also where ecall *service time* is measured: the
+        modeled verifier nanoseconds this crossing cost, derived from the
+        crypto-counter deltas it produced × the calibrated cost model
+        (so the histogram and the cost model cannot disagree)."""
+        measure = LATENCIES.enabled
+        if measure:
+            c = COUNTERS
+            before = (c.merkle_hashes, c.merkle_hash_bytes,
+                      c.multiset_updates, c.multiset_hash_bytes,
+                      c.mac_ops, c.enclave_entries)
+        result = self._ecall_backoff.run(
             lambda: self.enclave.ecall(method, *args),
             retry_on=(EnclaveUnavailableError,),
             no_retry=(EnclaveRebootError, EnclaveDeadError),
             on_retry=self._count_ecall_retry,
         )
+        if measure:
+            costs = DEFAULT_COSTS
+            profile = self.config.enclave_profile
+            compute = (
+                (c.merkle_hashes - before[0]) * costs.merkle_hash_fixed_ns
+                + (c.merkle_hash_bytes - before[1])
+                * costs.merkle_hash_per_byte_ns
+                + (c.multiset_updates - before[2]) * costs.multiset_fixed_ns
+                + (c.multiset_hash_bytes - before[3])
+                * costs.multiset_per_byte_ns
+                + (c.mac_ops - before[4]) * costs.mac_ns
+            )
+            service_ns = (compute * profile.compute_multiplier
+                          + (c.enclave_entries - before[5])
+                          * profile.crossing_ns)
+            LATENCIES.observe("ecall_service", service_ns)
+        return result
 
     # ==================================================================
     # Setup
@@ -853,6 +890,9 @@ class FastVer:
             guard -= 1
             shards = [(vid, entries) for vid, entries, _ in pending]
             ecalls += 1
+            TRACER.record("ecall", self._sim_now(), None,
+                          method="apply_batch", shards=len(shards),
+                          entries=sum(len(e) for _, e in shards))
             try:
                 shard_results, failure = self._ecall("apply_batch", shards)
             except Exception:
@@ -973,6 +1013,9 @@ class FastVer:
 
         self._drain_all()
         receipts = self._ecall("finish_epoch_close", closing)
+        TRACER.record("ecall", self._sim_now(), None,
+                      method="epoch_close", epoch=closing,
+                      receipts=len(receipts))
         for client_id, receipt in receipts.items():
             client = self.clients.get(client_id)
             if client is not None:

@@ -36,6 +36,9 @@ from repro.errors import (
     UnrecoverableError,
 )
 from repro.faults.plan import FaultPlan, FaultSpec, install_faults
+from repro.instrument import COUNTERS
+from repro.obs import TRACER
+from repro.obs import reset as obs_reset
 from repro.store.recovery import rebuild_index_from_log
 from repro.workloads.ycsb import OP_GET, OP_PUT, WORKLOADS, YcsbGenerator
 
@@ -101,6 +104,11 @@ class ChaosReport:
     trace_digest: str = ""
     #: Tri-state violations. MUST stay empty; each entry is a hard failure.
     hard_failures: list = field(default_factory=list)
+    #: Last-N trace events keyed by the fault seed, populated on any hard
+    #: failure or UnrecoverableError (the operator's forensics handle —
+    #: ``python -m repro chaos`` writes it to a JSON file). Excluded from
+    #: :meth:`digest`: forensics describe a failure, they don't define it.
+    forensics: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -132,6 +140,9 @@ class _ChaosRun:
 
     #: Burst width in --batched mode: ops accumulated before one pump.
     BURST = 4
+
+    #: Trace events preserved in the forensics dump on a hard failure.
+    FORENSICS_LAST = 200
 
     def __init__(self, seed: int, ops: int, records: int,
                  plan: FaultPlan | None, tamper_every: int | None,
@@ -479,6 +490,7 @@ class _ChaosRun:
                 continue
             tickets.append((kind, k, payload, ticket))
         self.server.pump()
+        self._retry_fenced(tickets)
         pre = dict(self.current)
         self._absorb_heals()
         unrecoverable = False
@@ -519,6 +531,44 @@ class _ChaosRun:
         if unrecoverable:
             raise UnrecoverableError(
                 "a burst operation escalated past the recovery ladder")
+
+    def _retry_fenced(self, tickets: list) -> None:
+        """One redirect-and-retry round for burst tickets fenced by a
+        mid-pump failover (``NotLeaderError``), mirroring what the SDK
+        does for the per-op path: adopt the new generation's fence
+        receipt, re-submit the *same* signed op (a fenced request was
+        provably never applied, so its nonce is still fresh) under the
+        current generation, and pump once more. Tickets are updated in
+        place; a retry that fails again is classified like any other."""
+        from repro.errors import NotLeaderError
+        from repro.server import ServerRequest
+
+        fenced = [i for i, (_, _, _, t) in enumerate(tickets)
+                  if isinstance(t.error, NotLeaderError)]
+        if not fenced:
+            return
+        generation, fence = self.server.leader_info(self.client.client_id)
+        if fence is not None:
+            self.client.accept_fence(fence)
+        retried = False
+        for i in fenced:
+            kind, k, payload, ticket = tickets[i]
+            old = ticket.request
+            request = ServerRequest(
+                kind, old.op,
+                self.server.now + self.server.config.default_deadline,
+                worker=old.worker, generation=generation, trace=old.trace)
+            COUNTERS.retried += 1
+            TRACER.record("retry", self.server.now, old.trace, attempt=1,
+                          after="NotLeaderError")
+            try:
+                new_ticket = self.server.submit(request)
+            except AvailabilityError:
+                continue  # the original fenced error stands for this op
+            tickets[i] = (kind, k, payload, new_ticket)
+            retried = True
+        if retried:
+            self.server.pump()
 
     def _tamper_round(self, k: int) -> None:
         """Scheduled tampering: corrupt the store, demand detection."""
@@ -663,6 +713,16 @@ class _ChaosRun:
                 self.server.replication.shipped_batches
             self.report.repl_rejects = self.server.replication.rejects
         self.report.trace_digest = self.plan.trace_digest()
+        if self.report.hard_failures or self.report.unrecoverable:
+            # Forensics: the last-N lifecycle events leading up to the
+            # failure, keyed by the fault seed (the repro handle).
+            self.report.forensics = {
+                "seed": self.seed,
+                "trace_digest": self.report.trace_digest,
+                "ring_dropped": TRACER.dropped,
+                "events": [e.as_dict()
+                           for e in TRACER.last(self.FORENSICS_LAST)],
+            }
         return self.report
 
 
@@ -691,6 +751,12 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     settled by one pump over per-shard batches, and the oracle resolves
     put outcomes through the idempotency table (``cancel``), which stays
     definitive under batched completion order.
+
+    The observability layer (repro.obs) is reset at the start of each
+    soak, so the trace ring and histograms afterwards describe exactly
+    this run — ``python -m repro trace`` dumps them, and the report's
+    ``forensics`` field preserves the last events on a hard failure.
     """
+    obs_reset()
     return _ChaosRun(seed, ops, records, plan, tamper_every, server,
                      failover, batched).run()

@@ -22,7 +22,25 @@ each logical worker its own ``Counters``).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
+
+
+def gauge_max(group: str | None = None) -> int:
+    """Declare a gauge-style counter that merges as a running *maximum*
+    (a peak observed by any worker is the peak of the merged bag) rather
+    than a sum. The merge rule lives in the field's metadata so every
+    consumer — ``add``, ``diff``, ``RunMetrics`` assembly — derives it
+    from one place and a new gauge can't silently sum."""
+    meta = {"merge": "max"}
+    if group:
+        meta["group"] = group
+    return field(default=0, metadata=meta)
+
+
+def grouped(group: str) -> int:
+    """Declare an ordinary summing counter tagged with an export group
+    (see :meth:`Counters.group_dict`)."""
+    return field(default=0, metadata={"group": group})
 
 
 @dataclass
@@ -78,10 +96,11 @@ class Counters:
     wire_drops: int = 0             # request/response messages lost in transit
 
     # Replication / failover (repro.replication, server supervisor)
-    failovers: int = 0              # standby promotions completed
-    shipped_batches: int = 0        # authenticated log shipments packaged
-    replication_lag_max: int = 0    # peak unshipped+unacked backlog (entries)
-    recovery_ticks: int = 0         # simulated ticks spent in heal sessions
+    failovers: int = grouped("replication")        # standby promotions completed
+    shipped_batches: int = grouped("replication")  # log shipments packaged
+    # Peak unshipped+unacked backlog (entries) — a gauge, merged as max.
+    replication_lag_max: int = gauge_max("replication")
+    recovery_ticks: int = grouped("replication")   # ticks spent in heal sessions
 
     # Group-commit batching (server/pipeline.py + core/fastver.py)
     batches: int = 0                # apply_batch group commits flushed
@@ -106,17 +125,21 @@ class Counters:
         return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
 
     def diff(self, baseline: "Counters") -> "Counters":
-        """Per-field difference ``self - baseline`` (for scoped measurement)."""
-        return Counters(
-            **{
-                f.name: getattr(self, f.name) - getattr(baseline, f.name)
-                for f in fields(self)
-            }
-        )
+        """Per-field difference ``self - baseline`` (for scoped measurement).
 
-    #: Fields that merge as a running maximum, not a sum: a peak observed
-    #: by any worker is the peak of the merged bag.
-    _MAX_MERGE = frozenset({"replication_lag_max"})
+        Gauge fields (``merge: max``) do not subtract — a peak minus a
+        baseline peak is meaningless (and can go negative). The diff
+        carries the observed value when the gauge moved during the scope
+        and 0 when it did not, mirroring the ``add()`` max-merge rule so
+        ``scoped()`` round-trips gauges exactly."""
+        out = {}
+        for f in fields(self):
+            mine, base = getattr(self, f.name), getattr(baseline, f.name)
+            if f.name in self._MAX_MERGE:
+                out[f.name] = mine if mine != base else 0
+            else:
+                out[f.name] = mine - base
+        return Counters(**out)
 
     def add(self, other: "Counters") -> None:
         """Accumulate another counter bag into this one (per-worker merge)."""
@@ -127,6 +150,17 @@ class Counters:
             else:
                 setattr(self, f.name,
                         getattr(self, f.name) + getattr(other, f.name))
+
+    @classmethod
+    def merge_mode(cls, name: str) -> str:
+        """``"max"`` for gauge fields, ``"sum"`` otherwise."""
+        return "max" if name in cls._MAX_MERGE else "sum"
+
+    def group_dict(self, group: str) -> dict[str, int]:
+        """The fields tagged with an export ``group``, as a dict — the
+        single source for grouped exports like ``RunMetrics.replication``."""
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.metadata.get("group") == group}
 
     @contextmanager
     def scoped(self):
@@ -145,6 +179,12 @@ class Counters:
     def __str__(self) -> str:
         nonzero = {k: v for k, v in self.as_dict().items() if v}
         return f"Counters({nonzero})"
+
+
+#: Fields that merge as a running maximum, not a sum — derived from the
+#: field metadata (:func:`gauge_max`), never hand-maintained.
+Counters._MAX_MERGE = frozenset(
+    f.name for f in fields(Counters) if f.metadata.get("merge") == "max")
 
 
 #: Process-global default counter bag.

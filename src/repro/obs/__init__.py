@@ -1,0 +1,47 @@
+"""repro.obs — observability for the verified serving stack.
+
+Three instruments, all in simulated time, all on by default:
+
+* :data:`TRACER` — a bounded ring of typed request-lifecycle events
+  (``repro.obs.trace``), keyed by a trace id minted in the client SDK
+  and propagated through admission, batching, the ecall gate, receipt
+  settlement, replication, and failover redirects.
+* :data:`LATENCIES` — named log-bucketed histograms
+  (``repro.obs.histogram``): admission wait, batch residency, ecall
+  service, end-to-end verified latency.
+* :func:`attribute_costs` — per-subsystem cost attribution from counter
+  deltas × the calibrated cost model (``repro.obs.profile``).
+
+Tracing is designed to be free under the performance methodology:
+modeled time derives *only* from ``repro.instrument.COUNTERS``, and the
+observability layer never bumps a counter, so modeled throughput with
+tracing on equals tracing off (pinned by tests/test_obs.py and the
+``tracing_overhead`` section of ``BENCH_batching.json``).
+
+This package must not import server/core modules at top level (the
+core imports *us*); ``repro.obs.runner`` — the measured-run driver for
+``python -m repro metrics`` — is imported lazily by the CLI.
+"""
+
+from repro.obs.histogram import LATENCIES, LatencyRecorder, LogHistogram
+from repro.obs.profile import SUBSYSTEMS, CostAttribution, attribute_costs
+from repro.obs.trace import TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "TRACER", "Tracer", "TraceEvent",
+    "LATENCIES", "LatencyRecorder", "LogHistogram",
+    "attribute_costs", "CostAttribution", "SUBSYSTEMS",
+    "set_enabled", "reset",
+]
+
+
+def set_enabled(flag: bool) -> None:
+    """Turn the whole observability layer on or off (default: on)."""
+    TRACER.enabled = flag
+    LATENCIES.enabled = flag
+
+
+def reset() -> None:
+    """Clear recorded events and histograms (not the enabled flags)."""
+    TRACER.reset()
+    LATENCIES.reset()

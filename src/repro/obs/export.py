@@ -1,0 +1,135 @@
+"""Exposition: RunMetrics + histograms + attribution as JSON / Prometheus.
+
+One payload dict (``metrics_payload``) feeds every consumer: the JSON
+export, the Prometheus-style text exposition, the human-readable report,
+and the CI schema check (``check_payload``) — so the formats cannot
+drift apart.
+
+The Prometheus rendering follows the text exposition format: counters as
+``repro_counter_total{name=...}``, histograms as cumulative
+``_bucket{le=...}`` series with ``_sum``/``_count`` plus quantile
+gauges, attribution as ``repro_cost_ns{subsystem=...}``. Values are
+simulated units (the ``unit`` label says which); this is exposition
+*format* compatibility, not a claim of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from repro.instrument import Counters
+from repro.obs.histogram import PERCENTILES, LatencyRecorder
+from repro.obs.profile import CostAttribution
+from repro.obs.trace import TRACER
+
+SCHEMA = "repro.metrics.v1"
+
+
+def metrics_payload(counters: Counters, attribution: CostAttribution,
+                    latencies: LatencyRecorder, metrics=None,
+                    run: dict | None = None) -> dict:
+    """The canonical metrics export. ``metrics`` is a
+    :class:`~repro.sim.metrics.RunMetrics` (or None for callers that
+    only have counters); ``run`` carries the run's parameters."""
+    return {
+        "schema": SCHEMA,
+        "run": run or {},
+        "metrics": metrics.as_dict() if metrics is not None else None,
+        "latency": latencies.as_dict(full=True),
+        "attribution": attribution.as_dict(),
+        "counters": counters.as_dict(),
+        "trace": {"events": len(TRACER), "dropped": TRACER.dropped},
+    }
+
+
+def check_payload(payload: dict) -> list[str]:
+    """Schema/consistency problems in a metrics payload (empty = ok).
+
+    This is what the CI metrics-smoke job runs: required keys present,
+    attribution parts summing to the model total, quantiles ordered,
+    and — when a measured run is attached — a non-empty end-to-end
+    verified-latency distribution.
+    """
+    problems = []
+    for key in ("schema", "latency", "attribution", "counters"):
+        if key not in payload:
+            problems.append(f"missing key: {key}")
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"schema != {SCHEMA}")
+    att = payload.get("attribution") or {}
+    if not att.get("consistent", False):
+        problems.append("attribution parts do not sum to model total")
+    for name, hist in (payload.get("latency") or {}).items():
+        quantiles = [hist.get(f"p{str(p).rstrip('0').rstrip('.')}", 0.0)
+                     for p in PERCENTILES]
+        if any(a > b for a, b in zip(quantiles, quantiles[1:])):
+            problems.append(f"histogram {name}: quantiles not monotone")
+        if hist.get("count", 0) and not hist.get("buckets"):
+            problems.append(f"histogram {name}: counted but no buckets")
+    if payload.get("metrics") is not None:
+        verified = (payload.get("latency") or {}).get("verified_latency")
+        if not verified or verified.get("count", 0) <= 0:
+            problems.append("measured run has no verified-latency samples")
+        if payload["metrics"].get("key_ops", 0) <= 0:
+            problems.append("measured run reports zero key ops")
+    return problems
+
+
+def _quantile_label(p: float) -> str:
+    return str(p / 100.0)
+
+
+def to_prometheus(payload: dict) -> str:
+    """Render a metrics payload in the Prometheus text format."""
+    lines = []
+
+    def emit(name: str, value, labels: dict | None = None) -> None:
+        if labels:
+            inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+            lines.append(f"{name}{{{inner}}} {value}")
+        else:
+            lines.append(f"{name} {value}")
+
+    lines.append("# HELP repro_counter_total work counters "
+                 "(repro.instrument.Counters)")
+    lines.append("# TYPE repro_counter_total counter")
+    for name, value in sorted(payload.get("counters", {}).items()):
+        emit("repro_counter_total", value, {"name": name})
+
+    metrics = payload.get("metrics")
+    if metrics:
+        lines.append("# HELP repro_run run-level metrics (RunMetrics)")
+        lines.append("# TYPE repro_run gauge")
+        for key in ("key_ops", "throughput_mops", "verifier_fraction",
+                    "verification_latency_s", "total_wall_ns"):
+            emit("repro_run", metrics.get(key, 0), {"name": key})
+        for name, value in sorted(
+                (metrics.get("replication") or {}).items()):
+            emit("repro_replication", value, {"name": name})
+
+    att = payload.get("attribution") or {}
+    lines.append("# HELP repro_cost_ns per-subsystem modeled time")
+    lines.append("# TYPE repro_cost_ns gauge")
+    for subsystem, ns in (att.get("parts_ns") or {}).items():
+        emit("repro_cost_ns", ns, {"subsystem": subsystem})
+    if att:
+        emit("repro_cost_total_ns", att.get("total_ns", 0))
+
+    lines.append("# HELP repro_latency latency distributions "
+                 "(simulated units; see unit label)")
+    lines.append("# TYPE repro_latency histogram")
+    for name, hist in sorted((payload.get("latency") or {}).items()):
+        base = {"hist": name, "unit": hist.get("unit", "ticks")}
+        for le, cum in hist.get("buckets", []):
+            emit("repro_latency_bucket", cum, {**base, "le": le})
+        emit("repro_latency_bucket", hist.get("count", 0),
+             {**base, "le": "+Inf"})
+        emit("repro_latency_sum", hist.get("sum", 0), base)
+        emit("repro_latency_count", hist.get("count", 0), base)
+        for p in PERCENTILES:
+            key = f"p{str(p).rstrip('0').rstrip('.')}"
+            emit("repro_latency", hist.get(key, 0),
+                 {**base, "quantile": _quantile_label(p)})
+
+    trace = payload.get("trace") or {}
+    emit("repro_trace_events", trace.get("events", 0))
+    emit("repro_trace_dropped_total", trace.get("dropped", 0))
+    return "\n".join(lines) + "\n"

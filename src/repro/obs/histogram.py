@@ -1,0 +1,187 @@
+"""Log-bucketed latency histograms (HDR-style) in simulated time.
+
+The serving stack's latency story (P3: how stale may a provisional
+result be before its epoch receipt lands) is a *distribution*, not an
+average — the ROADMAP's traffic target makes p99/p99.9 the numbers that
+matter. :class:`LogHistogram` records values into logarithmic buckets:
+bucket boundaries are ``2^e * (1 + s/SUBBUCKETS)``, i.e. every power of
+two is split into ``SUBBUCKETS`` linear sub-buckets, bounding the
+relative quantile error at ``1/SUBBUCKETS`` while keeping the bucket
+map tiny and mergeable. Values are whatever simulated unit the caller
+declares (server ticks for queueing latencies, modeled nanoseconds for
+ecall service time); the unit travels with the histogram so exports
+stay honest.
+
+:class:`LatencyRecorder` is the named bag of histograms the stack
+records into (see ``docs/OBSERVABILITY.md`` for the schema); the
+process-global :data:`LATENCIES` instance is what the pipeline,
+supervisor, and cost-model gate use, and what ``python -m repro
+metrics`` exports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Linear sub-buckets per power of two: relative quantile error <= 1/8.
+SUBBUCKETS = 8
+
+#: The percentiles every summary exports.
+PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+
+@dataclass
+class LogHistogram:
+    """A mergeable log-bucketed histogram over non-negative values."""
+
+    name: str
+    unit: str = "ticks"
+    count: int = 0
+    total: float = 0.0
+    min_value: float = math.inf
+    max_value: float = 0.0
+    #: bucket index -> count (sparse; see :func:`_bucket_index`).
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bucket_index(value: float) -> int:
+        """Bucket 0 holds [0, 1); bucket 1 + e*SUBBUCKETS + s holds
+        ``[2^e * (1 + s/S), 2^e * (1 + (s+1)/S))``."""
+        if value < 1.0:
+            return 0
+        e = int(math.floor(math.log2(value)))
+        base = 2.0 ** e
+        s = int((value / base - 1.0) * SUBBUCKETS)
+        if s >= SUBBUCKETS:  # float edge: value == 2^(e+1) - epsilon
+            s = SUBBUCKETS - 1
+        return 1 + e * SUBBUCKETS + s
+
+    @staticmethod
+    def _bucket_upper(index: int) -> float:
+        """Exclusive upper edge of a bucket (the ``le`` of exports)."""
+        if index == 0:
+            return 1.0
+        e, s = divmod(index - 1, SUBBUCKETS)
+        return 2.0 ** e * (1.0 + (s + 1) / SUBBUCKETS)
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        if value < 0:
+            value = 0.0
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        idx = self._bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Accumulate another histogram (same unit) into this one."""
+        if other.unit != self.unit:
+            raise ValueError(
+                f"cannot merge {other.unit!r} into {self.unit!r}")
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` (0..100): the upper edge of the
+        bucket holding that rank, clamped to the exact observed max."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        cum = 0
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            if cum >= rank:
+                return min(self._bucket_upper(idx), self.max_value)
+        return self.max_value
+
+    def summary(self) -> dict:
+        """The compact export every consumer embeds (bench JSON, CLI)."""
+        out = {
+            "unit": self.unit,
+            "count": self.count,
+            "sum": round(self.total, 3),
+            "min": round(self.min_value, 3) if self.count else 0.0,
+            "max": round(self.max_value, 3),
+            "mean": round(self.mean, 3),
+        }
+        for p in PERCENTILES:
+            out[f"p{str(p).rstrip('0').rstrip('.')}"] = \
+                round(self.percentile(p), 3)
+        return out
+
+    def as_dict(self) -> dict:
+        """Full export: summary plus the cumulative bucket list
+        (``[le, cumulative_count]``, Prometheus histogram semantics)."""
+        out = self.summary()
+        cum = 0
+        series = []
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            series.append([round(self._bucket_upper(idx), 4), cum])
+        out["buckets"] = series
+        return out
+
+
+#: Histogram name -> unit, for everything the stack records. A name not
+#: listed here records in "ticks" (the server's simulated clock).
+UNITS = {
+    "admission_wait": "ticks",       # submit -> start of execution
+    "batch_residency": "ticks",      # staged in a shard batch -> flush
+    "ecall_service": "modeled_ns",   # modeled verifier time per crossing
+    "verified_latency": "ticks",     # op submit -> epoch receipt settled
+}
+
+
+class LatencyRecorder:
+    """The named bag of histograms the serving stack records into."""
+
+    def __init__(self):
+        self.enabled = True
+        self._hists: dict[str, LogHistogram] = {}
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = LogHistogram(
+                name, UNITS.get(name, "ticks"))
+        hist.observe(value)
+
+    def get(self, name: str) -> LogHistogram:
+        """The named histogram (an empty one if nothing recorded yet)."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = LogHistogram(
+                name, UNITS.get(name, "ticks"))
+        return hist
+
+    def names(self) -> list[str]:
+        return sorted(self._hists)
+
+    def reset(self) -> None:
+        self._hists.clear()
+
+    def as_dict(self, full: bool = False) -> dict:
+        return {name: (self._hists[name].as_dict() if full
+                       else self._hists[name].summary())
+                for name in self.names()}
+
+
+#: Process-global recorder (mirrors ``repro.instrument.COUNTERS``).
+LATENCIES = LatencyRecorder()

@@ -1,0 +1,106 @@
+"""Cost-attribution profiling: counter deltas × the calibrated model.
+
+The evaluation question (§8) is always "where did the time go" —
+crossings vs. crypto vs. cache behaviour. :func:`attribute_costs`
+decomposes a :class:`~repro.instrument.Counters` bag into the same
+six subsystems the paper profiles, using exactly the rates of
+:class:`~repro.sim.costs.CostModel`, so the parts sum to
+``CostModel.total_ns`` for the same bag (to float rounding):
+
+* **merkle** — collision-resistant hashing inside the verifier
+* **multiset** — multiset-PRF updates inside the verifier
+* **mac** — MAC sign/verify inside the verifier
+* **crossings** — enclave call-gate entries at the profile's rate
+* **store** — host store touches, CAS traffic, log serialization
+* **host_mirror** — untrusted mirror hashing (charged 0 by default)
+
+The flame report renders the breakdown as proportional bars, the
+textual stand-in for a flame graph in a terminal-only harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.enclave.costmodel import SIMULATED, EnclaveCostProfile
+from repro.instrument import Counters
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+
+#: Attribution order (verifier side first, then host side).
+SUBSYSTEMS = ("merkle", "multiset", "mac", "crossings", "store",
+              "host_mirror")
+
+
+@dataclass(frozen=True)
+class CostAttribution:
+    """Per-subsystem modeled time for one counter bag."""
+
+    parts: dict[str, float]          # subsystem -> ns
+    model_total_ns: float            # CostModel.total_ns for the same bag
+
+    @property
+    def total_ns(self) -> float:
+        """Sum of the parts — the attribution's own total."""
+        return sum(self.parts.values())
+
+    @property
+    def consistent(self) -> bool:
+        """True when the parts account for the model's total time."""
+        scale = max(abs(self.model_total_ns), 1.0)
+        return abs(self.total_ns - self.model_total_ns) <= 1e-6 * scale
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_ns
+        if total <= 0:
+            return {name: 0.0 for name in self.parts}
+        return {name: ns / total for name, ns in self.parts.items()}
+
+    def as_dict(self) -> dict:
+        return {
+            "parts_ns": {k: round(v, 1) for k, v in self.parts.items()},
+            "fractions": {k: round(v, 4)
+                          for k, v in self.fractions().items()},
+            "total_ns": round(self.total_ns, 1),
+            "model_total_ns": round(self.model_total_ns, 1),
+            "consistent": self.consistent,
+        }
+
+    def flame_report(self, width: int = 40) -> str:
+        """Proportional-bar breakdown, widest subsystem first."""
+        lines = ["cost attribution (modeled ns)"]
+        fracs = self.fractions()
+        for name in sorted(self.parts, key=self.parts.get, reverse=True):
+            ns, frac = self.parts[name], fracs[name]
+            bar = "#" * max(1 if ns > 0 else 0, round(frac * width))
+            lines.append(f"  {name:<12} {ns:>14.0f}  {frac:>6.1%}  {bar}")
+        lines.append(f"  {'total':<12} {self.total_ns:>14.0f}  "
+                     f"(model {self.model_total_ns:.0f}, "
+                     f"{'consistent' if self.consistent else 'MISMATCH'})")
+        return "\n".join(lines)
+
+
+def attribute_costs(c: Counters, profile: EnclaveCostProfile = SIMULATED,
+                    modeled_db_records: int = 0,
+                    costs: CostModel = DEFAULT_COSTS) -> CostAttribution:
+    """Decompose a counter bag into per-subsystem modeled time."""
+    mult = profile.compute_multiplier
+    mem = costs.mem_access_ns(modeled_db_records)
+    parts = {
+        "merkle": (c.merkle_hashes * costs.merkle_hash_fixed_ns
+                   + c.merkle_hash_bytes * costs.merkle_hash_per_byte_ns)
+                  * mult,
+        "multiset": (c.multiset_updates * costs.multiset_fixed_ns
+                     + c.multiset_hash_bytes * costs.multiset_per_byte_ns)
+                    * mult,
+        "mac": c.mac_ops * costs.mac_ns * mult,
+        "crossings": c.enclave_entries * profile.crossing_ns,
+        "store": ((c.store_reads + c.store_writes) * mem
+                  + c.cas_attempts * costs.cas_ns
+                  + c.cas_failures * costs.cas_retry_penalty_ns
+                  + c.log_entries * costs.log_entry_ns),
+        "host_mirror": (c.host_merkle_hashes * costs.host_hash_fixed_ns
+                        + c.host_merkle_hash_bytes
+                        * costs.host_hash_per_byte_ns),
+    }
+    model_total = costs.total_ns(c, profile, modeled_db_records)
+    return CostAttribution(parts=parts, model_total_ns=model_total)

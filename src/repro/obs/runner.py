@@ -1,0 +1,127 @@
+"""The measured run behind ``python -m repro metrics``.
+
+Drives a seeded YCSB-A stream through the batched serving pipeline with
+a periodic maintain (epoch close + checkpoint) cadence, with the whole
+observability layer armed: the admission/batching/ecall histograms fill,
+epoch closes settle end-to-end verified latencies, and the run's counter
+totals feed both :class:`~repro.sim.metrics.RunMetrics` (throughput /
+verification latency, via the op/verify phase split) and the
+per-subsystem cost attribution. Deterministic for a given seed.
+
+Imported lazily by the CLI: this module pulls in the server stack, which
+``repro.obs`` itself must not (the core imports ``repro.obs``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fastver import FastVer, FastVerConfig
+from repro.core.protocol import Client
+from repro.crypto.mac import MacKey
+from repro.instrument import COUNTERS, Counters
+from repro.obs import LATENCIES, attribute_costs
+from repro.obs import reset as obs_reset
+from repro.obs.export import metrics_payload
+from repro.server.pipeline import FastVerServer, ServerConfig, ServerRequest
+from repro.sim.metrics import MetricsBuilder, RunMetrics
+from repro.workloads.ycsb import OP_PUT, WORKLOADS, YcsbGenerator
+
+#: A deadline that never expires (the metrics run measures latency, it
+#: does not inject faults).
+_FOREVER = float(10 ** 12)
+
+
+@dataclass
+class InstrumentedRun:
+    """Everything one measured run produced."""
+
+    metrics: RunMetrics
+    counters: Counters
+    records: int
+    ops: int
+    seed: int
+    n_workers: int
+    batch: int
+    maintain_every: int
+
+    def run_params(self) -> dict:
+        return {
+            "records": self.records,
+            "ops": self.ops,
+            "seed": self.seed,
+            "n_workers": self.n_workers,
+            "batch": self.batch,
+            "maintain_every": self.maintain_every,
+        }
+
+    def payload(self) -> dict:
+        """The canonical metrics export for this run."""
+        attribution = attribute_costs(
+            self.counters, modeled_db_records=self.records)
+        return metrics_payload(self.counters, attribution, LATENCIES,
+                               metrics=self.metrics,
+                               run=self.run_params())
+
+
+def run_instrumented(records: int = 400, ops: int = 2000, seed: int = 7,
+                     n_workers: int = 4, batch: int = 8,
+                     maintain_every: int = 250) -> InstrumentedRun:
+    """One measured run: YCSB-A through the batched pipeline, maintain
+    every ``maintain_every`` ops (each maintain settles the pending
+    verified latencies), counters scoped per phase into a
+    :class:`MetricsBuilder`."""
+    obs_reset()
+    items = [(k, b"seed-%d" % k) for k in range(records)]
+    db = FastVer(
+        FastVerConfig(key_width=32, n_workers=n_workers, partition_depth=3,
+                      cache_capacity=256, log_capacity=2048,
+                      batch_ops=None),
+        items=items)
+    client = Client(1, MacKey.generate(f"metrics-{seed}"))
+    db.register_client(client)
+    db.verify()
+    db.checkpoint()
+    server = FastVerServer(db, ServerConfig(
+        group_commit=True, max_batch_ops=batch,
+        max_batch_ticks=float(10 ** 9),
+        queue_capacity=max(64, 4 * batch),
+        default_deadline=_FOREVER), warm=items)
+    generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
+                              distribution="zipfian", theta=0.9, seed=seed)
+    builder = MetricsBuilder(n_workers, records)
+    COUNTERS.reset()
+
+    requests = []
+    for kind, k, payload in generator.operations(ops):
+        bk = server.bitkey(k)
+        op = (client.make_put(bk, payload) if kind == OP_PUT
+              else client.make_get(bk))
+        requests.append(ServerRequest(
+            "put" if kind == OP_PUT else "get", op, _FOREVER,
+            worker=bk.bits))
+
+    wave = max(1, n_workers * batch)
+    phase_start = COUNTERS.snapshot()
+    since_maintain = 0
+    i = 0
+    while i < len(requests):
+        chunk = requests[i:i + wave]
+        for request in chunk:
+            server.submit(request)
+        server.pump()
+        i += len(chunk)
+        since_maintain += len(chunk)
+        if since_maintain >= maintain_every or i >= len(requests):
+            builder.add_ops(COUNTERS.snapshot().diff(phase_start),
+                            since_maintain)
+            with COUNTERS.scoped() as verify_scope:
+                server.maintain()
+            builder.add_verification(verify_scope)
+            phase_start = COUNTERS.snapshot()
+            since_maintain = 0
+
+    return InstrumentedRun(
+        metrics=builder.build(), counters=COUNTERS.snapshot(),
+        records=records, ops=ops, seed=seed, n_workers=n_workers,
+        batch=batch, maintain_every=maintain_every)

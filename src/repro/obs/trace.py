@@ -1,0 +1,139 @@
+"""Span-based request tracing in simulated time.
+
+Every request carries a trace id — minted by the client SDK
+(``c{client_id}-{seq}``) or, for requests submitted straight to the
+server, derived from the idempotency key (``c{client_id}.n{nonce}``;
+see ``ServerRequest.auto_trace``). Components along the path record
+typed lifecycle events against that id into a bounded ring buffer:
+the *span* of a request is simply its event sequence ordered by
+``(ts, seq)``, which is enough to reconstruct admit → stage → flush →
+fence → retry → receipt across a failover.
+
+Event kinds (the full schema lives in ``docs/OBSERVABILITY.md``):
+
+========== ==========================================================
+kind        recorded when
+========== ==========================================================
+admit       request accepted into the admission queue
+shed        rejected at admission (queue full / watchdog shed)
+drop        wire fault ate the request or response
+dedup       answered from the idempotency table
+deadline    deadline expired before completion
+degraded    served by degraded mode (cached read / queued write)
+stage       staged into a shard's open group-commit batch
+flush       the request's shard batch flushed to the verifier
+ecall       an enclave crossing settled (batch apply / epoch close)
+receipt     per-op result recorded (provisional completion)
+epoch       epoch receipt settled; pending verified ops became durable
+fence       request rejected with ``NotLeaderError`` (stale generation)
+redirect    client adopted a fence receipt and re-stamped generation
+retry       client (or chaos burst loop) re-submitted after a failure
+error       typed failure resolved a ticket (detail carries the type)
+ship        replication shipment packaged for the standby
+promote     standby promoted; generation bumped
+heal        supervisor recovery session concluded (detail: rung)
+========== ==========================================================
+
+The ring is bounded (default 4096 events) so tracing can stay on for
+arbitrarily long soaks; ``dropped`` counts evictions. All timestamps
+are the server's simulated clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed lifecycle event. ``trace`` is None for run-scoped
+    events (epoch closes, shipments, heals) that belong to no single
+    request."""
+
+    seq: int
+    ts: float
+    kind: str
+    trace: str | None
+    detail: dict
+
+    def as_dict(self) -> dict:
+        return {"seq": self.seq, "ts": self.ts, "kind": self.kind,
+                "trace": self.trace, **self.detail}
+
+
+class Tracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self.enabled = True
+        self.dropped = 0
+        self._seq = 0
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, ts: float, trace: str | None = None,
+               **detail) -> None:
+        if not self.enabled:
+            return
+        if len(self._ring) == self.capacity:
+            self.dropped += 1
+        self._seq += 1
+        self._ring.append(TraceEvent(self._seq, ts, kind, trace, detail))
+
+    # ------------------------------------------------------------------
+    def events(self, trace: str | None = None, kind: str | None = None,
+               last: int | None = None) -> list[TraceEvent]:
+        """Events currently in the ring, oldest first, optionally
+        filtered by trace id and/or kind, optionally only the last N
+        (applied after filtering)."""
+        out = [e for e in self._ring
+               if (trace is None or e.trace == trace)
+               and (kind is None or e.kind == kind)]
+        if last is not None:
+            out = out[-last:]
+        return out
+
+    def last(self, n: int) -> list[TraceEvent]:
+        return self.events(last=n)
+
+    def lifecycle(self, trace: str) -> list[TraceEvent]:
+        """The span of one request: its events in recorded order."""
+        return self.events(trace=trace)
+
+    def traces(self) -> list[str]:
+        """Distinct trace ids still in the ring, in first-seen order."""
+        seen: dict[str, None] = {}
+        for e in self._ring:
+            if e.trace is not None and e.trace not in seen:
+                seen[e.trace] = None
+        return list(seen)
+
+    def find_lifecycle(self, kinds: set[str]) -> str | None:
+        """First trace id whose events cover every kind in ``kinds`` —
+        how the chaos acceptance check locates a request that survived
+        a fence redirect end to end."""
+        by_trace: dict[str, set[str]] = {}
+        for e in self._ring:
+            if e.trace is None:
+                continue
+            got = by_trace.setdefault(e.trace, set())
+            got.add(e.kind)
+            if kinds <= got:
+                return e.trace
+        return None
+
+    def reset(self) -> None:
+        self._ring.clear()
+        self._seq = 0
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+#: Process-global tracer (mirrors ``repro.instrument.COUNTERS``).
+TRACER = Tracer()

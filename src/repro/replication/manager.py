@@ -28,6 +28,7 @@ from repro.core.protocol import ReceiptChannel
 from repro.crypto.mac import MacKey
 from repro.errors import AvailabilityError, ProtocolError
 from repro.instrument import COUNTERS
+from repro.obs import TRACER
 from repro.replication.shipper import LogShipper
 from repro.replication.standby import StandbyVerifier
 
@@ -143,8 +144,11 @@ class ReplicationManager:
         if sh.outbox and (len(sh.outbox) >= self.config.batch_entries
                           or sh.epoch_pending or sh.boundary_pending
                           or not sh.unacked):
+            entries = len(sh.outbox)
             sh.make_shipment()
             self.shipped_batches += 1
+            TRACER.record("ship", self.server.now, None, entries=entries,
+                          unacked=len(sh.unacked))
         if not sh.unacked:
             return
         if faults is not None and faults.fire("repl.standby.lag"):
@@ -225,6 +229,8 @@ class ReplicationManager:
         server._adopt_promoted(standby.db, generation, fences, items)
         self.failovers += 1
         COUNTERS.failovers += 1
+        TRACER.record("promote", server.now, None, generation=generation,
+                      drained=len(entries), fences=len(fences))
         self.standby = None
         self.shipper = LogShipper(self._sign)
         if self.promote_hook is not None:

@@ -44,6 +44,7 @@ from repro.errors import (
     WireDropError,
 )
 from repro.instrument import COUNTERS
+from repro.obs import LATENCIES, TRACER
 from repro.server.breaker import OPEN, CircuitBreaker
 from repro.server.supervisor import Supervisor
 from repro.store.recovery import rebuild_index_from_log
@@ -106,6 +107,14 @@ class ServerRequest:
     #: mismatch after a failover earns a typed redirect (NotLeaderError)
     #: instead of silent service from a possibly-stale view.
     generation: int = 0
+    #: Trace id for span events (repro.obs). Minted by the client SDK;
+    #: requests submitted without one get :attr:`auto_trace` — derived
+    #: from the idempotency key, so a retry of the same operation joins
+    #: the same span.
+    trace: str | None = None
+    #: Simulated time this request was first admitted (stamped by the
+    #: server; the anchor of the end-to-end verified-latency histogram).
+    submitted_at: float | None = None
 
     @property
     def client_id(self) -> int:
@@ -118,6 +127,11 @@ class ServerRequest:
     @property
     def dedup_key(self) -> tuple[int, int]:
         return (self.op.client_id, self.op.nonce)
+
+    @property
+    def auto_trace(self) -> str:
+        """Fallback trace id: stable across retries of this operation."""
+        return f"c{self.op.client_id}.n{self.op.nonce}"
 
 
 @dataclass
@@ -141,6 +155,9 @@ class Ticket:
     result: ServerResult | None = None
     error: Exception | None = None
     done: bool = False
+    #: Simulated time this ticket entered a shard's open batch (group
+    #: commit only; feeds the batch-residency histogram).
+    staged_at: float | None = None
 
 
 @dataclass
@@ -205,6 +222,11 @@ class FastVerServer:
         self._staged_keys: dict[tuple[int, int], int] = {}
         self.batches_flushed = 0
         self.batch_ops_flushed = 0
+        #: (trace, submitted_at) of completions whose epoch receipt is
+        #: still pending — drained into the verified-latency histogram by
+        #: the next successful epoch close (bounded; oldest observations
+        #: are dropped, not requests).
+        self._awaiting_epoch: deque = deque(maxlen=1 << 16)
         #: bitkey() memo. The derivation is pure in the configured key
         #: width, so entries stay valid across recovery and salvage.
         self._bitkey_cache: OrderedDict = OrderedDict()
@@ -255,19 +277,28 @@ class FastVerServer:
         """Admission control: accept the request into the bounded queue or
         shed it with a typed error. Consults the wire fault point first —
         a dropped request was never admitted anywhere."""
+        if request.trace is None:
+            request.trace = request.auto_trace
         if self.faults is not None and \
                 self.faults.fire("server.wire.request"):
             COUNTERS.wire_drops += 1
+            TRACER.record("drop", self.now, request.trace, wire="request")
             raise WireDropError("request lost on the client->server wire")
         if len(self.queue) >= self.config.queue_capacity:
             COUNTERS.shed += 1
+            TRACER.record("shed", self.now, request.trace,
+                          reason="queue_full")
             raise OverloadError(
                 f"admission queue full ({self.config.queue_capacity})")
         if self.faults is not None and \
                 self.faults.fire("server.queue.shed"):
             COUNTERS.shed += 1
+            TRACER.record("shed", self.now, request.trace, reason="fault")
             raise OverloadError("admission control shed the request")
         COUNTERS.admitted += 1
+        request.submitted_at = self.now
+        TRACER.record("admit", self.now, request.trace, op=request.kind,
+                      worker=request.worker, generation=request.generation)
         ticket = Ticket(request)
         self.queue.append(ticket)
         return ticket
@@ -288,10 +319,16 @@ class FastVerServer:
                                   or processed < max_requests):
                 ticket = self.queue.popleft()
                 self._advance(self.config.time_per_request)
+                request = ticket.request
+                if request.submitted_at is not None:
+                    LATENCIES.observe("admission_wait",
+                                      self.now - request.submitted_at)
                 try:
-                    ticket.result = self._execute(ticket.request)
+                    ticket.result = self._execute(request)
                 except Exception as exc:
                     ticket.error = exc
+                    TRACER.record("error", self.now, request.trace,
+                                  type=type(exc).__name__)
                 ticket.done = True
                 processed += 1
         if self.replication is not None:
@@ -353,6 +390,8 @@ class FastVerServer:
         self.supervisor.check_watchdog()
         if self.now > request.deadline:
             COUNTERS.deadline_expired += 1
+            TRACER.record("deadline", self.now, request.trace,
+                          deadline=request.deadline)
             raise DeadlineExceededError(
                 f"deadline {request.deadline:.0f} passed at "
                 f"{self.now:.0f} before execution; the operation was "
@@ -365,11 +404,15 @@ class FastVerServer:
         # by this very recovery's replay — never a rolled-back ghost.
         hit = self.completed.get(request.dedup_key)
         if hit is not None:
+            TRACER.record("dedup", self.now, request.trace)
             return replace(hit.result, deduped=True)
         # Generation fence: after the dedup lookup (a stale client whose
         # op DID land still gets its recorded answer), before any fresh
         # work is accepted from a client that hasn't adopted the fence.
         if request.generation != self.generation:
+            TRACER.record("fence", self.now, request.trace,
+                          stale=request.generation,
+                          current=self.generation)
             raise NotLeaderError(
                 f"request names leadership generation "
                 f"{request.generation}, current is {self.generation}; "
@@ -431,6 +474,11 @@ class FastVerServer:
                            result: ServerResult) -> None:
         self.provisional_reads[request.op.key] = result.payload
         self.completed[request.dedup_key] = _Completion(result)
+        TRACER.record("receipt", self.now, request.trace,
+                      op=request.kind)
+        if request.submitted_at is not None:
+            self._awaiting_epoch.append((request.trace,
+                                         request.submitted_at))
         if self.replication is not None and request.kind == "put":
             # Ship the signed request itself: the standby's enclave
             # re-validates the client MAC, so the channel never has to be
@@ -459,10 +507,15 @@ class FastVerServer:
             ticket = self.queue.popleft()
             self._advance(self.config.time_per_request)
             processed += 1
+            if ticket.request.submitted_at is not None:
+                LATENCIES.observe("admission_wait",
+                                  self.now - ticket.request.submitted_at)
             try:
                 early = self._admission(ticket.request)
             except Exception as exc:
                 ticket.error = exc
+                TRACER.record("error", self.now, ticket.request.trace,
+                              type=type(exc).__name__)
                 ticket.done = True
                 continue
             if early is not None:
@@ -485,6 +538,9 @@ class FastVerServer:
             batch = self._shard_batches.setdefault(shard, [])
             if not batch:
                 self._shard_opened[shard] = self.now
+            ticket.staged_at = self.now
+            TRACER.record("stage", self.now, ticket.request.trace,
+                          shard=shard, depth=len(batch) + 1)
             batch.append(ticket)
             self._staged_keys[dedup_key] = shard
             if len(batch) >= self.config.max_batch_ops:
@@ -528,6 +584,8 @@ class FastVerServer:
             if self.now > request.deadline:
                 # It lingered past its deadline waiting for batch-mates.
                 COUNTERS.deadline_expired += 1
+                TRACER.record("deadline", self.now, request.trace,
+                              deadline=request.deadline, staged=True)
                 ticket.error = DeadlineExceededError(
                     f"deadline {request.deadline:.0f} passed at "
                     f"{self.now:.0f} while staged for group commit; the "
@@ -542,6 +600,14 @@ class FastVerServer:
             return
         self.batches_flushed += 1
         self.batch_ops_flushed += len(ops)
+        for ticket in live:
+            # Per-op flush events (same shard/ops detail on each) so one
+            # request's span carries its whole batched lifecycle.
+            TRACER.record("flush", self.now, ticket.request.trace,
+                          shard=shard, ops=len(ops))
+            if ticket.staged_at is not None:
+                LATENCIES.observe("batch_residency",
+                                  self.now - ticket.staged_at)
         try:
             outcomes = self.db.apply_batch(ops)
         except IntegrityError as exc:
@@ -549,6 +615,8 @@ class FastVerServer:
             # group commit the alarm voids every op in flight.
             for ticket in live:
                 ticket.error = exc
+                TRACER.record("error", self.now, ticket.request.trace,
+                              type=type(exc).__name__)
                 ticket.done = True
             return
         except AvailabilityError as exc:
@@ -556,11 +624,15 @@ class FastVerServer:
             self._enter_degraded(f"{type(exc).__name__}: {exc}")
             for ticket in live:
                 ticket.error = exc
+                TRACER.record("error", self.now, ticket.request.trace,
+                              type=type(exc).__name__)
                 ticket.done = True
             return
         for ticket, outcome in zip(live, outcomes):
             if outcome.error is not None:
                 ticket.error = outcome.error
+                TRACER.record("error", self.now, ticket.request.trace,
+                              type=type(outcome.error).__name__)
                 ticket.done = True
                 continue
             result = ServerResult(outcome.payload, outcome.nonce)
@@ -569,6 +641,8 @@ class FastVerServer:
             if self.faults is not None and \
                     self.faults.fire("server.wire.response"):
                 COUNTERS.wire_drops += 1
+                TRACER.record("drop", self.now, ticket.request.trace,
+                              wire="response")
                 ticket.error = WireDropError(
                     "response lost on the server->client wire (the "
                     "operation WAS applied; the idempotency table "
@@ -591,6 +665,8 @@ class FastVerServer:
         if key in self.committed_reads:
             self.committed_reads.move_to_end(key)
             COUNTERS.degraded += 1
+            TRACER.record("degraded", self.now, request.trace,
+                          served="cached_read")
             return ServerResult(self.committed_reads[key], request.nonce,
                                 degraded=True)
         raise miss
@@ -608,6 +684,8 @@ class FastVerServer:
                 raise OverloadError("degraded-mode write queue full")
             self.degraded_writes[request.dedup_key] = request
             COUNTERS.degraded += 1
+            TRACER.record("degraded", self.now, request.trace,
+                          served="queued_write")
         raise DegradedModeError(
             "recovery in flight; write queued for idempotent replay — "
             "poll the idempotency table rather than reissuing")
@@ -628,6 +706,9 @@ class FastVerServer:
         self.provisional_reads.clear()
         self.completed = OrderedDict(
             (k, v) for k, v in self.completed.items() if v.durable)
+        # Rolled-back completions will never earn this epoch's receipt;
+        # their pending latency observations roll back with them.
+        self._awaiting_epoch.clear()
 
     def _replay_degraded_writes(self) -> bool:
         """Re-apply the degraded-mode write backlog FIFO. The original
@@ -684,6 +765,7 @@ class FastVerServer:
         # The salvaged snapshot is the durable truth now.
         self.provisional_reads.clear()
         self.completed.clear()
+        self._awaiting_epoch.clear()
         self.committed_reads = OrderedDict(
             (new_db.data_key(k), payload) for k, payload in items)
         self._trim_read_cache()
@@ -738,6 +820,9 @@ class FastVerServer:
         self._trim_read_cache()
         for entry in self.completed.values():
             entry.durable = True
+        # Promotion closed the fenced epochs on the standby: every
+        # completion the new primary carries is epoch-verified now.
+        self._settle_verified(promoted=True)
         self.supervisor.note_reboots()
 
     # ==================================================================
@@ -770,6 +855,7 @@ class FastVerServer:
             # The epoch close is on the log too: the standby closes its
             # own epoch and advances its sealed floor in step.
             self.replication.note_epoch(report.epoch)
+        self._settle_verified(epoch=report.epoch)
         for entry in self.completed.values():
             entry.durable = True
         self.committed_reads.update(self.provisional_reads)
@@ -778,6 +864,18 @@ class FastVerServer:
         if self.replication is not None:
             self.replication.pump()
         return checkpoint
+
+    def _settle_verified(self, epoch: int | None = None,
+                         promoted: bool = False) -> None:
+        """An epoch receipt landed (epoch close, or a promotion that
+        fenced the epochs): every pending completion's end-to-end
+        verified latency — op submit to receipt — is now known."""
+        settled = len(self._awaiting_epoch)
+        for _trace, submitted_at in self._awaiting_epoch:
+            LATENCIES.observe("verified_latency", self.now - submitted_at)
+        self._awaiting_epoch.clear()
+        TRACER.record("epoch", self.now, None, epoch=epoch,
+                      settled=settled, promoted=promoted)
 
     def force_heal(self) -> bool:
         """Operator-initiated recovery (used after tamper cleanup): enter

@@ -39,6 +39,7 @@ from __future__ import annotations
 from repro.backoff import BackoffPolicy
 from repro.errors import AvailabilityError, RecoveryError, UnrecoverableError
 from repro.instrument import COUNTERS
+from repro.obs import TRACER
 
 
 class Supervisor:
@@ -57,6 +58,8 @@ class Supervisor:
         self.failed_attempts = 0
         #: Simulated ticks the latest successful heal session cost.
         self.last_recovery_ticks = 0.0
+        #: Which rung resolved the latest successful heal attempt.
+        self._last_rung: str | None = None
         self._expected_reboots = server.db.enclave.reboots
 
     # ------------------------------------------------------------------
@@ -96,6 +99,8 @@ class Supervisor:
             self.last_recovery_ticks = server.now - t0
             COUNTERS.recovery_ticks += int(round(self.last_recovery_ticks))
             server._exit_degraded()
+            TRACER.record("heal", server.now, None, rung=self._last_rung,
+                          ticks=round(self.last_recovery_ticks, 1))
             return True
         return False
 
@@ -115,6 +120,7 @@ class Supervisor:
                 self.failed_attempts += 1
                 return False
             self.failovers += 1
+            self._last_rung = "failover"
             server._advance(cfg.promote_base_ticks
                             + drained * cfg.promote_tick_per_entry)
             # No _rollback_provisional here: the promoted state holds
@@ -146,6 +152,7 @@ class Supervisor:
                 self.failed_attempts += 1
                 return False
             self.salvages += 1
+            self._last_rung = "salvage"
             server._advance(
                 cfg.salvage_base_ticks
                 + len(server.db.store) * cfg.salvage_tick_per_record)
@@ -157,6 +164,7 @@ class Supervisor:
             # durable state; un-checkpointed serving-layer bookkeeping
             # (provisional caches, non-durable dedup entries) must
             # follow it.
+            self._last_rung = "restore"
             server._rollback_provisional()
             server._advance(
                 cfg.restore_base_ticks

@@ -65,6 +65,20 @@ class RunMetrics:
             return 0.0
         return self.verify_wall_ns / self.n_verifications / 1e9
 
+    def as_dict(self) -> dict:
+        """JSON-ready export (used by ``python -m repro metrics``)."""
+        return {
+            "key_ops": self.key_ops,
+            "op_wall_ns": round(self.op_wall_ns, 1),
+            "verify_wall_ns": round(self.verify_wall_ns, 1),
+            "total_wall_ns": round(self.total_wall_ns, 1),
+            "n_verifications": self.n_verifications,
+            "verifier_fraction": round(self.verifier_fraction, 4),
+            "throughput_mops": round(self.throughput_mops, 6),
+            "verification_latency_s": round(self.verification_latency_s, 9),
+            "replication": dict(self.replication),
+        }
+
 
 class MetricsBuilder:
     """Accumulates phase counters and produces :class:`RunMetrics`."""
@@ -120,10 +134,7 @@ class MetricsBuilder:
             verify_wall_ns=ver.wall_ns,
             n_verifications=self.n_verifications,
             verifier_fraction=fraction,
-            replication={
-                "failovers": combined.failovers,
-                "shipped_batches": combined.shipped_batches,
-                "replication_lag_max": combined.replication_lag_max,
-                "recovery_ticks": combined.recovery_ticks,
-            },
+            # Assembled from the field metadata ("group": "replication")
+            # so the max-merge rule and the export share one definition.
+            replication=combined.group_dict("replication"),
         )

@@ -33,6 +33,45 @@ class TestCli:
         assert main(["audit", "--records", "200", "--ops", "400"]) == 0
         assert "all host invariants hold" in capsys.readouterr().out
 
+    def test_metrics_json_checked(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "METRICS.json"
+        code = main(["metrics", "--records", "120", "--ops", "300",
+                     "--maintain-every", "100", "--format", "json",
+                     "--check", "--out", str(out_path)])
+        assert code == 0
+        assert "payload check: ok" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == "repro.metrics.v1"
+        assert payload["latency"]["verified_latency"]["count"] == 300
+        assert payload["attribution"]["consistent"]
+
+    def test_metrics_text_report(self, capsys):
+        code = main(["metrics", "--records", "120", "--ops", "200",
+                     "--maintain-every", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified_latency" in out
+        assert "cost attribution" in out
+        assert "crossings" in out
+
+    def test_trace_find_lifecycle(self, capsys):
+        code = main(["trace", "--batched", "--failover", "--seed", "7",
+                     "--ops", "600", "--records", "200",
+                     "--find-lifecycle",
+                     "admit,stage,flush,fence,retry,receipt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lifecycle trace" in out
+        assert "fence" in out and "retry" in out and "receipt" in out
+
+    def test_trace_filter_no_match_fails(self, capsys):
+        code = main(["trace", "--ops", "50", "--records", "50",
+                     "--kind", "promote"])
+        assert code == 1
+        assert "no events matched" in capsys.readouterr().out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
