@@ -6,11 +6,22 @@ reports which check detected it — the practical face of the paper's
 formally-proven guarantee (§6.4): if the checks pass, the history is
 sequentially consistent; if the host cheats, some check fails.
 
+The second half runs the *distributed* red-team campaigns (rollback/fork
+across checkpoints, receipt replay across failover, split-brain double
+serving, shipping-stream forks, dedup/batch tampering) through the full
+client → server → standby stack and prints which detector fired and how
+long detection took in simulated ticks.
+
 Run:  python examples/attack_gallery.py
 """
 
 from repro import FastVer, FastVerConfig, new_client
-from repro.adversary import COLD_ATTACKS, WARM_ATTACKS, rollback_record
+from repro.adversary import (
+    COLD_ATTACKS,
+    WARM_ATTACKS,
+    rollback_record,
+    run_redteam,
+)
 from repro.errors import IntegrityError, ProtocolError
 
 
@@ -78,6 +89,31 @@ def main() -> None:
         print(f"{'rollback_record':<28} warm   !! UNDETECTED !!")
     except IntegrityError as exc:
         print(f"{'rollback_record':<28} warm   {type(exc).__name__}")
+
+    # ------------------------------------------------------------------
+    # Distributed campaigns: the red-team engine drives stateful attacks
+    # through the serving pipeline, replication stream, and failover.
+    # Expected detectors (see docs/PROTOCOL.md, "What each attack hits"):
+    #   rollback_fork   -> sealed_slot          (anti-rollback counter)
+    #   receipt_replay  -> client_fence / client_chain
+    #   split_brain     -> sdk_generation       (SplitBrainError)
+    #   shipping_fork   -> standby_revalidation (re-validated entries)
+    #   dedup_tamper    -> sdk_receipt_binding  (ReceiptBindingError)
+    #   batch_tamper    -> client_mac           (enclave put-MAC check)
+    # ------------------------------------------------------------------
+    print()
+    print(f"{'distributed attack':<18} {'topology':<10} {'detected by':<22} "
+          f"latency")
+    print("-" * 64)
+    report = run_redteam(seed=7)
+    for v in report.verdicts:
+        verdict = v.detector if v.detected else "!! ESCAPED !!"
+        print(f"{v.attack:<18} {v.topology:<10} {verdict:<22} "
+              f"{v.latency_ticks:g} ticks")
+    print("-" * 64)
+    status = "zero escapes" if report.ok else f"{report.escapes} ESCAPES"
+    print(f"{len(report.verdicts)} campaigns, {status} "
+          f"(digest {report.digest()[:12]})")
 
 
 if __name__ == "__main__":

@@ -1,4 +1,9 @@
-"""Byzantine host attack harness (threat model of §2.2)."""
+"""Byzantine host attack harness (threat model of §2.2).
+
+Two tiers: :mod:`repro.adversary.host` mutates single-node state on the
+direct path; :mod:`repro.adversary.redteam` runs distributed campaigns
+(rollback/fork, receipt replay, split-brain, shipping fork, dedup and
+batch tampering) against the full serving/replication stack."""
 
 from repro.adversary.host import (
     COLD_ATTACKS,
@@ -16,8 +21,22 @@ from repro.adversary.host import (
     tamper_timestamp,
     tamper_value,
 )
+from repro.adversary.redteam import (
+    APPLICABLE,
+    REDTEAM_ATTACKS,
+    REDTEAM_TOPOLOGIES,
+    AttackVerdict,
+    RedTeamReport,
+    run_redteam,
+)
 
 __all__ = [
+    "APPLICABLE",
+    "REDTEAM_ATTACKS",
+    "REDTEAM_TOPOLOGIES",
+    "AttackVerdict",
+    "RedTeamReport",
+    "run_redteam",
     "COLD_ATTACKS",
     "RECEIPT_ATTACKS",
     "WARM_ATTACKS",

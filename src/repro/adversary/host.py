@@ -26,10 +26,21 @@ def _record(db: FastVer, key: int):
     return record
 
 
+def _writeback(db: FastVer, record) -> None:
+    """Make a tampered record durable. ``read_record`` hands back the live
+    object for in-memory addresses (mutations are immediately visible) but
+    a transient deserialized copy for device-resident ones — and a host
+    that owns the disk simply rewrites the evicted bytes."""
+    address = db.store.index.lookup(record.key)
+    if not db.store.log.in_memory(address):
+        db.store.log.device.write(address, record.serialize())
+
+
 def tamper_value(db: FastVer, key: int) -> str:
     """Overwrite a record's value in the store behind the verifier's back."""
     record = _record(db, key)
     record.value = DataValue(b"__tampered__")
+    _writeback(db, record)
     return "store value overwritten"
 
 
@@ -40,6 +51,7 @@ def tamper_timestamp(db: FastVer, key: int) -> str:
     if aux.state is not Protection.DEFERRED:
         raise ProtocolError("timestamp attack needs a deferred record")
     record.aux = Aux.deferred(aux.timestamp + 17, aux.epoch).pack()
+    _writeback(db, record)
     # Keep the host's own index consistent with the lie, as a clever
     # attacker controlling the whole host would.
     db.deferred_index[db.data_key(key)] = (aux.timestamp + 17, aux.epoch)
@@ -54,6 +66,7 @@ def rollback_record(db: FastVer, key: int, put) -> str:
     put()  # the legitimate update the adversary wants to hide
     record = _record(db, key)
     record.value, record.aux = old_value, old_aux
+    _writeback(db, record)
     bk = db.data_key(key)
     old = Aux.unpack(old_aux)
     if old.state is Protection.DEFERRED:
@@ -72,6 +85,7 @@ def cross_mode_confusion(db: FastVer, key: int) -> str:
     if aux.state is not Protection.DEFERRED:
         raise ProtocolError("cross-mode attack needs a deferred record")
     record.aux = Aux.merkle().pack()
+    _writeback(db, record)
     db.deferred_index.pop(db.data_key(key), None)
     return "deferred record relabelled as merkle"
 
@@ -107,6 +121,7 @@ def corrupt_merkle_pointer(db: FastVer, key: int) -> str:
         side = child.direction_from(holder)
         ptr = value.pointer(side)
         record.value = value.with_pointer(side, Pointer(ptr.key, b"\xff" * 32))
+        _writeback(db, record)
         return f"merkle hash corrupted at {holder!r}"
     raise ProtocolError("chain effectively cache-protected; nothing to corrupt")
 

@@ -88,6 +88,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "the idempotency table")
     chaos.add_argument("--check-deterministic", action="store_true",
                        help="run twice and require identical digests")
+    chaos.add_argument("--redteam", nargs="?", const="all", default=None,
+                       metavar="TOPOLOGY",
+                       help="run the distributed byzantine red-team matrix "
+                            "instead of the random-fault soak: active "
+                            "rollback/fork, receipt replay, split-brain, "
+                            "shipping-fork, and dedup/batch tampering "
+                            "campaigns, every one required to be detected. "
+                            "TOPOLOGY is all (default), or a comma list of "
+                            "direct, server, batched, failover")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the report as machine-readable JSON "
+                            "(CI-friendly; exit code still signals any "
+                            "escape or hard failure)")
 
     bench_fo = sub.add_parser(
         "bench-failover",
@@ -251,8 +264,69 @@ def cmd_attacks(_args) -> int:
     return 0
 
 
+def cmd_redteam(args) -> int:
+    """The ``chaos --redteam`` mode: the zero-escape byzantine gate."""
+    import json
+
+    from repro.adversary.redteam import REDTEAM_TOPOLOGIES, run_redteam
+
+    if args.redteam == "all":
+        topologies = None
+    else:
+        topologies = tuple(t.strip() for t in args.redteam.split(","))
+        unknown = [t for t in topologies if t not in REDTEAM_TOPOLOGIES]
+        if unknown:
+            print(f"unknown red-team topology {unknown[0]!r} "
+                  f"(choose from {', '.join(REDTEAM_TOPOLOGIES)})")
+            return 2
+
+    def once():
+        return run_redteam(seed=args.seed, topologies=topologies)
+
+    report = once()
+    if args.check_deterministic:
+        second = once()
+        if second.digest() != report.digest():
+            print("NON-DETERMINISTIC: second red-team run digest",
+                  second.digest())
+            return 1
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"red-team seed={report.seed} "
+              f"cells={len(report.verdicts)} escapes={report.escapes}")
+        print(f"{'attack':<16} {'topology':<9} {'verdict':<9} "
+              f"{'detector':<21} {'latency':>8}")
+        for v in report.verdicts:
+            verdict = "detected" if v.detected else "ESCAPED"
+            print(f"{v.attack:<16} {v.topology:<9} {verdict:<9} "
+                  f"{v.detector:<21} {v.latency_ticks:>8.1f}")
+        print(f"digest               {report.digest()}")
+    if report.forensics is not None:
+        path = f"trace_forensics_seed{report.seed}.json"
+        with open(path, "w") as fh:
+            json.dump(report.forensics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path} ({len(report.forensics['events'])} trace "
+              f"events for forensics)")
+    if report.escapes:
+        for v in report.verdicts:
+            if v.escaped:
+                print(f"ESCAPE: {v.attack} x {v.topology}: {v.note}")
+        print(f"reproduce with: python -m repro chaos --redteam "
+              f"{args.redteam} --seed {report.seed}")
+        return 1
+    if not args.json:
+        print("zero escapes: every attack detected before anything "
+              "settled")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from repro.faults.chaos import run_chaos
+
+    if args.redteam is not None:
+        return cmd_redteam(args)
 
     def once():
         return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
@@ -263,21 +337,44 @@ def cmd_chaos(args) -> int:
     mode = ("failover" if args.failover
             else "batched server pipeline" if args.batched
             else "server pipeline" if args.server else "direct")
-    print(f"chaos seed={report.seed} mode={mode} "
-          f"ops={report.ops_attempted} ok={report.ops_ok}")
-    print(f"availability errors  {report.availability_errors}")
-    print(f"recoveries           {report.recoveries} "
-          f"(salvages {report.salvages}, failovers {report.failovers})")
-    print(f"integrity detections {report.integrity_detections}")
-    print(f"receipts dropped     {report.receipts_dropped}")
-    if args.failover:
-        print(f"shipped batches      {report.shipped_batches} "
-              f"(channel rejects {report.repl_rejects})")
-    if report.unrecoverable:
-        print("UNRECOVERABLE: the recovery ladder ran out of rungs; the "
-              "error carries the fault seed and trace digest")
-    print(f"fault fires          {report.fault_fires}")
-    print(f"digest               {report.digest()}")
+    if args.json:
+        import json
+        print(json.dumps({
+            "seed": report.seed,
+            "mode": mode,
+            "ops_attempted": report.ops_attempted,
+            "ops_ok": report.ops_ok,
+            "availability_errors": report.availability_errors,
+            "recoveries": report.recoveries,
+            "salvages": report.salvages,
+            "failovers": report.failovers,
+            "integrity_detections": report.integrity_detections,
+            "receipts_dropped": report.receipts_dropped,
+            "shipped_batches": report.shipped_batches,
+            "repl_rejects": report.repl_rejects,
+            "unrecoverable": report.unrecoverable,
+            "fault_fires": report.fault_fires,
+            "hard_failures": report.hard_failures,
+            "trace_digest": report.trace_digest,
+            "digest": report.digest(),
+            "ok": report.ok,
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"chaos seed={report.seed} mode={mode} "
+              f"ops={report.ops_attempted} ok={report.ops_ok}")
+        print(f"availability errors  {report.availability_errors}")
+        print(f"recoveries           {report.recoveries} "
+              f"(salvages {report.salvages}, failovers {report.failovers})")
+        print(f"integrity detections {report.integrity_detections}")
+        print(f"receipts dropped     {report.receipts_dropped}")
+        if args.failover:
+            print(f"shipped batches      {report.shipped_batches} "
+                  f"(channel rejects {report.repl_rejects})")
+        if report.unrecoverable:
+            print("UNRECOVERABLE: the recovery ladder ran out of rungs; "
+                  "the error carries the fault seed and trace digest")
+        print(f"fault fires          {report.fault_fires}")
+        print(f"digest               {report.digest()}")
     if report.forensics is not None:
         import json
         path = f"trace_forensics_seed{report.seed}.json"
@@ -305,8 +402,10 @@ def cmd_chaos(args) -> int:
             print("NON-DETERMINISTIC: second run digest",
                   second.digest())
             return 1
-        print("deterministic: second run matched bit-for-bit")
-    print("tri-state invariant held for every operation")
+        if not args.json:
+            print("deterministic: second run matched bit-for-bit")
+    if not args.json:
+        print("tri-state invariant held for every operation")
     return 0
 
 

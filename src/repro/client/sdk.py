@@ -47,7 +47,9 @@ from repro.errors import (
     AvailabilityError,
     IntegrityError,
     NotLeaderError,
+    ReceiptBindingError,
     RetriesExhaustedError,
+    SplitBrainError,
     UnrecoverableError,
 )
 from repro.instrument import COUNTERS
@@ -104,13 +106,58 @@ class RetryingClient:
     def _follow_redirect(self, request: ServerRequest) -> None:
         """Adopt the new leadership generation and its fence receipt: the
         client verifies the fence under its own MAC key, after which it
-        refuses every receipt the deposed verifier could have signed."""
+        refuses every receipt the deposed verifier could have signed.
+
+        Generations only move forward. A server redirecting us to a
+        *lower* generation than one we already adopted is not a failover —
+        it is a deposed primary still answering (split-brain), and
+        following it would walk this endpoint back behind the fence."""
         generation, fence = self.server.leader_info(self.client.client_id)
+        if generation < self.generation:
+            TRACER.record("detect", self.server.now, request.trace,
+                          detector="sdk_generation",
+                          offered=generation, held=self.generation)
+            raise SplitBrainError(
+                f"redirect offers leadership generation {generation} but "
+                f"this endpoint already adopted {self.generation}: a "
+                f"deposed primary is still serving")
         if fence is not None:
             self.client.accept_fence(fence)
         self.generation = generation
         request.generation = generation
         self.redirects += 1
+
+    def _vet(self, result: ServerResult, trace: str) -> ServerResult:
+        """Cross-check a server reply against trusted client state before
+        handing it to the caller — the client-side half of the detection
+        surface (host-owned tables are not evidence; receipts are).
+
+        * The vouched generation must never regress below the one this
+          endpoint adopted via a verified fence receipt.
+        * A deduplicated reply (served from the host-owned idempotency
+          table) must agree with the verifier-signed op receipt the client
+          holds for that nonce, if it holds one — a mismatch means the
+          recorded answer was rewritten after the fact.
+        """
+        if result.generation < self.generation:
+            TRACER.record("detect", self.server.now, trace,
+                          detector="sdk_generation",
+                          offered=result.generation, held=self.generation)
+            raise SplitBrainError(
+                f"result vouches for leadership generation "
+                f"{result.generation} below the adopted "
+                f"{self.generation}: a deposed primary is still serving")
+        if result.deduped and not result.degraded:
+            receipt = self.client.receipt_for(result.nonce)
+            if receipt is not None and receipt.payload != result.payload:
+                TRACER.record("detect", self.server.now, trace,
+                              detector="sdk_receipt_binding",
+                              nonce=result.nonce)
+                raise ReceiptBindingError(
+                    f"deduplicated answer for nonce {result.nonce} "
+                    f"contradicts the verifier receipt the client holds: "
+                    f"the idempotency table was rewritten")
+        return result
 
     def _run(self, kind: str, key: int | bytes,
              payload: bytes | None) -> ServerResult:
@@ -126,7 +173,7 @@ class RetryingClient:
                               attempt=attempt,
                               after=type(last).__name__ if last else None)
             try:
-                return self.server.handle(request)
+                return self._vet(self.server.handle(request), trace)
             except IntegrityError:
                 raise
             except UnrecoverableError:
@@ -143,7 +190,8 @@ class RetryingClient:
                 status, result = self.server.query(request.client_id,
                                                    request.nonce)
                 if status == "done":
-                    return result  # it crossed the failover; don't fork
+                    # It crossed the failover; don't fork.
+                    return self._vet(result, trace)
                 if status == "pending":
                     continue
                 request = self._envelope(kind, key, payload, trace)
@@ -153,7 +201,8 @@ class RetryingClient:
                 status, result = self.server.query(request.client_id,
                                                    request.nonce)
                 if status == "done":
-                    return result  # applied; the response was what we lost
+                    # Applied; the response was what we lost.
+                    return self._vet(result, trace)
                 if status == "pending":
                     continue  # queued behind a recovery: poll, don't fork
                 # "unknown": provably never applied — a fresh envelope
@@ -161,7 +210,7 @@ class RetryingClient:
                 request = self._envelope(kind, key, payload, trace)
         resolved = self.server.cancel(request.client_id, request.nonce)
         if resolved is not None:
-            return resolved
+            return self._vet(resolved, trace)
         self.gave_up += 1
         raise RetriesExhaustedError(
             f"{kind} abandoned after {self.policy.max_attempts} attempts "

@@ -81,6 +81,10 @@ class VerifierGroup:
         ]
         self._combiner = combiner
         self._loaded = False
+        #: Per-client epoch-receipt issue counter (chain position). Part of
+        #: trusted state: it is what lets clients dedup a replayed receipt,
+        #: so it is checkpointed and restored alongside the nonce table.
+        self._epoch_chains: dict[int, int] = {}
         # Replication channel state (see repl_set_key). One key serves both
         # roles: a primary signs shipments, a standby admits them.
         self._repl_key: MacKey | None = None
@@ -279,7 +283,9 @@ class VerifierGroup:
         self.epochs.mark_verified(epoch)
         receipts: dict[int, EpochReceipt] = {}
         for client_id in self.clients.nonces():
-            receipt = EpochReceipt(epoch, b"")
+            chain = self._epoch_chains.get(client_id, 0) + 1
+            self._epoch_chains[client_id] = chain
+            receipt = EpochReceipt(epoch, b"", chain)
             receipt.tag = self.clients.key_for(client_id).sign(*receipt.mac_fields())
             receipts[client_id] = receipt
         return receipts
@@ -422,13 +428,21 @@ class VerifierGroup:
     def _encode_nonces(self) -> bytes:
         fields: list[bytes] = []
         for client_id, nonce in sorted(self.clients.nonces().items()):
-            fields.append(client_id.to_bytes(8, "big") + nonce.to_bytes(8, "big"))
+            chain = self._epoch_chains.get(client_id, 0)
+            fields.append(client_id.to_bytes(8, "big")
+                          + nonce.to_bytes(8, "big")
+                          + chain.to_bytes(8, "big"))
         return encode_fields(*fields)
 
     def _decode_nonces(self, blob: bytes) -> None:
         nonces: dict[int, int] = {}
+        self._epoch_chains.clear()
         for field in decode_fields(blob):
-            nonces[int.from_bytes(field[:8], "big")] = int.from_bytes(field[8:], "big")
+            client_id = int.from_bytes(field[:8], "big")
+            nonces[client_id] = int.from_bytes(field[8:16], "big")
+            if len(field) >= 24:
+                self._epoch_chains[client_id] = int.from_bytes(
+                    field[16:24], "big")
         self.clients.restore_nonces(nonces)
 
     def _encode_thread(self, thread: VerifierThread) -> bytes:

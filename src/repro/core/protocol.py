@@ -58,13 +58,23 @@ class OpReceipt:
 
 @dataclass
 class EpochReceipt:
-    """The batch validation s_v(e): epoch ``epoch`` passed verification."""
+    """The batch validation s_v(e): epoch ``epoch`` passed verification.
+
+    ``chain`` is the verifier's per-client issue counter: the n-th epoch
+    receipt this verifier ever signed for this client carries chain=n.
+    Binding it into the MAC gives each issued receipt a unique identity, so
+    a host replaying an old-but-genuine epoch receipt (same epoch number
+    re-closed after a rollback, or captured pre-failover) can be
+    deduplicated by the client on the exact (epoch, chain) pair. chain=0
+    marks legacy receipts minted before position tracking (baselines)."""
 
     epoch: int
     tag: bytes
+    chain: int = 0
 
     def mac_fields(self) -> tuple:
-        return (EPOCH, self.epoch.to_bytes(8, "big"))
+        return (EPOCH, self.epoch.to_bytes(8, "big"),
+                self.chain.to_bytes(8, "big"))
 
 
 @dataclass
@@ -132,6 +142,12 @@ class Client:
         self._fence_epoch = 0
         #: Receipts rejected by the fence (split-brain evidence, counted).
         self.fenced_receipts = 0
+        #: Exact (epoch, chain) pairs already accepted; a second delivery of
+        #: the same signed receipt is a replay (or a benign channel
+        #: duplicate) and must not re-settle anything.
+        self._accepted_epoch_chains: set[tuple[int, int]] = set()
+        #: Epoch receipts dropped by the (epoch, chain) dedup, counted.
+        self.replayed_epoch_receipts = 0
 
     # ------------------------------------------------------------------
     # Request construction
@@ -179,6 +195,12 @@ class Client:
         if receipt.epoch < self._fence_epoch:
             self.fenced_receipts += 1
             return
+        if receipt.chain:
+            pair = (receipt.epoch, receipt.chain)
+            if pair in self._accepted_epoch_chains:
+                self.replayed_epoch_receipts += 1
+                return
+            self._accepted_epoch_chains.add(pair)
         if receipt.epoch > self._settled_epoch:
             self._settled_epoch = receipt.epoch
 
@@ -198,6 +220,13 @@ class Client:
     @property
     def fence_epoch(self) -> int:
         return self._fence_epoch
+
+    def receipt_for(self, nonce: int) -> OpReceipt | None:
+        """The accepted (possibly still provisional) receipt for a nonce.
+
+        Lets a trusted caller cross-check a host-recorded answer against
+        what the verifier actually signed for that operation."""
+        return self._pending.get(nonce)
 
     def settled(self, nonce: int) -> bool:
         """Is the operation fully validated (op receipt + epoch receipt)?"""

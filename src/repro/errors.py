@@ -72,6 +72,20 @@ class RollbackError(IntegrityError):
     """Verifier state on restore is older than the sealed anti-rollback state."""
 
 
+class SplitBrainError(IntegrityError):
+    """A receipt or leadership generation regressed: evidence that two
+    verifiers are (or were) serving concurrently. Raised client-side when a
+    server vouches for a generation lower than one the client has already
+    adopted — the signature of a deposed primary still answering."""
+
+
+class ReceiptBindingError(IntegrityError):
+    """A deduplicated server result contradicts the verifier receipt the
+    client already holds for the same nonce. The idempotency table is host
+    state; mutating a recorded answer after the fact is caught by re-checking
+    it against the enclave-signed op receipt."""
+
+
 class CacheStateError(IntegrityError):
     """The host referenced a cache slot inconsistently (wrong key / free slot)."""
 

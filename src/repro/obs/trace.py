@@ -32,6 +32,9 @@ error       typed failure resolved a ticket (detail carries the type)
 ship        replication shipment packaged for the standby
 promote     standby promoted; generation bumped
 heal        supervisor recovery session concluded (detail: rung)
+attack      red-team campaign injected (detail: attack, topology, seed)
+detect      red-team verdict: which detector fired, detected flag, and
+            detection latency in ticks (escapes carry detected=False)
 ========== ==========================================================
 
 The ring is bounded (default 4096 events) so tracing can stay on for

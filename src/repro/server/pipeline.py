@@ -145,6 +145,12 @@ class ServerResult:
     degraded: bool = False
     #: Answered from the idempotency table (an earlier attempt applied).
     deduped: bool = False
+    #: Leadership generation the answering server vouches for. Dedup and
+    #: query replies are re-stamped with the *current* generation (an
+    #: honest post-failover server vouches for its recorded results — they
+    #: are durable across promotion by construction), so a regression here
+    #: is always split-brain evidence, never a stale-but-honest record.
+    generation: int = 0
 
 
 @dataclass
@@ -352,7 +358,8 @@ class FastVerServer:
         meaning it was never applied and a fresh-nonce reissue is safe."""
         hit = self.completed.get((client_id, nonce))
         if hit is not None:
-            return ("done", replace(hit.result, deduped=True))
+            return ("done", replace(hit.result, deduped=True,
+                                    generation=self.generation))
         if (client_id, nonce) in self.degraded_writes:
             return ("pending", None)
         return ("unknown", None)
@@ -364,7 +371,8 @@ class FastVerServer:
         operation can never be applied."""
         hit = self.completed.get((client_id, nonce))
         if hit is not None:
-            return replace(hit.result, deduped=True)
+            return replace(hit.result, deduped=True,
+                           generation=self.generation)
         self.degraded_writes.pop((client_id, nonce), None)
         return None
 
@@ -405,7 +413,8 @@ class FastVerServer:
         hit = self.completed.get(request.dedup_key)
         if hit is not None:
             TRACER.record("dedup", self.now, request.trace)
-            return replace(hit.result, deduped=True)
+            return replace(hit.result, deduped=True,
+                           generation=self.generation)
         # Generation fence: after the dedup lookup (a stale client whose
         # op DID land still gets its recorded answer), before any fresh
         # work is accepted from a client that hasn't adopted the fence.
@@ -468,7 +477,8 @@ class FastVerServer:
             op = self.db.apply_put(client, request.op, worker)
         else:
             raise ProtocolError(f"unknown request kind {request.kind!r}")
-        return ServerResult(op.payload, op.nonce)
+        return ServerResult(op.payload, op.nonce,
+                            generation=self.generation)
 
     def _record_completion(self, request: ServerRequest,
                            result: ServerResult) -> None:
@@ -530,7 +540,8 @@ class FastVerServer:
                 self._flush_shard(staged_at)
                 hit = self.completed.get(dedup_key)
                 if hit is not None:
-                    ticket.result = replace(hit.result, deduped=True)
+                    ticket.result = replace(hit.result, deduped=True,
+                                            generation=self.generation)
                     ticket.done = True
                     continue
                 # The twin failed; this attempt proceeds on its own.
@@ -635,7 +646,8 @@ class FastVerServer:
                               type=type(outcome.error).__name__)
                 ticket.done = True
                 continue
-            result = ServerResult(outcome.payload, outcome.nonce)
+            result = ServerResult(outcome.payload, outcome.nonce,
+                                  generation=self.generation)
             self.breaker.record_success()
             self._record_completion(ticket.request, result)
             if self.faults is not None and \
@@ -668,7 +680,8 @@ class FastVerServer:
             TRACER.record("degraded", self.now, request.trace,
                           served="cached_read")
             return ServerResult(self.committed_reads[key], request.nonce,
-                                degraded=True)
+                                degraded=True,
+                                generation=self.generation)
         raise miss
 
     def _degraded_op(self, request: ServerRequest) -> ServerResult:

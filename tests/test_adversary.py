@@ -8,13 +8,17 @@ import pytest
 
 from repro.adversary import (
     COLD_ATTACKS,
+    RECEIPT_ATTACKS,
     WARM_ATTACKS,
     forge_receipt_payload,
     rollback_record,
 )
+from repro.backoff import BackoffPolicy
+from repro.client import RetryingClient
 from repro.core.protocol import OpReceipt
 from repro.core.records import Aux, DataValue, Protection
-from repro.errors import IntegrityError, SignatureError
+from repro.errors import IntegrityError, ProtocolError, SignatureError
+from repro.server import FastVerServer, ServerConfig
 from tests.conftest import small_fastver
 
 
@@ -201,3 +205,116 @@ class TestAuxForgeryVariants:
             db.verify()
             db.flush()
         assert client.settled_epoch < 0
+
+
+# ----------------------------------------------------------------------
+# The same attack registries, driven through the serving pipeline instead
+# of the direct verifier API. Two topologies the direct tests above never
+# exercise: the group-commit batched pipeline (detection must survive the
+# stage → batch-flush indirection) and a post-failover promoted verifier
+# (detection must survive checkpoint shipping + promotion). The guarantee
+# is unchanged: the attack is detected and no epoch containing tampered
+# state ever settles.
+# ----------------------------------------------------------------------
+
+TOPOLOGIES = ("batched", "failover")
+
+
+def served_stack(topology):
+    """A full client→server stack for the requested topology."""
+    db, client = small_fastver(n_records=100)
+    if topology == "batched":
+        config = ServerConfig(group_commit=True, max_batch_ops=4,
+                              max_batch_ticks=16.0)
+    else:
+        config = ServerConfig()
+    server = FastVerServer(db, config)
+    sdk = RetryingClient(server, client,
+                         policy=BackoffPolicy(max_attempts=5,
+                                              base_delay=2.0,
+                                              max_delay=16.0, seed=11))
+    if topology == "failover":
+        server.attach_standby()
+        sdk.put(3, b"warmup")
+        server.maintain()
+        server.replication.promote()
+        assert sdk.get(3).payload == b"warmup"  # adopt the new generation
+    return server, sdk, client
+
+
+class TestWarmAttacksThroughTopologies:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("name", sorted(WARM_ATTACKS))
+    def test_detected_before_settlement(self, name, topology):
+        server, sdk, client = served_stack(topology)
+        sdk.put(7, b"precious")  # leaves key 7 deferred (warm)
+        settled_before = client.settled_epoch
+        WARM_ATTACKS[name](server.db, 7)
+        with pytest.raises(IntegrityError):
+            if name != "skip_migration":  # re-access repairs that one
+                sdk.get(7)
+            server.maintain()
+        assert client.settled_epoch == settled_before
+
+
+class TestColdAttacksThroughTopologies:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    @pytest.mark.parametrize("name", sorted(COLD_ATTACKS))
+    def test_detected_on_access(self, name, topology):
+        server, sdk, client = served_stack(topology)
+        sdk.put(7, b"precious")
+        server.maintain()  # verify re-merkleizes the touched set
+        settled_before = client.settled_epoch
+        target = None
+        for candidate in range(7, 99):
+            try:
+                COLD_ATTACKS[name](server.db, candidate)
+                target = candidate
+                break
+            except ProtocolError:
+                continue
+        assert target is not None, "no attackable cold key found"
+        with pytest.raises(IntegrityError):
+            sdk.get(target)
+            server.maintain()
+        assert client.settled_epoch == settled_before
+
+
+class TestReceiptAttacksThroughTopologies:
+    """The adversary owns the receipt wire even when a pipeline (or a
+    freshly promoted verifier) sits between client and store: drops only
+    cost availability, replays and reorders are absorbed."""
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_dropped_receipts_never_settle_never_lie(self, topology):
+        server, sdk, client = served_stack(topology)
+        settled_before = client.settled_epoch
+        RECEIPT_ATTACKS["drop_receipts"](server.db, client)
+        result = sdk.put(7, b"precious")
+        server.maintain()
+        assert not client.settled(result.nonce)
+        assert client.settled_epoch == settled_before
+        server.db.receipt_channel.faults = None  # heal the wire
+        assert sdk.get(7).payload == b"precious"
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_duplicated_receipts_settle_once_without_alarm(self, topology):
+        server, sdk, client = served_stack(topology)
+        settled_before = client.settled_epoch
+        RECEIPT_ATTACKS["duplicate_receipts"](server.db, client)
+        result = sdk.put(7, b"precious")
+        server.maintain()  # no spurious alarm (tri-state invariant)
+        assert client.settled(result.nonce)
+        assert client.settled_epoch > settled_before
+        assert server.db.receipt_channel.duplicated > 0
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_reordered_receipts_still_settle(self, topology):
+        server, sdk, client = served_stack(topology)
+        settled_before = client.settled_epoch
+        RECEIPT_ATTACKS["reorder_receipts"](server.db, client)
+        result = sdk.put(7, b"precious")
+        server.maintain()
+        server.db.flush()  # deliver the withheld stragglers
+        assert client.settled(result.nonce)
+        assert client.settled_epoch > settled_before

@@ -1,0 +1,92 @@
+"""The zero-escape gate: every distributed byzantine campaign in the
+red-team matrix must be detected before anything client-visible settles,
+must name the detector that fired, and must leave a reconstructable
+attack/detect span in the repro.obs ring.
+
+These are the acceptance tests for the red-team engine; CI runs the same
+matrix via ``python -m repro chaos --redteam`` (the ``redteam-smoke``
+job) across several seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.redteam import (
+    APPLICABLE,
+    REDTEAM_ATTACKS,
+    REDTEAM_TOPOLOGIES,
+    matrix,
+    run_redteam,
+)
+from repro.obs import TRACER
+
+#: Every (attack, topology) cell the engine schedules.
+MATRIX = matrix()
+
+
+def test_matrix_meets_the_gate_floor():
+    """The acceptance criterion: >= 5 distributed attacks x >= 3 served
+    topologies (direct rides along with its applicable subset)."""
+    assert len(REDTEAM_ATTACKS) >= 5
+    served = [t for t in REDTEAM_TOPOLOGIES if t != "direct"]
+    assert len(served) >= 3
+    for topology in served:
+        assert set(APPLICABLE[topology]) == set(REDTEAM_ATTACKS)
+    assert len(MATRIX) >= 15
+
+
+class TestZeroEscape:
+    """One fresh system per cell; the attack must come back detected."""
+
+    @pytest.mark.parametrize("attack,topology", MATRIX)
+    def test_attack_is_detected(self, attack, topology):
+        report = run_redteam(seed=7, topologies=(topology,),
+                             attacks=(attack,))
+        [verdict] = report.verdicts
+        assert verdict.detected, (
+            f"{attack} x {topology} ESCAPED: {verdict.note}")
+        assert verdict.detector, "a detection must name its detector"
+        assert verdict.latency_ticks >= 0
+        # The forensic span is reconstructable from the ring: the
+        # campaign's trace id carries its injection and its verdict.
+        events = TRACER.events(trace=verdict.trace)
+        kinds = [e.kind for e in events]
+        assert "attack" in kinds and "detect" in kinds
+        injected = next(e for e in events if e.kind == "attack")
+        assert injected.detail["attack"] == attack
+        assert injected.detail["topology"] == topology
+        verdict_event = next(e for e in events if e.kind == "detect")
+        assert verdict_event.detail["detected"] is True
+        assert verdict_event.detail["detector"] == verdict.detector
+
+
+class TestFullRun:
+    def test_full_matrix_zero_escapes(self):
+        report = run_redteam(seed=7)
+        assert report.ok, [v.note for v in report.verdicts if v.escaped]
+        assert report.escapes == 0
+        assert len(report.verdicts) == len(MATRIX)
+        # No escape -> no forensics payload (CI only uploads on failure).
+        assert report.forensics is None
+
+    def test_same_seed_is_deterministic(self):
+        assert run_redteam(seed=13).digest() == run_redteam(seed=13).digest()
+
+    def test_detectors_are_diverse(self):
+        """The campaigns probe different walls: the matrix must exercise
+        the sealed slot, the client fence/chain, the SDK's generation and
+        receipt-binding checks, the standby's re-validation, and the
+        enclave's client-MAC check — not funnel into one detector."""
+        report = run_redteam(seed=7)
+        detectors = {v.detector for v in report.verdicts}
+        assert {"sealed_slot", "client_fence", "client_chain",
+                "sdk_generation", "sdk_receipt_binding",
+                "standby_revalidation", "client_mac"} <= detectors
+
+    def test_report_is_json_serializable(self):
+        import json
+        payload = json.loads(json.dumps(run_redteam(
+            seed=7, topologies=("direct",)).as_dict()))
+        assert payload["ok"] is True
+        assert payload["verdicts"][0]["detector"]

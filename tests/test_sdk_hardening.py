@@ -1,0 +1,195 @@
+"""Client-side hardening units: generation monotonicity, epoch-receipt
+(epoch, chain) dedup, and receipt-binding of deduplicated answers.
+
+The common thread: host-owned state (the idempotency table, the wire,
+the receipt channel) is never evidence — only enclave-signed receipts
+and the client's own monotonic counters are. Every new detector must
+also stay silent on honest paths (the tri-state invariant forbids
+spurious integrity alarms), so each attack test here has an honest twin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backoff import BackoffPolicy
+from repro.client import RetryingClient
+from repro.errors import ReceiptBindingError, SplitBrainError
+from repro.faults import FaultPlan
+from repro.server import FastVerServer, ServerConfig
+from repro.server.pipeline import ServerResult
+from tests.conftest import small_fastver
+
+
+def served_sdk(**server_kwargs):
+    db, client = small_fastver(n_records=60)
+    server = FastVerServer(db, ServerConfig(**server_kwargs))
+    sdk = RetryingClient(server, client,
+                         policy=BackoffPolicy(max_attempts=4,
+                                              base_delay=2.0,
+                                              max_delay=16.0, seed=3))
+    return server, sdk, client
+
+
+class TestGenerationMonotonicity:
+    def test_result_vouching_for_lower_generation_is_split_brain(self):
+        server, sdk, client = served_sdk()
+        sdk.generation = 2  # adopted a fence from a promoted leader
+        stale = ServerResult(b"x", 1, generation=1)
+        with pytest.raises(SplitBrainError):
+            sdk._vet(stale, "t-unit")
+
+    def test_redirect_to_lower_generation_is_split_brain(self):
+        """A deposed primary redirecting us 'forward' to its own, older
+        generation must be refused, not adopted."""
+        server, sdk, client = served_sdk()
+        sdk.generation = 2  # the real leader is at generation 2
+        with pytest.raises(SplitBrainError):
+            sdk.get(1)  # server.generation == 0 -> fence -> redirect
+
+    def test_equal_and_higher_generations_pass(self):
+        server, sdk, client = served_sdk()
+        result = sdk.put(5, b"v")
+        assert result.generation == sdk.generation == 0
+        assert sdk._vet(ServerResult(b"v", 9, generation=7), "t") is not None
+
+    def test_honest_failover_redirect_still_works(self):
+        """The regression check must not break the legitimate redirect:
+        promotion bumps the generation, the SDK adopts it."""
+        server, sdk, client = served_sdk()
+        server.attach_standby()
+        sdk.put(5, b"before")
+        server.maintain()
+        server.replication.promote()
+        result = sdk.get(5)
+        assert result.payload == b"before"
+        assert sdk.generation == 1
+        assert sdk.redirects == 1
+
+
+class TestEpochChainDedup:
+    def capture_epoch_receipts(self, db, client):
+        captured = []
+        original = client.accept_epoch
+
+        def spy(receipt):
+            captured.append(receipt)
+            original(receipt)
+
+        client.accept_epoch = spy
+        try:
+            db.put(client, 7, b"v")
+            db.verify()
+            db.flush()
+        finally:
+            client.accept_epoch = original
+        return captured
+
+    def test_replayed_epoch_receipt_is_counted_not_resettled(self):
+        db, client = small_fastver(n_records=60)
+        captured = self.capture_epoch_receipts(db, client)
+        assert captured and client.settled_epoch >= 0
+        settled = client.settled_epoch
+        for receipt in captured:
+            client.accept_epoch(receipt)  # byzantine replay: no raise
+        assert client.replayed_epoch_receipts == len(captured)
+        assert client.settled_epoch == settled
+
+    def test_receipts_carry_distinct_chain_positions(self):
+        db, client = small_fastver(n_records=60)
+        first = self.capture_epoch_receipts(db, client)
+        second = self.capture_epoch_receipts(db, client)
+        chains = [r.chain for r in first + second]
+        assert len(set(chains)) == len(chains)
+        assert all(c > 0 for c in chains)
+
+    def test_chain_is_mac_bound(self):
+        """The host cannot relabel a receipt's chain position to slip it
+        past the dedup: chain is inside the MAC."""
+        from repro.errors import SignatureError
+        db, client = small_fastver(n_records=60)
+        [receipt] = self.capture_epoch_receipts(db, client)
+        receipt.chain += 1
+        with pytest.raises(SignatureError):
+            client.accept_epoch(receipt)
+
+    def test_honest_channel_duplicates_stay_silent(self):
+        """The benign receipt.duplicate fault delivers identical receipts
+        twice; the dedup must absorb them without an alarm and without
+        blocking settlement (tri-state: no spurious IntegrityError)."""
+        db, client = small_fastver(n_records=60)
+        db.receipt_channel.faults = FaultPlan(0, {"receipt.duplicate": 1.0})
+        db.put(client, 7, b"v")
+        db.verify()
+        db.flush()
+        assert client.settled_epoch >= 0
+        assert db.receipt_channel.duplicated > 0
+
+    def test_recovery_replays_same_chain_and_ops_still_settle(self):
+        """Honest crash recovery rolls the verifier's chain counter back
+        with the checkpoint; the re-closed epoch's receipt is an exact
+        (epoch, chain) duplicate of the pre-crash one. Dedup absorbs it
+        and post-recovery operations still settle."""
+        db, client = small_fastver(n_records=60)
+        db.verify()
+        db.flush()
+        ckpt = db.checkpoint()
+        settled = client.settled_epoch
+        db.recover(ckpt)
+        result = db.put(client, 7, b"after-recovery")
+        db.verify()
+        db.flush()
+        assert client.settled(result.nonce)
+        assert client.settled_epoch >= settled
+
+
+class TestReceiptBinding:
+    def settled_put(self, server, sdk, client, key, payload):
+        result = sdk.put(key, payload)
+        server.maintain()  # flush receipts + settle the epoch
+        assert client.settled(result.nonce)
+        return result
+
+    def test_tampered_dedup_answer_is_rejected(self):
+        server, sdk, client = served_sdk()
+        result = self.settled_put(server, sdk, client, 5, b"the-truth")
+        doctored = ServerResult(b"doctored", result.nonce, deduped=True,
+                                generation=sdk.generation)
+        with pytest.raises(ReceiptBindingError):
+            sdk._vet(doctored, "t-unit")
+
+    def test_faithful_dedup_answer_passes(self):
+        server, sdk, client = served_sdk()
+        result = self.settled_put(server, sdk, client, 5, b"the-truth")
+        faithful = ServerResult(b"the-truth", result.nonce, deduped=True,
+                                generation=sdk.generation)
+        assert sdk._vet(faithful, "t-unit").payload == b"the-truth"
+
+    def test_degraded_reads_are_exempt(self):
+        """A degraded cached read is allowed to be stale by contract; the
+        binding check must not fire on it."""
+        server, sdk, client = served_sdk()
+        result = self.settled_put(server, sdk, client, 5, b"the-truth")
+        stale = ServerResult(b"older-but-honest", result.nonce,
+                             deduped=True, degraded=True,
+                             generation=sdk.generation)
+        assert sdk._vet(stale, "t-unit").payload == b"older-but-honest"
+
+    def test_unknown_nonce_is_exempt(self):
+        """No receipt held (e.g. the receipt itself was dropped on the
+        lossy channel) -> nothing to bind against; dedup answers must
+        still flow or retries could never resolve."""
+        server, sdk, client = served_sdk()
+        anon = ServerResult(b"whatever", 999_999, deduped=True,
+                            generation=sdk.generation)
+        assert sdk._vet(anon, "t-unit").payload == b"whatever"
+
+    def test_end_to_end_wire_loss_retry_is_honest(self):
+        """The full honest path the detector sits on: response lost, SDK
+        resolves through the idempotency table — no alarm, right value."""
+        server, sdk, client = served_sdk()
+        server.faults = FaultPlan(0, {"server.wire.response": [0]})
+        result = sdk.put(5, b"v-through-retry")
+        assert result.payload == b"v-through-retry"
+        assert result.deduped
+        server.faults = None
