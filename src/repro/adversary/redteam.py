@@ -20,6 +20,15 @@ The attacks (the ``REDTEAM_ATTACKS`` registry):
 * ``split_brain`` — skip the deposed primary's teardown at promotion and
   keep it answering under its old generation alongside the new leader.
   Caught by the SDK's generation-monotonicity check.
+* ``double_lease`` — the lease-layer variant of split-brain: the deposed
+  primary's host courts a group member for a lease grant at the old
+  generation, then forges the grant tag outright. Caught by the member
+  enclave's pinned generation floor (the promoted leader re-acquired the
+  lease at the new generation) and by the channel MAC on the grant.
+* ``stale_replica_replay`` — a byzantine replica answers a budgeted
+  stale read with a genuine-but-superseded value while claiming it is
+  fresh. Caught by the SDK vetting stale answers against its own settled
+  receipt history.
 * ``shipping_fork`` — feed the standby a divergent-but-internally-
   consistent log suffix sealed with a *valid* channel MAC (the host can
   invoke ``repl_sign``). Caught by the standby enclave re-validating
@@ -58,6 +67,7 @@ from repro.errors import (
     RollbackError,
     SignatureError,
     SplitBrainError,
+    StaleReplayError,
 )
 from repro.faults.plan import FaultPlan
 from repro.obs import TRACER
@@ -75,7 +85,8 @@ class AttackVerdict:
     seed: int
     detected: bool
     #: Which check fired: ``sealed_slot``, ``client_fence``,
-    #: ``client_chain``, ``sdk_generation``, ``standby_revalidation``,
+    #: ``client_chain``, ``sdk_generation``, ``lease_generation``,
+    #: ``sdk_stale_replay``, ``standby_revalidation``,
     #: ``sdk_receipt_binding``, ``client_mac`` — or "" on an escape.
     detector: str
     #: Simulated ticks between injection and detection (0 in direct mode,
@@ -375,6 +386,79 @@ def attack_shipping_fork(c: _Campaign):
                        "and can now serve")
 
 
+def attack_double_lease(c: _Campaign):
+    """Split-brain through the lease layer: the byzantine host skips the
+    deposed primary's teardown at promotion and then tries to keep its
+    leadership lease alive — first by courting a group member for a grant
+    at the deposed generation, then by forging the grant tag outright.
+    The member enclaves pinned the new generation when the promoted
+    leader re-acquired its lease, so the regressed request must be
+    refused; the forged tag cannot carry the channel MAC."""
+    mgr = c.server.replication
+    old_db = c.server.db
+    old_generation = c.server.generation
+    # The host runs the teardown choreography — so it can simply not.
+    old_db.enclave.teardown = lambda: None
+    c.sync_standby()
+    mgr.promote()
+    c.sdk.get(1)  # honest client observes the failover, adopts the fence
+    assert old_db.enclave.probe()["alive"], "harness bug: primary died"
+    member = mgr.standby
+    if member is None:
+        return False, "", "harness bug: no group member after promotion"
+    horizon = c.server.now + 10_000.0
+    # Prong 1: court a member for a lease grant at the deposed
+    # generation (the request travels through the host, so the host can
+    # just send it).
+    try:
+        member.grant_lease(old_generation, horizon)
+        return False, "", (
+            f"member co-signed a lease at deposed generation "
+            f"{old_generation}; both leaders can now hold a lease")
+    except SplitBrainError as exc:
+        evidence = f"regressed-generation grant refused: {exc}"
+    # Prong 2: no member will sign, so the host forges the grant tag and
+    # feeds it to the deposed enclave's verify path.
+    forged = bytes(16)
+    try:
+        old_db._ecall("repl_verify_lease", old_generation, horizon, forged)
+        return False, "", (
+            "deposed enclave accepted a forged lease grant; it would "
+            "serve past expiry")
+    except SignatureError as exc:
+        return True, "lease_generation", (
+            f"{evidence}; forged grant tag refused: {exc}")
+
+
+def attack_stale_replica_replay(c: _Campaign):
+    """A byzantine replica host answers a budgeted stale read with a
+    *superseded* value while claiming it is fresh: the payload is
+    genuine (it really was committed once), the staleness it reports is
+    within the client's budget, and no MAC is broken — only the
+    freshness claim is a lie. The SDK's stale-read vetting holds the
+    answer against the client's own receipt history: a settled
+    overwrite older than the claimed as-of epoch cannot reappear."""
+    mgr = c.server.replication
+    superseded = b"v1-superseded"
+    c.op(14, superseded)
+    c.close_epoch()
+    c.op(14, b"v2-current")
+    c.close_epoch()
+    c.sync_standby()
+    fresh_epoch = c.server.db.current_epoch
+
+    # The replica host owns the read path; it serves the old value under
+    # a fresh-looking verification claim.
+    mgr.replica_read = lambda key_bits: (superseded, fresh_epoch, 0)
+    try:
+        result = c.sdk.get_stale(14, budget_epochs=2)
+    except StaleReplayError as exc:
+        return True, "sdk_stale_replay", f"superseded replay refused: {exc}"
+    return False, "", (
+        f"client accepted the superseded value {result.payload!r} as "
+        f"fresh-as-of epoch {result.as_of_epoch}")
+
+
 def attack_dedup_tamper(c: _Campaign):
     """Rewrite the idempotency table between admission and the client's
     dedup query: lose the response on the wire, then answer the retry
@@ -459,6 +543,8 @@ REDTEAM_ATTACKS = {
     "rollback_fork": attack_rollback_fork,
     "receipt_replay": attack_receipt_replay,
     "split_brain": attack_split_brain,
+    "double_lease": attack_double_lease,
+    "stale_replica_replay": attack_stale_replica_replay,
     "shipping_fork": attack_shipping_fork,
     "dedup_tamper": attack_dedup_tamper,
     "batch_tamper": attack_batch_tamper,

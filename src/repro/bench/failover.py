@@ -14,6 +14,17 @@ path charges:
 
 The acceptance bar (ISSUE 3 / ROADMAP) is failover RTO < 10% of the
 cold-restore RTO; the ratio is recorded in ``BENCH_failover.json``.
+
+The quorum-HA rows (ISSUE 7) extend the comparison:
+
+* **quorum failover** — the same kill against an N=3 group: promotion
+  now pays vote collection across the quorum plus the winner's tail
+  drain; the bar is ≤ 2× the single-standby failover RTO (the price of
+  split-brain safety stays in the same league);
+* **delta vs snapshot resync** — rejoin one detached member of the
+  group twice, once via the retained-tail delta path (cost scales with
+  the gap) and once via the full snapshot rebuild (cost scales with the
+  record count); the bar is delta ≥ 5× faster at a ≤ 1-epoch lag.
 """
 
 from __future__ import annotations
@@ -28,12 +39,19 @@ from repro.obs import reset as obs_reset
 from repro.server.pipeline import FastVerServer, ServerConfig
 
 TARGET_RATIO = 0.10
+#: Quorum (N=3) failover may cost at most this multiple of the
+#: single-standby failover RTO.
+QUORUM_RTO_MULTIPLE = 2.0
+#: Delta resync must beat the snapshot rebuild by at least this factor
+#: at a ≤ 1-epoch lag.
+DELTA_SPEEDUP_FLOOR = 5.0
 
 
 def _build_server(records: int, ops: int, seed: int,
-                  standby: bool) -> FastVerServer:
+                  standbys: int = 0):
     """A server with ``records`` loaded and ``ops`` SDK operations worth
-    of history (checkpointed every 100), optionally with a warm standby."""
+    of history (checkpointed every 100), optionally with a replication
+    group of ``standbys`` warm members. Returns ``(server, sdk)``."""
     from repro.client import RetryingClient
     from repro.workloads.ycsb import OP_PUT, WORKLOADS, YcsbGenerator
 
@@ -47,8 +65,10 @@ def _build_server(records: int, ops: int, seed: int,
     db.verify()
     db.checkpoint()
     server = FastVerServer(db, ServerConfig(), warm=items)
-    if standby:
-        server.attach_standby()
+    if standbys:
+        from repro.replication import ReplicationConfig
+        server.attach_standby(
+            config=ReplicationConfig(n_standbys=standbys))
     sdk = RetryingClient(server, client,
                          policy=BackoffPolicy(max_attempts=3, base_delay=2.0,
                                               max_delay=8.0, seed=seed))
@@ -61,7 +81,7 @@ def _build_server(records: int, ops: int, seed: int,
             sdk.get(k)
         if (i + 1) % 100 == 0:
             server.maintain()
-    return server
+    return server, sdk
 
 
 def _measure_rto(server: FastVerServer, destroy: bool) -> float:
@@ -85,25 +105,79 @@ def _measure_rto(server: FastVerServer, destroy: bool) -> float:
     return server.supervisor.last_recovery_ticks
 
 
+def _measure_resync(server, sdk, lag_writes: int = 24) -> tuple[float, float]:
+    """Rejoin one group member via both resync paths; return the ticks
+    each charged: ``(delta_ticks, snapshot_ticks)``.
+
+    The member is detached (taken out of rotation, enclave intact) while
+    ``lag_writes`` acknowledged writes accumulate — well under one
+    epoch-marker interval, the ≤ 1-epoch-lag case the criterion names —
+    then delta-resynced from the retained tail. For the snapshot row the
+    same member's enclave is rebooted (volatile channel state gone), so
+    the rejoin has no choice but the full rebuild over every record."""
+    mgr = server.replication
+    auto = mgr.config.auto_reattach
+    mgr.config.auto_reattach = False  # keep pump() from healing it early
+    try:
+        idx = len(mgr.standbys) - 1
+        mgr.standbys[idx].detached = True
+        for i in range(lag_writes):
+            sdk.put(i % 50, b"resync-%d" % i)
+        mgr.pump()  # ship the lag to the live members
+        before = server.now
+        mgr.resync_standby(idx)
+        delta_ticks = server.now - before
+        assert mgr.delta_resyncs >= 1, "delta path did not run"
+
+        member = mgr.standbys[idx]
+        member.detached = True
+        member.db.enclave.reboot()  # channel state lost: snapshot path
+        member.failed = True  # what the next admit would conclude
+        before = server.now
+        mgr.resync_standby(idx)
+        snapshot_ticks = server.now - before
+        assert mgr.snapshot_resyncs >= 1, "snapshot path did not run"
+    finally:
+        mgr.config.auto_reattach = auto
+    return delta_ticks, snapshot_ticks
+
+
 def run_failover_bench(records: int = 1200, ops: int = 400,
                        seed: int = 7) -> dict:
-    """Measure both recovery paths; return the JSON-ready comparison."""
+    """Measure both recovery paths plus the quorum-HA rows; return the
+    JSON-ready comparison."""
     obs_reset()
-    cold = _build_server(records, ops, seed, standby=False)
+    cold, _ = _build_server(records, ops, seed)
     restore_rto = _measure_rto(cold, destroy=False)
     restore_latency = {name: LATENCIES.get(name).summary()
                        for name in LATENCIES.names()
                        if LATENCIES.get(name).count}
 
     obs_reset()
-    warm = _build_server(records, ops, seed, standby=True)
+    warm, _ = _build_server(records, ops, seed, standbys=1)
     failover_rto = _measure_rto(warm, destroy=True)
     assert warm.generation == 1, "warm path did not fail over"
     failover_latency = {name: LATENCIES.get(name).summary()
                         for name in LATENCIES.names()
                         if LATENCIES.get(name).count}
 
+    # Quorum group (N=3): same kill, promotion now collects a quorum of
+    # votes; then rejoin a member via both resync paths on the promoted
+    # leader.
+    obs_reset()
+    quorum, quorum_sdk = _build_server(records, ops, seed, standbys=3)
+    quorum_rto = _measure_rto(quorum, destroy=True)
+    assert quorum.generation == 1, "quorum path did not fail over"
+    delta_ticks, snapshot_ticks = _measure_resync(quorum, quorum_sdk)
+    quorum_latency = {name: LATENCIES.get(name).summary()
+                      for name in LATENCIES.names()
+                      if LATENCIES.get(name).count}
+
     ratio = failover_rto / restore_rto if restore_rto else float("inf")
+    quorum_multiple = (quorum_rto / failover_rto if failover_rto
+                       else float("inf"))
+    delta_speedup = (snapshot_ticks / delta_ticks if delta_ticks
+                     else float("inf"))
     return {
         "records": records,
         "ops": ops,
@@ -112,9 +186,22 @@ def run_failover_bench(records: int = 1200, ops: int = 400,
         "failover_rto_ticks": failover_rto,
         "ratio": round(ratio, 6),
         "target_ratio": TARGET_RATIO,
+        "quorum": {
+            "n_standbys": 3,
+            "rto_ticks": quorum_rto,
+            "multiple_of_single": round(quorum_multiple, 6),
+            "max_multiple": QUORUM_RTO_MULTIPLE,
+            "delta_resync_ticks": round(delta_ticks, 6),
+            "snapshot_resync_ticks": round(snapshot_ticks, 6),
+            "delta_speedup": round(delta_speedup, 6),
+            "min_delta_speedup": DELTA_SPEEDUP_FLOOR,
+        },
         # Latency histogram summaries from each run's op phase (the warm
         # run's verified_latency includes ops settled across a failover).
         "latency": {"restore_run": restore_latency,
-                    "failover_run": failover_latency},
-        "ok": ratio < TARGET_RATIO,
+                    "failover_run": failover_latency,
+                    "quorum_run": quorum_latency},
+        "ok": (ratio < TARGET_RATIO
+               and quorum_multiple <= QUORUM_RTO_MULTIPLE
+               and delta_speedup >= DELTA_SPEEDUP_FLOOR),
     }

@@ -80,6 +80,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "the replication fault points, and kill the "
                             "primary enclave twice mid-run so recovery "
                             "goes through verified failover")
+    chaos.add_argument("--standbys", type=int, default=1,
+                       help="replication-group size in --failover mode; "
+                            "above 1 the soak arms the correlated "
+                            "same-tick primary+standby double kill and "
+                            "the lease-partition point, and demands "
+                            "post-soak convergence to a single leased "
+                            "leader")
     chaos.add_argument("--batched", action="store_true",
                        help="run the serving loop with group commit on "
                             "(implies --server): ops travel in bursts, "
@@ -93,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run the distributed byzantine red-team matrix "
                             "instead of the random-fault soak: active "
                             "rollback/fork, receipt replay, split-brain, "
+                            "double-lease courting, stale-replica replay, "
                             "shipping-fork, and dedup/batch tampering "
                             "campaigns, every one required to be detected. "
                             "TOPOLOGY is all (default), or a comma list of "
@@ -331,7 +339,8 @@ def cmd_chaos(args) -> int:
     def once():
         return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
                          tamper_every=args.tamper_every, server=args.server,
-                         failover=args.failover, batched=args.batched)
+                         failover=args.failover, batched=args.batched,
+                         standbys=args.standbys)
 
     report = once()
     mode = ("failover" if args.failover
@@ -352,6 +361,11 @@ def cmd_chaos(args) -> int:
             "receipts_dropped": report.receipts_dropped,
             "shipped_batches": report.shipped_batches,
             "repl_rejects": report.repl_rejects,
+            "standbys": report.standbys,
+            "delta_resyncs": report.delta_resyncs,
+            "snapshot_resyncs": report.snapshot_resyncs,
+            "lease_expiries": report.lease_expiries,
+            "leader_converged": report.leader_converged,
             "unrecoverable": report.unrecoverable,
             "fault_fires": report.fault_fires,
             "hard_failures": report.hard_failures,
@@ -370,6 +384,13 @@ def cmd_chaos(args) -> int:
         if args.failover:
             print(f"shipped batches      {report.shipped_batches} "
                   f"(channel rejects {report.repl_rejects})")
+            print(f"group resyncs        {report.delta_resyncs} delta, "
+                  f"{report.snapshot_resyncs} snapshot "
+                  f"({report.standbys} standby(s), "
+                  f"{report.lease_expiries} lease expiries)")
+            if not report.leader_converged:
+                print("LEADER NOT CONVERGED: the group did not settle on "
+                      "a single leased leader after the soak")
         if report.unrecoverable:
             print("UNRECOVERABLE: the recovery ladder ran out of rungs; "
                   "the error carries the fault seed and trace digest")
@@ -394,6 +415,7 @@ def cmd_chaos(args) -> int:
                  if args.tamper_every else "")
               + (" --server" if args.server else "")
               + (" --failover" if args.failover else "")
+              + (f" --standbys {args.standbys}" if args.standbys != 1 else "")
               + (" --batched" if args.batched else ""))
         return 1
     if args.check_deterministic:
@@ -424,12 +446,21 @@ def cmd_bench_failover(args) -> int:
           f"(warm standby promotion)")
     print(f"ratio                 {result['ratio']:.4f} "
           f"(target < {result['target_ratio']})")
+    q = result["quorum"]
+    print(f"quorum RTO            {q['rto_ticks']:.2f} ticks "
+          f"(N={q['n_standbys']} group, {q['multiple_of_single']:.2f}x "
+          f"single-standby, max {q['max_multiple']}x)")
+    print(f"delta resync          {q['delta_resync_ticks']:.2f} ticks vs "
+          f"snapshot {q['snapshot_resync_ticks']:.2f} "
+          f"({q['delta_speedup']:.1f}x faster, "
+          f"floor {q['min_delta_speedup']}x)")
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.out}")
     if not result["ok"]:
-        print("FAILED: failover RTO did not beat the restore RTO target")
+        print("FAILED: an RTO or resync criterion missed its target "
+              "(ratio, quorum multiple, or delta speedup)")
         return 1
     return 0
 

@@ -50,6 +50,7 @@ from repro.errors import (
     ReceiptBindingError,
     RetriesExhaustedError,
     SplitBrainError,
+    StaleReplayError,
     UnrecoverableError,
 )
 from repro.instrument import COUNTERS
@@ -82,18 +83,43 @@ class RetryingClient:
         #: retries and fresh envelopes keep the same id, so the whole
         #: retry saga is one span in the ring).
         self._trace_seq = 0
+        #: key bits -> recent (nonce, payload) puts this endpoint made,
+        #: oldest first. The trusted half of stale-read vetting: a
+        #: replica claiming an as-of epoch that covers one of our own
+        #: settled writes must not serve a value we provably superseded.
+        self._writes: dict[int, list[tuple[int, bytes | None]]] = {}
+    #: Per-key history bound for :attr:`_writes` (vetting only needs the
+    #: recent tail; unbounded growth would leak in long soaks).
+    WRITE_HISTORY = 8
 
     # ------------------------------------------------------------------
     def get(self, key: int | bytes) -> ServerResult:
         return self._run("get", key, None)
 
+    def get_stale(self, key: int | bytes,
+                  budget_epochs: int = 1) -> ServerResult:
+        """A verified-stale read: opt in to service by a tailing standby
+        at most ``budget_epochs`` behind the primary. The result comes
+        back with ``stale=True`` and the epoch it was verified at
+        (``as_of_epoch``) when a replica served it — an explicit, typed
+        degraded-read contract, not a silent downgrade — and falls
+        through to an ordinary primary read otherwise. Every stale
+        result is vetted against this endpoint's trusted state (epoch
+        receipts and its own settled writes) before being returned."""
+        return self._run("get", key, None, max_stale_epochs=budget_epochs)
+
     def put(self, key: int | bytes, payload: bytes | None) -> ServerResult:
-        return self._run("put", key, payload)
+        result = self._run("put", key, payload)
+        history = self._writes.setdefault(self.server.bitkey(key).bits, [])
+        history.append((result.nonce, payload))
+        del history[:-self.WRITE_HISTORY]
+        return result
 
     # ------------------------------------------------------------------
     def _envelope(self, kind: str, key: int | bytes,
                   payload: bytes | None,
-                  trace: str | None = None) -> ServerRequest:
+                  trace: str | None = None,
+                  max_stale_epochs: int | None = None) -> ServerRequest:
         bk = self.server.bitkey(key)
         if kind == "get":
             op = self.client.make_get(bk)
@@ -101,7 +127,8 @@ class RetryingClient:
             op = self.client.make_put(bk, payload)
         deadline = self.server.now + self.server.config.default_deadline
         return ServerRequest(kind, op, deadline, worker=bk.bits,
-                             generation=self.generation, trace=trace)
+                             generation=self.generation, trace=trace,
+                             max_stale_epochs=max_stale_epochs)
 
     def _follow_redirect(self, request: ServerRequest) -> None:
         """Adopt the new leadership generation and its fence receipt: the
@@ -159,11 +186,59 @@ class RetryingClient:
                     f"the idempotency table was rewritten")
         return result
 
+    def _vet_stale(self, result: ServerResult, key_bits: int,
+                   trace: str) -> None:
+        """Cross-check a verified-stale replica result against trusted
+        client state. Two lies are catchable without any extra receipt:
+
+        * **Freshness-floor lie.** The server vouches that the primary
+          stands at ``as_of_epoch + stale_epochs``. This client holds a
+          verifier-signed epoch receipt at ``settled_epoch``; the primary
+          can never be behind that, so a vouched position below it is a
+          replay dressed up as staleness.
+        * **Read-your-settled-writes lie.** Among this endpoint's own
+          puts to the key that are settled (epoch receipt in hand) AND
+          covered by the vouched as-of epoch, the latest one is the value
+          any honest view at that epoch must show. Serving one of the
+          *superseded* own values instead is provably a rollback — honest
+          replica lag can hide a newer write, never resurrect an older
+          one from behind the vouched verification point.
+        """
+        settled = self.client.settled_epoch
+        if result.as_of_epoch + result.stale_epochs < settled:
+            TRACER.record("detect", self.server.now, trace,
+                          detector="sdk_stale_replay",
+                          as_of=result.as_of_epoch,
+                          claimed_stale=result.stale_epochs,
+                          settled=settled)
+            raise StaleReplayError(
+                f"stale read vouches for primary epoch "
+                f"{result.as_of_epoch + result.stale_epochs} but this "
+                f"client already settled epoch {settled}: the staleness "
+                f"claim is a lie")
+        covered = [payload for nonce, payload
+                   in self._writes.get(key_bits, [])
+                   if self.client.settled(nonce)
+                   and (receipt := self.client.receipt_for(nonce))
+                   is not None and receipt.epoch <= result.as_of_epoch]
+        if covered and result.payload != covered[-1] \
+                and result.payload in covered[:-1]:
+            TRACER.record("detect", self.server.now, trace,
+                          detector="sdk_stale_replay",
+                          as_of=result.as_of_epoch)
+            raise StaleReplayError(
+                f"stale read served a value this client provably "
+                f"superseded before the vouched as-of epoch "
+                f"{result.as_of_epoch}: a replay dressed up as replica "
+                f"lag")
+
     def _run(self, kind: str, key: int | bytes,
-             payload: bytes | None) -> ServerResult:
+             payload: bytes | None,
+             max_stale_epochs: int | None = None) -> ServerResult:
         self._trace_seq += 1
         trace = f"c{self.client.client_id}-{self._trace_seq}"
-        request = self._envelope(kind, key, payload, trace)
+        request = self._envelope(kind, key, payload, trace,
+                                 max_stale_epochs)
         last: Exception | None = None
         for attempt, delay in enumerate(self.policy.delays()):
             self.policy.sleep(delay)
@@ -173,7 +248,10 @@ class RetryingClient:
                               attempt=attempt,
                               after=type(last).__name__ if last else None)
             try:
-                return self._vet(self.server.handle(request), trace)
+                result = self._vet(self.server.handle(request), trace)
+                if result.stale:
+                    self._vet_stale(result, request.op.key.bits, trace)
+                return result
             except IntegrityError:
                 raise
             except UnrecoverableError:
@@ -194,7 +272,8 @@ class RetryingClient:
                     return self._vet(result, trace)
                 if status == "pending":
                     continue
-                request = self._envelope(kind, key, payload, trace)
+                request = self._envelope(kind, key, payload, trace,
+                                         max_stale_epochs)
                 continue
             except AvailabilityError as exc:
                 last = exc
@@ -207,7 +286,8 @@ class RetryingClient:
                     continue  # queued behind a recovery: poll, don't fork
                 # "unknown": provably never applied — a fresh envelope
                 # (fresh nonce, fresh deadline) is safe and necessary.
-                request = self._envelope(kind, key, payload, trace)
+                request = self._envelope(kind, key, payload, trace,
+                                         max_stale_epochs)
         resolved = self.server.cancel(request.client_id, request.nonce)
         if resolved is not None:
             return self._vet(resolved, trace)

@@ -19,6 +19,7 @@ modify data unilaterally.
 
 from __future__ import annotations
 
+import struct
 from typing import Any
 
 from repro.core.epochs import EpochController
@@ -27,6 +28,7 @@ from repro.core.protocol import (
     EPOCH,
     GET,
     GET_ABSENT,
+    LEASE,
     PUT,
     SHIP,
     ClientTable,
@@ -49,6 +51,7 @@ from repro.errors import (
     ReplayError,
     SetHashMismatchError,
     SignatureError,
+    SplitBrainError,
     StructuralError,
 )
 from repro.instrument import COUNTERS
@@ -90,6 +93,7 @@ class VerifierGroup:
         self._repl_key: MacKey | None = None
         self._repl_next_seq = 0
         self._repl_chain = b"\x00" * 32
+        self._repl_generation = 0
 
     def _require_loaded(self, what: str) -> None:
         """Refuse trusted work on a freshly-(re)booted verifier.
@@ -298,13 +302,18 @@ class VerifierGroup:
     # forging, reordering, truncating, or splicing the stream is detected
     # by the standby before anything is applied.
     # ------------------------------------------------------------------
-    def repl_set_key(self, key_bytes: bytes) -> None:
+    def repl_set_key(self, key_bytes: bytes, next_seq: int = 0,
+                     chain: bytes | None = None) -> None:
         """Install the replication session key (models the key agreed
-        during mutual attestation of primary and standby) and reset the
-        stream position. Called on both peers at pairing time."""
+        during mutual attestation of primary and standby) and position the
+        stream. Called on both peers at pairing time; a standby joining an
+        already-flowing stream (delta-resync group membership) is handed
+        the agreed ``(next_seq, chain)`` position instead of the fresh
+        origin — part of the attested pairing handshake, so the host
+        cannot unilaterally rewind a replica's channel."""
         self._repl_key = MacKey(key_bytes, name="repl-channel")
-        self._repl_next_seq = 0
-        self._repl_chain = b"\x00" * 32
+        self._repl_next_seq = next_seq
+        self._repl_chain = b"\x00" * 32 if chain is None else chain
 
     def _require_repl_key(self) -> MacKey:
         if self._repl_key is None:
@@ -339,6 +348,34 @@ class VerifierGroup:
                 f"(truncated or spliced stream)")
         self._repl_next_seq += 1
         self._repl_chain = body_digest
+
+    # -- leadership leases (quorum HA; PROTOCOL.md "Replication group
+    # & leases"). Grants are MAC'd under the replication session key by
+    # the *standby* enclave and verified by the *primary* enclave, so the
+    # host can neither mint a grant for a deposed primary nor doctor one
+    # in transit. Generation monotonicity lives in the standby enclave:
+    # once it has granted (or observed) generation g, it refuses every
+    # grant request for a lower generation — the deposed primary's
+    # renewals die here, and its lease expiry stops it serving.
+    def repl_grant_lease(self, generation: int, expires_at: float) -> bytes:
+        """Standby role: grant (sign) one leadership lease."""
+        key = self._require_repl_key()
+        if generation < self._repl_generation:
+            raise SplitBrainError(
+                f"lease grant refused: generation {generation} is below "
+                f"the highest observed {self._repl_generation} — a deposed "
+                f"primary is asking to keep serving")
+        self._repl_generation = generation
+        return key.sign(LEASE, generation.to_bytes(8, "big"),
+                        struct.pack(">d", expires_at))
+
+    def repl_verify_lease(self, generation: int, expires_at: float,
+                          tag: bytes) -> None:
+        """Primary role: verify one standby's lease grant, or raise a
+        SignatureError (a host-forged grant never extends the lease)."""
+        key = self._require_repl_key()
+        key.verify(tag, LEASE, generation.to_bytes(8, "big"),
+                   struct.pack(">d", expires_at))
 
     def issue_fence(self, generation: int) -> dict[int, FenceReceipt]:
         """Promotion handoff: sign one fence receipt per registered client.

@@ -27,6 +27,7 @@ PUT = b"PUT"
 EPOCH = b"EPOCH"
 FENCE = b"FENCE"
 SHIP = b"SHIP"
+LEASE = b"LEASE"
 
 
 def _payload_bytes(payload: bytes | None) -> bytes:

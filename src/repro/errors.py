@@ -79,6 +79,14 @@ class SplitBrainError(IntegrityError):
     adopted — the signature of a deposed primary still answering."""
 
 
+class StaleReplayError(IntegrityError):
+    """A verified-stale replica read contradicts trusted client state: the
+    server vouched for an as-of epoch that provably covers a write this
+    client settled (it holds the verifier-signed op receipt), yet served a
+    superseded value back. That is a replay dressed up as staleness —
+    honest replica lag can never travel behind the vouched as-of point."""
+
+
 class ReceiptBindingError(IntegrityError):
     """A deduplicated server result contradicts the verifier receipt the
     client already holds for the same nonce. The idempotency table is host
@@ -182,6 +190,16 @@ class NotLeaderError(AvailabilityError):
     The client should fetch ``leader_info`` (picking up the fence receipt),
     adopt the new generation, and resolve the in-flight op through the
     idempotency table before re-issuing."""
+
+
+class LeaseExpiredError(AvailabilityError):
+    """The primary's leadership lease expired and a quorum of standbys
+    would not renew it. Nothing was applied — the whole point of the lease
+    is that a deposed (or partitioned) primary stops burning host and
+    enclave work *before* its first rejected ecall, rather than after.
+    Clients back off and retry; an honest primary renews on its next pump,
+    a deposed one never will (its replication group adopted a higher
+    generation and refuses grants for the old one)."""
 
 
 class UnrecoverableError(AvailabilityError):

@@ -78,6 +78,17 @@ FAILOVER_SPECS = dict(SERVER_SPECS, **{
     "repl.standby.lag": 0.01,
 })
 
+#: With a replication group (``--standbys`` > 1) the soak also arms a
+#: *correlated* standby kill — pinned to the same encounter indices as
+#: ``repl.primary.kill``, and both points are consulted exactly once per
+#: replication pump in a fixed order, so they land in the same tick: the
+#: promotion that follows must survive losing the primary AND a group
+#: member at once (the quorum rule's whole job) — plus a low-rate lease
+#: partition that makes single grant messages vanish.
+QUORUM_EXTRA_SPECS = {
+    "repl.lease.partition": 0.01,
+}
+
 
 @dataclass
 class ChaosReport:
@@ -98,6 +109,17 @@ class ChaosReport:
     #: Shipments the standby's enclave rejected (drop/reorder/corrupt —
     #: each one retransmitted; rejects are the *detection* count).
     repl_rejects: int = 0
+    #: Replication group size the soak ran with (--standbys).
+    standbys: int = 1
+    #: Lagging/rejoining members caught up via tail redelivery.
+    delta_resyncs: int = 0
+    #: Members rebuilt from a full snapshot (tail GC'd, or enclave gone).
+    snapshot_resyncs: int = 0
+    #: Leadership lease lapses the primary observed.
+    lease_expiries: int = 0
+    #: Post-soak convergence: exactly one live leader holding (or owed)
+    #: a quorum lease once the dust settles. False is a hard failure.
+    leader_converged: bool = True
     #: The recovery ladder ran out of rungs (UnrecoverableError).
     unrecoverable: bool = False
     fault_fires: dict = field(default_factory=dict)
@@ -123,7 +145,10 @@ class ChaosReport:
                      self.availability_errors, self.recoveries,
                      self.salvages, self.integrity_detections,
                      self.failovers, self.shipped_batches,
-                     self.repl_rejects, int(self.unrecoverable)):
+                     self.repl_rejects, self.standbys,
+                     self.delta_resyncs, self.snapshot_resyncs,
+                     self.lease_expiries, int(self.leader_converged),
+                     int(self.unrecoverable)):
             h.update(str(part).encode() + b";")
         for point in sorted(self.fault_fires):
             h.update(f"{point}={self.fault_fires[point]};".encode())
@@ -147,10 +172,11 @@ class _ChaosRun:
     def __init__(self, seed: int, ops: int, records: int,
                  plan: FaultPlan | None, tamper_every: int | None,
                  server: bool = False, failover: bool = False,
-                 batched: bool = False):
+                 batched: bool = False, standbys: int = 1):
         self.seed = seed
         self.n_ops = ops
         self.n_records = records
+        self.n_standbys = standbys
         if plan is not None:
             self.plan = plan
         elif failover:
@@ -158,8 +184,15 @@ class _ChaosRun:
             # Kill the primary enclave at fixed points mid-run so every
             # failover soak exercises promotion (twice: the re-attached
             # standby absorbs a double failover).
-            specs["repl.primary.kill"] = FaultSpec(
-                at_counts=(max(1, ops // 3), max(2, 2 * ops // 3)))
+            kills = (max(1, ops // 3), max(2, 2 * ops // 3))
+            specs["repl.primary.kill"] = FaultSpec(at_counts=kills)
+            if standbys > 1:
+                # Correlated double-kill: same encounter indices, and the
+                # manager draws both points once per pump in fixed order,
+                # so the standby dies in the very tick the primary does —
+                # promotion must ride on the surviving quorum.
+                specs["repl.standby.kill"] = FaultSpec(at_counts=kills)
+                specs.update(QUORUM_EXTRA_SPECS)
             self.plan = FaultPlan(seed=seed, specs=specs)
         else:
             self.plan = FaultPlan(
@@ -233,9 +266,12 @@ class _ChaosRun:
                 db, cfg,
                 salvage_hook=self._server_salvage_hook, warm=items)
             if self.failover_mode:
-                # Standby first, faults after: the bootstrap snapshot runs
-                # clean, exactly like the baseline checkpoint above.
-                self.server.attach_standby(promote_hook=self._promote_hook)
+                # Standbys first, faults after: the bootstrap snapshots
+                # run clean, exactly like the baseline checkpoint above.
+                from repro.replication import ReplicationConfig
+                self.server.attach_standby(
+                    config=ReplicationConfig(n_standbys=self.n_standbys),
+                    promote_hook=self._promote_hook)
             self.sdk = RetryingClient(
                 self.server, self.client,
                 policy=BackoffPolicy(max_attempts=5, base_delay=2.0,
@@ -638,6 +674,38 @@ class _ChaosRun:
                 f"{type(exc).__name__}: {exc}")
             return False
 
+    def _check_convergence(self) -> None:
+        """Post-soak leader convergence (the quorum-HA acceptance check):
+        once the faults are disarmed and one quiet pump lets the group
+        repair itself, there must be exactly one live leader enclave
+        holding (or, in the degenerate no-group mode, owed) a valid
+        quorum lease. Skipped when the ladder legitimately ran out of
+        rungs or the run ended mid-heal — those are availability
+        outcomes, not split-brain."""
+        if self.report.unrecoverable or self.server.degraded:
+            return
+        install_faults(self.db, None)  # settle with a clean boundary
+        repl = self.server.replication
+        try:
+            if not self.db.enclave.probe()["alive"]:
+                # The last kill landed after the final op, so no request
+                # ever tripped the watchdog: run the heal the next op
+                # would have triggered (promotion, in failover mode).
+                self.server.force_heal()
+            repl.pump()
+            probe = self.db.enclave.probe()
+            converged = bool(probe["alive"] and probe["loaded"]
+                             and repl.lease_ok())
+        except AvailabilityError:
+            converged = False
+        finally:
+            install_faults(self.db, self.plan)
+        if not converged:
+            self.report.leader_converged = False
+            self.report.hard_failures.append(
+                "leader convergence failed: no single live leased leader "
+                "after the soak settled")
+
     def run(self) -> ChaosReport:
         since_maintain = 0
         for i, (kind, k, payload) in enumerate(
@@ -708,10 +776,15 @@ class _ChaosRun:
         }
         self.report.receipts_dropped = self.db.receipt_channel.dropped
         if self.server is not None and self.server.replication is not None:
+            self._check_convergence()  # may run one settling heal first
+            repl = self.server.replication
             self.report.failovers = self.server.supervisor.failovers
-            self.report.shipped_batches = \
-                self.server.replication.shipped_batches
-            self.report.repl_rejects = self.server.replication.rejects
+            self.report.shipped_batches = repl.shipped_batches
+            self.report.repl_rejects = repl.rejects
+            self.report.standbys = self.n_standbys
+            self.report.delta_resyncs = repl.delta_resyncs
+            self.report.snapshot_resyncs = repl.snapshot_resyncs
+            self.report.lease_expiries = repl.lease_expiries
         self.report.trace_digest = self.plan.trace_digest()
         if self.report.hard_failures or self.report.unrecoverable:
             # Forensics: the last-N lifecycle events leading up to the
@@ -730,7 +803,7 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
               plan: FaultPlan | None = None,
               tamper_every: int | None = None,
               server: bool = False, failover: bool = False,
-              batched: bool = False) -> ChaosReport:
+              batched: bool = False, standbys: int = 1) -> ChaosReport:
     """Run one chaos soak; see the module docstring for the contract.
 
     ``server=True`` drives the workload through the full serving pipeline
@@ -756,7 +829,13 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     soak, so the trace ring and histograms afterwards describe exactly
     this run — ``python -m repro trace`` dumps them, and the report's
     ``forensics`` field preserves the last events on a hard failure.
+
+    ``standbys`` sets the replication-group size in failover mode. Above
+    1, the soak arms the correlated same-tick primary+standby double
+    kill and the lease-partition point, and the report additionally
+    asserts post-soak leader convergence — exactly one live leased
+    leader once the group settles.
     """
     obs_reset()
     return _ChaosRun(seed, ops, records, plan, tamper_every, server,
-                     failover, batched).run()
+                     failover, batched, standbys).run()

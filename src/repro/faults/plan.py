@@ -56,6 +56,9 @@ KNOWN_POINTS = frozenset({
     "repl.ship.corrupt",        # one byte of the shipment body flips
     "repl.standby.lag",         # standby apply stalls this pump (lag spike)
     "repl.primary.kill",        # primary enclave destroyed mid-epoch
+    "repl.standby.kill",        # one group member killed; same encounter
+                                # index as repl.primary.kill = correlated
+    "repl.lease.partition",     # one standby's lease grant never arrives
     # The standby's own enclave (replication/standby.py)
     "standby.reboot",           # replica enclave reboots; replica is rebuilt
     "standby.stall_mid_apply",  # replica dies partway through an apply

@@ -101,6 +101,14 @@ class Counters:
     # Peak unshipped+unacked backlog (entries) — a gauge, merged as max.
     replication_lag_max: int = gauge_max("replication")
     recovery_ticks: int = grouped("replication")   # ticks spent in heal sessions
+    # Quorum HA (replication group, leases, delta resync, read replicas)
+    delta_resyncs: int = grouped("replication")    # standbys rejoined via tail redelivery
+    snapshot_resyncs: int = grouped("replication")  # standbys rebuilt from a snapshot
+    lease_expiries: int = grouped("replication")   # lease lapses observed at admission
+    epoch_markers: int = grouped("replication")    # size/time-triggered epoch closes
+    replica_reads: int = grouped("replication")    # verified-stale reads served by replicas
+    # Worst staleness (in epoch closes) a served replica read carried.
+    replica_staleness_max: int = gauge_max("replication")
 
     # Group-commit batching (server/pipeline.py + core/fastver.py)
     batches: int = 0                # apply_batch group commits flushed

@@ -31,6 +31,12 @@ retry       client (or chaos burst loop) re-submitted after a failure
 error       typed failure resolved a ticket (detail carries the type)
 ship        replication shipment packaged for the standby
 promote     standby promoted; generation bumped
+quorum      promotion vote collected (detail: votes, winner, quorum)
+lease       leadership lease renewed / expired / gated a request
+resync      group member rejoined (detail: mode=delta|snapshot) or was
+            detached as a laggard (mode=detach)
+replica     verified-stale read served by a standby (detail: as_of
+            epoch and staleness distance)
 heal        supervisor recovery session concluded (detail: rung)
 attack      red-team campaign injected (detail: attack, topology, seed)
 detect      red-team verdict: which detector fired, detected flag, and

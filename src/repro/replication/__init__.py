@@ -1,15 +1,22 @@
-"""Warm-standby verifier replication (see docs/PROTOCOL.md).
+"""Replication-group verifier HA (see docs/PROTOCOL.md).
 
-A second simulated enclave tails the primary's authenticated operation
-log: every applied put and every epoch close is packaged into a MAC'd,
-sequence-numbered, hash-chained *shipment* that crosses the untrusted
-host to the standby. The host can delay shipments but can never forge,
-reorder, truncate, or splice the stream undetected — the standby's
-enclave rejects anything that breaks the chain, and a rejected shipment
-is simply retransmitted. On primary failure the supervisor promotes the
-standby: it drains the unshipped tail, closes epochs up to a fence past
+N standby enclaves tail the primary's authenticated operation log: every
+applied put and every epoch close is packaged into a MAC'd,
+sequence-numbered, hash-chained *shipment* that fans out across the
+untrusted host to every member of the group. The host can delay
+shipments but can never forge, reorder, truncate, or splice the stream
+undetected — each standby's enclave rejects anything that breaks the
+chain, and a rejected shipment is simply retransmitted. The primary
+serves under a leadership lease co-signed by a quorum of standby
+enclaves; on primary failure the supervisor quorum-promotes the member
+with the highest verified ``(epoch, seq)`` position, fences epochs past
 everything the dead primary could have signed, and hands clients fence
-receipts so no receipt from the deposed verifier is ever accepted again.
+receipts so no receipt from the deposed verifier is ever accepted again
+— while the deposed primary's own lease renewal is starved by the
+bumped generation, stopping it before its first rejected ecall. Lagging
+or rejoining members catch up by *delta resync* (replaying only the
+retained shipped tail), and tailing members double as read replicas
+serving verified-stale reads under an explicit staleness budget.
 """
 
 from repro.replication.manager import ReplicationConfig, ReplicationManager

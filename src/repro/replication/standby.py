@@ -1,4 +1,4 @@
-"""The warm standby: a second verifier enclave tailing the shipped log.
+"""A warm standby: a verifier enclave tailing the shipped log.
 
 A :class:`StandbyVerifier` owns a full :class:`~repro.core.fastver.FastVer`
 — its own simulated enclave, store, logs, and mirrors — bootstrapped from
@@ -14,10 +14,21 @@ admitted shipment. Two things distinguish it from a primary:
   a host that somehow spliced a fabricated put into a shipment would
   still be caught by the standby's own enclave.
 
-Epoch markers in the stream drive the standby's own epoch closes and
-checkpoints, so its sealed anti-replay floor advances in step with the
-primary's and a post-promotion restore cannot be rolled back past the
-handoff.
+In a replication group the standby additionally carries its **vote** —
+``(last_marker_epoch, last_admitted_seq)``, the highest primary epoch
+marker it has verified and the highest shipment it admitted — which the
+promotion quorum compares across members, and a **committed read view**:
+puts land provisionally and only become servable as verified-stale reads
+once an epoch marker's set-hash verification covers them, so a replica
+read is always backed by a completed verification at a known primary
+epoch. Epoch markers carry the *primary's* epoch number in-stream, which
+is what makes votes and staleness comparable across standbys that were
+bootstrapped at different times (their local epoch counters differ).
+
+A standby also signs leadership **lease grants** for the primary; its
+enclave refuses to grant a generation below the highest it has observed,
+which is what starves a deposed primary of its lease (see
+``repl_grant_lease``).
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ from repro.replication.shipper import Entry, body_digest
 
 
 class MutedReceiptChannel(ReceiptChannel):
-    """Swallows receipts: the standby's signatures stay inside the pair
+    """Swallows receipts: the standby's signatures stay inside the group
     until promotion unmutes it (by swapping in a fresh live channel)."""
 
     def __init__(self):
@@ -55,7 +66,12 @@ class StandbyVerifier:
                  clients: list[Client],
                  repl_key_bytes: bytes,
                  client_source: Callable[[int], Client | None] | None = None,
-                 faults_source: Callable[[], object] | None = None):
+                 faults_source: Callable[[], object] | None = None,
+                 standby_id: int = 0,
+                 join_seq: int = 0,
+                 join_chain: bytes | None = None,
+                 as_of_epoch: int = 0):
+        self.standby_id = standby_id
         self.db = FastVer(config, items=items)
         self.db.receipt_channel = MutedReceiptChannel()
         for client in clients:
@@ -67,16 +83,37 @@ class StandbyVerifier:
         #: installed after this replica was bootstrapped.
         self._faults_source = faults_source
         # Establish the replication session (models mutual attestation).
-        self.db._ecall("repl_set_key", repl_key_bytes)
+        # The join position pins where in the group's single hash chain
+        # this member starts admitting — a mid-stream joiner trusts the
+        # (attested) position exactly as it trusts the session key.
+        self.db._ecall("repl_set_key", repl_key_bytes, join_seq, join_chain)
         # Align the sealed floor with the bootstrap point.
         self.db.verify()
         self.db.checkpoint()
         self.applied_entries = 0
         self.applied_epochs = 0
         self.rejects = 0
+        #: Highest shipment seq this member admitted (join_seq - 1 until
+        #: the first admit). One half of the promotion vote.
+        self.last_admitted_seq = join_seq - 1
+        #: Highest PRIMARY epoch this member has verified via an in-stream
+        #: marker. The other half of the vote, and the freshness bound for
+        #: replica reads. Primary numbering, not the local epoch counter.
+        self.last_marker_epoch = as_of_epoch
+        #: Verified read view: key bits -> payload as of last_marker_epoch.
+        #: The bootstrap snapshot was verified at construction, so it is
+        #: committed; later puts wait in _provisional until a marker's
+        #: set-hash verification covers them.
+        self.committed_reads: dict[int, object] = {
+            bits: payload for bits, payload in items}
+        self._provisional: dict[int, object] = {}
         #: Set when the standby itself died (its enclave faulted); a
-        #: failed standby is never promotable.
+        #: failed standby is never promotable and never votes.
         self.failed = False
+        #: Set by the manager when this member lagged past the retained
+        #: tail mid-stream; it stops receiving deliveries until a resync
+        #: (delta or snapshot) rejoins it.
+        self.detached = False
 
     # ------------------------------------------------------------------
     def _fire(self, point: str) -> bool:
@@ -89,6 +126,18 @@ class StandbyVerifier:
             return False
         probe = self.db.enclave.probe()
         return bool(probe["alive"] and probe["loaded"])
+
+    def vote(self) -> tuple[int, int]:
+        """This member's promotion vote: the highest verified primary
+        epoch and the highest admitted shipment seq. Quorum promotion
+        picks the maximum vote; ties break on the lowest standby_id."""
+        return (self.last_marker_epoch, self.last_admitted_seq)
+
+    def grant_lease(self, generation: int, expires_at: float) -> bytes:
+        """Sign one leadership lease grant for ``generation``. The
+        enclave raises SplitBrainError for a regressed generation — the
+        mechanism that starves a deposed primary's lease renewal."""
+        return self.db._ecall("repl_grant_lease", generation, expires_at)
 
     # ------------------------------------------------------------------
     def admit(self, seq: int, prev_digest: bytes, body: bytes, tag: bytes,
@@ -122,6 +171,7 @@ class StandbyVerifier:
             # be resumed — only rebuilt.
             self.failed = True
             return False
+        self.last_admitted_seq = seq
         return True
 
     def apply_entries(self, entries: list[Entry]) -> None:
@@ -149,11 +199,28 @@ class StandbyVerifier:
                         f"{payload.client_id}")
                 self.db.apply_put(client, payload,
                                   worker=payload.key.bits % n_workers)
+                self._provisional[payload.key.bits] = payload.payload
                 self.applied_entries += 1
             else:
-                # Epoch marker: close our own epoch and advance the
-                # sealed floor alongside the primary's.
+                # Epoch marker: close our own epoch (full set-hash
+                # verification over everything applied), advance the
+                # sealed floor alongside the primary's, and promote the
+                # provisional puts into the committed read view — they
+                # are now covered by a completed verification at the
+                # primary epoch the marker names.
                 self.db.verify()
                 self.db.checkpoint()
+                self.committed_reads.update(self._provisional)
+                self._provisional.clear()
+                self.last_marker_epoch = max(self.last_marker_epoch,
+                                             int(payload))
                 self.applied_epochs += 1
                 self.applied_entries += 1
+
+    # ------------------------------------------------------------------
+    def read_committed(self, key_bits: int):
+        """The payload for ``key_bits`` as of ``last_marker_epoch``, or
+        None when the key has no verified-committed value here. This is
+        the replica-read surface: never newer than the last completed
+        verification, so 'verified-stale' is literal."""
+        return self.committed_reads.get(key_bits)

@@ -38,6 +38,7 @@ from repro.errors import (
     DeadlineExceededError,
     DegradedModeError,
     IntegrityError,
+    LeaseExpiredError,
     NotLeaderError,
     OverloadError,
     ProtocolError,
@@ -115,6 +116,11 @@ class ServerRequest:
     #: Simulated time this request was first admitted (stamped by the
     #: server; the anchor of the end-to-end verified-latency histogram).
     submitted_at: float | None = None
+    #: Opt-in replica read: a get carrying a budget here may be served
+    #: by a tailing standby as a *verified-stale* result, at most this
+    #: many epochs behind the primary. None (the default) always routes
+    #: to the primary.
+    max_stale_epochs: int | None = None
 
     @property
     def client_id(self) -> int:
@@ -151,6 +157,15 @@ class ServerResult:
     #: are durable across promotion by construction), so a regression here
     #: is always split-brain evidence, never a stale-but-honest record.
     generation: int = 0
+    #: Served by a tailing standby as a verified-stale read: the value is
+    #: covered by a completed set-hash verification at ``as_of_epoch``
+    #: (primary epoch numbering) but may miss newer writes. Only returned
+    #: for requests that opted in via ``max_stale_epochs``.
+    stale: bool = False
+    #: Primary epoch the serving standby last verified a marker for.
+    as_of_epoch: int = 0
+    #: How many epochs behind the primary that verification point was.
+    stale_epochs: int = 0
 
 
 @dataclass
@@ -427,6 +442,18 @@ class FastVerServer:
                 f"{request.generation}, current is {self.generation}; "
                 f"fetch leader_info, adopt the fence receipt, and resolve "
                 f"in-flight operations through the idempotency table")
+        # Lease gate: BEFORE degraded serving, so a deposed (or
+        # partitioned) primary whose quorum abandoned it cannot keep
+        # answering even from its degraded cache — it stops on its first
+        # request after expiry, ahead of any rejected ecall. An honest
+        # primary renews inside lease_ok() long before the margin.
+        if self.replication is not None and not self.replication.lease_ok():
+            TRACER.record("lease", self.now, request.trace, event="gate",
+                          generation=self.generation)
+            raise LeaseExpiredError(
+                "leadership lease expired and the standby quorum would "
+                "not renew it; back off and retry — an honest primary "
+                "recovers on its next pump, a deposed one never will")
         if self.degraded:
             return self._degraded_op(request)
         if self.faults is not None and \
@@ -443,10 +470,35 @@ class FastVerServer:
                 "closes it")
         return None
 
+    def _try_replica(self, request: ServerRequest) -> ServerResult | None:
+        """Route an opted-in get to the replication group's freshest
+        tailing standby. Returns None — falling through to the primary —
+        when the request did not opt in, no live replica is within both
+        the group's and the request's staleness budget, or the replica
+        holds no verified-committed value for the key. No completion is
+        recorded: a replica read mints no receipt (the client's SDK vets
+        it against receipts it already holds instead)."""
+        if (self.replication is None or request.kind != "get"
+                or request.max_stale_epochs is None):
+            return None
+        hit = self.replication.replica_read(request.op.key.bits)
+        if hit is None:
+            return None
+        payload, as_of_epoch, stale_epochs = hit
+        if stale_epochs > request.max_stale_epochs:
+            return None
+        return ServerResult(payload, request.nonce, stale=True,
+                            as_of_epoch=as_of_epoch,
+                            stale_epochs=stale_epochs,
+                            generation=self.generation)
+
     def _execute(self, request: ServerRequest) -> ServerResult:
         early = self._admission(request)
         if early is not None:
             return early
+        replica = self._try_replica(request)
+        if replica is not None:
+            return replica
         try:
             result = self._apply(request)
         except IntegrityError:
@@ -530,6 +582,11 @@ class FastVerServer:
                 continue
             if early is not None:
                 ticket.result = early
+                ticket.done = True
+                continue
+            replica = self._try_replica(ticket.request)
+            if replica is not None:
+                ticket.result = replica
                 ticket.done = True
                 continue
             dedup_key = ticket.request.dedup_key
@@ -926,6 +983,10 @@ class FastVerServer:
                 "lag": self.replication.lag(),
                 "shipped_batches": self.replication.shipped_batches,
                 "rejects": self.replication.rejects,
+                "group_size": len(self.replication.standbys),
+                "group_live": len(self.replication.live_standbys()),
+                "quorum": self.replication.config.quorum,
+                "lease_valid": self.replication.lease_valid(),
             },
         }
 

@@ -93,10 +93,16 @@ def test_max_merge_set_derived_from_metadata():
 
 def test_group_dict_matches_metadata():
     repl = Counters(failovers=2, shipped_batches=5,
-                    replication_lag_max=3, recovery_ticks=40)
+                    replication_lag_max=3, recovery_ticks=40,
+                    delta_resyncs=4, snapshot_resyncs=1, lease_expiries=1,
+                    epoch_markers=6, replica_reads=12,
+                    replica_staleness_max=2)
     d = repl.group_dict("replication")
     assert d == {"failovers": 2, "shipped_batches": 5,
-                 "replication_lag_max": 3, "recovery_ticks": 40}
+                 "replication_lag_max": 3, "recovery_ticks": 40,
+                 "delta_resyncs": 4, "snapshot_resyncs": 1,
+                 "lease_expiries": 1, "epoch_markers": 6,
+                 "replica_reads": 12, "replica_staleness_max": 2}
     # Every grouped field really carries the metadata tag.
     for name in d:
         (f,) = [f for f in fields(Counters) if f.name == name]

@@ -82,7 +82,8 @@ class TestFullRun:
         detectors = {v.detector for v in report.verdicts}
         assert {"sealed_slot", "client_fence", "client_chain",
                 "sdk_generation", "sdk_receipt_binding",
-                "standby_revalidation", "client_mac"} <= detectors
+                "standby_revalidation", "client_mac",
+                "lease_generation", "sdk_stale_replay"} <= detectors
 
     def test_report_is_json_serializable(self):
         import json

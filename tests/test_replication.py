@@ -334,6 +334,32 @@ class TestFailover:
         assert server.handle(
             envelope(server, client, "get", 1)).payload == b"keep"
 
+    def test_post_salvage_resync_reconciles_chain_position(self):
+        """After a salvage heal, ``resync()`` re-anchors the replication
+        session at the shipper's *current* (seq, chain) position rather
+        than assuming a fresh chain at zero: seq stays monotone across
+        the heal, the rebuilt members join exactly at the stream head,
+        and shipping resumes without a single channel reject."""
+        db, client, server, repl = repl_setup(
+            repl_config=ReplicationConfig(auto_reattach=False))
+        server.handle(envelope(server, client, "put", 1, b"keep"))
+        db.enclave.teardown()
+        assert server.force_heal()  # failover consumes the only standby
+        seq_at_promotion = repl.shipper.next_seq
+        server.db.enclave.teardown()
+        assert server.force_heal()  # salvage rung; supervisor resync()s
+        assert server.supervisor.salvages == 1
+        # Monotone position: the re-keyed session continues the stream.
+        assert repl.shipper.next_seq >= seq_at_promotion
+        assert repl.standby is not None
+        assert repl.standby.last_admitted_seq == repl.shipper.next_seq - 1
+        # And the channel still works end to end after the re-anchor.
+        server.handle(envelope(server, client, "put", 2, b"after-salvage"))
+        assert repl.lag() == 0
+        assert repl.rejects == 0
+        snapshot = dict(repl.standby.db.items_snapshot())
+        assert snapshot[2] == b"after-salvage"
+
     def test_exactly_one_live_verifier_after_promotion(self):
         db, client, server, repl = repl_setup()
         db.enclave.teardown()
@@ -423,6 +449,12 @@ class TestCountersAndMetrics:
         ops.shipped_batches = 40
         ops.replication_lag_max = 9
         ops.recovery_ticks = 33
+        ops.delta_resyncs = 4
+        ops.snapshot_resyncs = 1
+        ops.lease_expiries = 1
+        ops.epoch_markers = 6
+        ops.replica_reads = 12
+        ops.replica_staleness_max = 2
         builder.add_ops(ops, key_ops=100)
         metrics = builder.build()
         assert metrics.replication == {
@@ -430,6 +462,12 @@ class TestCountersAndMetrics:
             "shipped_batches": 40,
             "replication_lag_max": 9,
             "recovery_ticks": 33,
+            "delta_resyncs": 4,
+            "snapshot_resyncs": 1,
+            "lease_expiries": 1,
+            "epoch_markers": 6,
+            "replica_reads": 12,
+            "replica_staleness_max": 2,
         }
 
 
