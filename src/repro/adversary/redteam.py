@@ -40,6 +40,11 @@ The attacks (the ``REDTEAM_ATTACKS`` registry):
 * ``batch_tamper`` — mutate a staged operation between admission and
   flush (group commit) or just before apply (legacy path). Caught by the
   enclave's client-MAC validation.
+* ``scrub_evasion`` — rot a device page but serve the background
+  scrubber pristine bytes (keying on its access-pattern hint), so the
+  scrub pass comes back clean. Caught by the enclave's cold-path hash
+  check on first client touch: the scrubber is an early-warning mirror,
+  never the trust anchor.
 
 Every campaign yields a typed :class:`AttackVerdict` — detected or
 escaped, which detector fired, and the detection latency in simulated
@@ -87,7 +92,8 @@ class AttackVerdict:
     #: Which check fired: ``sealed_slot``, ``client_fence``,
     #: ``client_chain``, ``sdk_generation``, ``lease_generation``,
     #: ``sdk_stale_replay``, ``standby_revalidation``,
-    #: ``sdk_receipt_binding``, ``client_mac`` — or "" on an escape.
+    #: ``sdk_receipt_binding``, ``client_mac``, ``enclave_merkle`` — or
+    #: "" on an escape.
     detector: str
     #: Simulated ticks between injection and detection (0 in direct mode,
     #: whose ops are instantaneous).
@@ -538,6 +544,84 @@ def attack_batch_tamper(c: _Campaign):
         f"({result.payload!r})")
 
 
+def attack_scrub_evasion(c: _Campaign):
+    """Game the background scrubber's access pattern: scrub reads are
+    distinguishable from serving reads (the device-level
+    ``scrub_reading`` hint the scrubber sets around its walk), so a
+    byzantine host serves *pristine* bytes whenever the scrubber looks
+    and the rotted page to everyone else. The scrub pass comes back
+    clean — the evasion works — but the scrubber was never the trust
+    anchor: it is an early-warning mirror of the enclave's cold-path
+    hash check, which re-runs the same comparison on first client touch
+    and must refuse the rot before anything settles."""
+    server = c.server
+    server.config.scrub_enabled = True
+    c.close_epoch()  # everything device-resident, merkle-at-rest
+    db = c.db
+    target = t_address = None
+    for key, address in sorted(db.store.index.snapshot().items(),
+                               key=lambda kv: (kv[0].length, kv[0].bits)):
+        if (key.length == db.config.key_width
+                and not db.store.log.in_memory(address)
+                and key not in db.cached_where
+                and key not in db.deferred_index):
+            target, t_address = key, address
+            break
+    if target is None:
+        return False, "", "harness bug: no device-resident merkle record"
+    device = db.store.log.device
+    pristine = device.read(t_address)
+    rotted = pristine[:-2] + bytes([pristine[-2] ^ 0x40]) + pristine[-1:]
+    device.write(t_address, rotted)
+    real_read = device.read
+
+    def two_faced_read(address):
+        if address == t_address and getattr(device, "scrub_reading", False):
+            return pristine  # the clean face, shown only to the scrubber
+        return real_read(address)
+
+    device.read = two_faced_read
+    try:
+        scrub = server.scrubber()
+        target_pass = scrub.full_passes + 1
+        for _ in range(4096):
+            if scrub.full_passes >= target_pass:
+                break
+            scrub.pump()
+        evaded = (scrub.mismatches_found == 0
+                  and not db.store.quarantined_addresses)
+        # The serving path reads the rotted bytes; the enclave's hash
+        # check must fire before any answer can settle.
+        scrub_face = ("scrub pass clean (evasion worked)" if evaded
+                      else "scrub alarmed despite the clean face")
+        try:
+            result = c.sdk.get(target.bits)
+        except IntegrityError as exc:
+            # Group commit validated the read inside the flush ecall.
+            return True, "enclave_merkle", (
+                f"{scrub_face}; cold-path hash check refused the rot on "
+                f"first touch: {exc}")
+        # On the legacy path the answer above is *provisional* — per-op
+        # checks are deferred into the next batched ecall (§7), so no op
+        # receipt exists yet and nothing can settle. The epoch close
+        # runs the deferred add_merkle check.
+        try:
+            c.close_epoch()
+        except IntegrityError as exc:
+            if not c.client.settled(result.nonce):
+                return True, "enclave_merkle", (
+                    f"{scrub_face}; rot refused at epoch close, before "
+                    f"any receipt: {exc}")
+            return False, "", (
+                f"alarm fired but the rotted read had already settled: "
+                f"{exc}")
+    finally:
+        device.read = real_read
+    return False, "", (
+        f"rotted value {result.payload!r} served and settled while the "
+        f"scrubber was shown only pristine bytes")
+
+
 #: name -> attack(campaign) -> (detected, detector, note)
 REDTEAM_ATTACKS = {
     "rollback_fork": attack_rollback_fork,
@@ -548,6 +632,7 @@ REDTEAM_ATTACKS = {
     "shipping_fork": attack_shipping_fork,
     "dedup_tamper": attack_dedup_tamper,
     "batch_tamper": attack_batch_tamper,
+    "scrub_evasion": attack_scrub_evasion,
 }
 
 REDTEAM_TOPOLOGIES = ("direct", "server", "batched", "failover")

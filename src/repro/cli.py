@@ -11,6 +11,9 @@ Commands:
                invariant (verified / caught-tampering / recoverable)
 * ``bench-failover`` — recovery-time objective: warm-standby failover vs
                cold checkpoint restore, recorded to BENCH_failover.json
+* ``bench-repair`` — mean-time-to-repair: single-page verified repair vs
+               whole-store salvage/restore, plus the background scrub
+               throughput tax, recorded to BENCH_repair.json
 * ``bench-batching`` — group-commit crossing amortization: modeled
                throughput across a batch-size sweep, recorded to
                BENCH_batching.json
@@ -93,6 +96,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "each settled by one multi-shard ecall, and "
                             "the oracle resolves put outcomes through "
                             "the idempotency table")
+    chaos.add_argument("--scrub", action="store_true",
+                       help="arm the background integrity scrubber plus the "
+                            "latent-rot fault points (device bitrot, "
+                            "checkpoint-blob rot, repair failures); the "
+                            "soak must end scrub-converged with zero "
+                            "quarantined pages")
     chaos.add_argument("--check-deterministic", action="store_true",
                        help="run twice and require identical digests")
     chaos.add_argument("--redteam", nargs="?", const="all", default=None,
@@ -118,6 +127,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_fo.add_argument("--ops", type=int, default=400)
     bench_fo.add_argument("--seed", type=int, default=7)
     bench_fo.add_argument("--out", default="BENCH_failover.json")
+
+    bench_rp = sub.add_parser(
+        "bench-repair",
+        help="measure single-page repair MTTR vs salvage and cold-restore "
+             "RTO plus the scrub throughput tax; write BENCH_repair.json")
+    bench_rp.add_argument("--records", type=int, default=1200)
+    bench_rp.add_argument("--ops", type=int, default=400)
+    bench_rp.add_argument("--seed", type=int, default=7)
+    bench_rp.add_argument("--out", default="BENCH_repair.json")
 
     bench_ba = sub.add_parser(
         "bench-batching",
@@ -340,7 +358,7 @@ def cmd_chaos(args) -> int:
         return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
                          tamper_every=args.tamper_every, server=args.server,
                          failover=args.failover, batched=args.batched,
-                         standbys=args.standbys)
+                         standbys=args.standbys, scrub=args.scrub)
 
     report = once()
     mode = ("failover" if args.failover
@@ -366,6 +384,13 @@ def cmd_chaos(args) -> int:
             "snapshot_resyncs": report.snapshot_resyncs,
             "lease_expiries": report.lease_expiries,
             "leader_converged": report.leader_converged,
+            "scrub_pages": report.scrub_pages,
+            "scrub_mismatches": report.scrub_mismatches,
+            "scrub_repairs": report.scrub_repairs,
+            "scrub_converged": report.scrub_converged,
+            "quarantined_final": report.quarantined_final,
+            "provisional_serves": report.provisional_serves,
+            "repair_ledger_digest": report.repair_ledger_digest,
             "unrecoverable": report.unrecoverable,
             "fault_fires": report.fault_fires,
             "hard_failures": report.hard_failures,
@@ -391,6 +416,16 @@ def cmd_chaos(args) -> int:
             if not report.leader_converged:
                 print("LEADER NOT CONVERGED: the group did not settle on "
                       "a single leased leader after the soak")
+        if args.scrub:
+            print(f"scrub                {report.scrub_pages} pages, "
+                  f"{report.scrub_mismatches} quarantined, "
+                  f"{report.scrub_repairs} repaired "
+                  f"({report.provisional_serves} provisional serves "
+                  f"refuted before settlement)")
+            print(f"scrub convergence    "
+                  f"{'converged' if report.scrub_converged else 'DID NOT CONVERGE'}, "
+                  f"{report.quarantined_final} page(s) left quarantined")
+            print(f"repair ledger        {report.repair_ledger_digest}")
         if report.unrecoverable:
             print("UNRECOVERABLE: the recovery ladder ran out of rungs; "
                   "the error carries the fault seed and trace digest")
@@ -416,7 +451,8 @@ def cmd_chaos(args) -> int:
               + (" --server" if args.server else "")
               + (" --failover" if args.failover else "")
               + (f" --standbys {args.standbys}" if args.standbys != 1 else "")
-              + (" --batched" if args.batched else ""))
+              + (" --batched" if args.batched else "")
+              + (" --scrub" if args.scrub else ""))
         return 1
     if args.check_deterministic:
         second = once()
@@ -461,6 +497,40 @@ def cmd_bench_failover(args) -> int:
     if not result["ok"]:
         print("FAILED: an RTO or resync criterion missed its target "
               "(ratio, quorum multiple, or delta speedup)")
+        return 1
+    return 0
+
+
+def cmd_bench_repair(args) -> int:
+    import json
+
+    from repro.bench.repair import run_repair_bench
+
+    result = run_repair_bench(records=args.records, ops=args.ops,
+                              seed=args.seed)
+    detail = result["repair_detail"]
+    print(f"records               {result['records']} "
+          f"(+{result['ops']} ops before the rot)")
+    print(f"repair MTTR           {result['repair_mttr_ticks']:.2f} ticks "
+          f"(1 page from {detail['source']}, tier {detail['tier']})")
+    print(f"salvage RTO           {result['salvage_rto_ticks']:.2f} ticks "
+          f"(lenient log-scan rebuild)")
+    print(f"restore RTO           {result['restore_rto_ticks']:.2f} ticks "
+          f"(cold checkpoint restore)")
+    print(f"MTTR vs salvage       {result['mttr_vs_salvage']:.4f} "
+          f"(max {result['max_mttr_vs_salvage']})")
+    print(f"MTTR vs restore       {result['mttr_vs_restore']:.4f} "
+          f"(max {result['max_mttr_vs_restore']})")
+    print(f"scrub overhead        {result['scrub_overhead'] * 100:.1f}% "
+          f"op-phase ticks, scrub-on vs off "
+          f"(max {result['max_scrub_overhead'] * 100:.0f}%)")
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    if not result["ok"]:
+        print("FAILED: a repair-MTTR or scrub-overhead criterion missed "
+              "its target")
         return 1
     return 0
 
@@ -612,6 +682,7 @@ def main(argv: list[str] | None = None) -> int:
         "attacks": cmd_attacks,
         "chaos": cmd_chaos,
         "bench-failover": cmd_bench_failover,
+        "bench-repair": cmd_bench_repair,
         "bench-batching": cmd_bench_batching,
         "metrics": cmd_metrics,
         "trace": cmd_trace,

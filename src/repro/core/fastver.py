@@ -58,8 +58,11 @@ from repro.errors import (
     EnclaveDeadError,
     EnclaveRebootError,
     EnclaveUnavailableError,
+    IntegrityError,
     ProtocolError,
     RecoveryError,
+    RepairFailedError,
+    RepairForgeryError,
     StoreError,
     TransientIOError,
 )
@@ -1299,6 +1302,10 @@ class FastVer:
 
     def _recover_once(self, checkpoint: "FastVerCheckpoint") -> None:
         from repro.store.checkpoint import recover as store_recover
+        from repro.store.checkpoint import rot_blob_at_rest
+        # The retained token sat on untrusted storage since it was taken;
+        # consulting it is when rot-at-rest becomes observable.
+        rot_blob_at_rest(checkpoint.store_token, self.faults)
         # Rebuild the untrusted store first: if the device cannot serve
         # this token (RecoveryError), fail before touching enclave state.
         store = store_recover(checkpoint.store_token, self.store.log.device)
@@ -1314,10 +1321,22 @@ class FastVer:
         self.current_epoch = self.enclave.ecall("current_epoch")
         self.anchors = dict(checkpoint.anchors)
         self.deferred_index = {}
-        for key, _value, aux_word in self.store.items():
-            aux = Aux.unpack(aux_word)
-            if aux.state is Protection.DEFERRED:
-                self.deferred_index[key] = (aux.timestamp, aux.epoch)
+        try:
+            for key, _value, aux_word in self.store.items():
+                aux = Aux.unpack(aux_word)
+                if aux.state is Protection.DEFERRED:
+                    self.deferred_index[key] = (aux.timestamp, aux.epoch)
+        except IntegrityError as exc:
+            # Rot can strike a page *between* the store rebuild's validation
+            # scan and this one — the device fires per read. Aborting here
+            # would leave the deferred index half-built, which a later
+            # verify() trips over far from the cause. During recovery an
+            # unreadable page means this token cannot restore service, so it
+            # is typed exactly like the store-side scan types it: a
+            # RecoveryError that sends the heal ladder on to salvage.
+            raise RecoveryError(
+                f"store scan during recovery hit a corrupt page: "
+                f"{exc}") from exc
         # Rebuild mirrors from the enclave's cache dumps; entries re-add in
         # the same order the verifier re-added them at restore, so slot
         # numbering realigns automatically.
@@ -1370,6 +1389,140 @@ class FastVer:
             if ptr is not None and ptr.key == key:
                 best = candidate
         return best
+
+    # ==================================================================
+    # Verified record-level repair (repro.scrub)
+    # ==================================================================
+    def repair_record(self, key: BitKey, candidate: Value,
+                      host_prevet: bool = True) -> str:
+        """Patch one corrupted store record with ``candidate`` and re-vet
+        it against the verifier's authenticated state. Returns the tier
+        the repair resolved in (``"cached"``/``"deferred"``/``"merkle"``).
+
+        The candidate is an *untrusted courier's* copy — a standby's
+        committed view, the retained shipped tail, the server's durable
+        read cache — so nothing about its provenance is trusted:
+
+        * a **cached** record needs no candidate at all: the enclave's own
+          cache holds the value (the host mirror shadows it), and the
+          store copy is superseded by re-upserting the mirrored value;
+        * a **deferred** record takes the candidate with its existing
+          ``(ts, epoch)`` aux word; individual deferred values are
+          unverifiable by design, so the vetting completes in aggregate at
+          the next epoch close — a forged candidate lands as
+          ``SetHashMismatchError`` there, exactly like any other deferred
+          tampering;
+        * a **merkle** record is re-vetted *immediately*: the candidate is
+          installed and then pulled through the normal cold path (chain
+          cache → ``add_merkle`` → evict), so the enclave checks
+          ``H(candidate)`` against the parent hash it authenticated down
+          from the pinned root. A forged candidate raises
+          :class:`RepairForgeryError` from exactly the check that would
+          have caught the host serving the forgery directly.
+
+        ``host_prevet`` runs the same hash checks host-side *first*, so an
+        honest repair against a still-dirty ancestor chain fails with a
+        retryable :class:`RepairFailedError` *before* any enclave state is
+        touched (an enclave-side rejection mid-chain would poison the
+        session and force a whole-store restore). A byzantine host can
+        skip its own pre-vet — the enclave gate behind it is the one that
+        is load-bearing, which is what the red-team campaign drives.
+        """
+        vid = self.cached_where.get(key)
+        if vid is not None:
+            entry = self.mirrors[vid].entries[key]
+            self.store.upsert(key, entry.value,
+                              Aux.cached(vid, entry.slot).pack())
+            return "cached"
+        if key in self.deferred_index:
+            if candidate is None:
+                raise RepairFailedError(
+                    f"no repair candidate for deferred record {key!r}")
+            ts, epoch = self.deferred_index[key]
+            self.store.upsert(key, candidate, Aux.deferred(ts, epoch).pack())
+            return "deferred"
+        if candidate is None:
+            raise RepairFailedError(
+                f"no repair candidate for merkle record {key!r}")
+        # The merkle re-vet enters the enclave, and the flush it triggers
+        # would carry whatever earlier operations are still buffered.
+        # Drain that backlog first so the repair session starts clean: an
+        # alarm raised here belongs to the *backlog* (a genuine detection,
+        # possibly leaving a half-executed batch behind it), not to the
+        # repair candidate, and the only sound continuation is recovery —
+        # so it propagates as the IntegrityError it is.
+        self._drain_all()
+        # Merkle tier. Install the candidate first: the current version
+        # may not even decode, and every later step reads through the
+        # store. A candidate that then fails vetting stays installed but
+        # *detected* — the page remains quarantined and any client access
+        # trips the same add_merkle alarm, so nothing settles on it.
+        self.store.upsert(key, candidate, Aux.merkle().pack())
+        result = lookup(self._host_value, key)
+        if result.kind != FOUND:
+            raise RepairFailedError(
+                f"record {key!r} fell out of the host tree; record-level "
+                f"repair cannot re-insert it")
+        rvid, start = self._route(result.path)
+        if host_prevet:
+            self._prevet_repair(result, key, candidate, start)
+        locked = set(result.path) | {key}
+        # No IntegrityError wrapping around the chain caching: the host
+        # pre-vet above already turned honest dirty-ancestor cases into a
+        # retryable RepairFailedError *before* any enclave state was
+        # touched. If the enclave still alarms on the chain, host and
+        # verifier genuinely disagree — the session is poisoned mid-batch
+        # and retrying in place would drift the clock mirror, so the
+        # alarm propagates and the caller's heal path resynchronizes.
+        self._cache_chain(rvid, result.path, locked)
+        self._drain_all()
+        try:
+            self._cache_merkle_record(rvid, key, result.terminal, locked)
+            self._evict_to_deferred(rvid, key)
+            self._drain_all()
+        except IntegrityError as exc:
+            raise RepairForgeryError(
+                f"repair candidate for {key!r} failed the enclave's "
+                f"re-vetting against the authenticated parent hash "
+                f"({type(exc).__name__}: {exc})") from exc
+        return "merkle"
+
+    def _prevet_repair(self, result, key: BitKey, candidate: Value,
+                       start: int) -> None:
+        """Host-side twin of the enclave checks a merkle repair will hit:
+        walk the chain the cold path will cache and hash-match each
+        evicted merkle node against its parent's pointer, then the
+        candidate against the terminal. Anchors and deferred/cached nodes
+        are skipped — they are added without a hash check (their parents'
+        pointer hashes are legitimately stale), mirroring ``_cache_chain``.
+        """
+        path = result.path
+        for i in range(max(start, 0) + 1, len(path)):
+            node = path[i]
+            if node in self.cached_where or node in self.deferred_index:
+                continue
+            parent_value = self._host_value(path[i - 1])
+            ptr = (parent_value.pointer(node.direction_from(path[i - 1]))
+                   if isinstance(parent_value, MerkleValue) else None)
+            if ptr is None or ptr.key != node:
+                raise RepairFailedError(
+                    f"chain node {path[i - 1]!r} no longer points at "
+                    f"{node!r}; an ancestor is corrupt")
+            if host_value_hash(self._host_value(node)) != ptr.hash:
+                raise RepairFailedError(
+                    f"ancestor {node!r} of {key!r} is itself corrupt; "
+                    f"repair it before this record")
+        terminal_value = self._host_value(result.terminal)
+        ptr = (terminal_value.pointer(key.direction_from(result.terminal))
+               if isinstance(terminal_value, MerkleValue) else None)
+        if ptr is None or ptr.key != key:
+            raise RepairFailedError(
+                f"terminal {result.terminal!r} no longer points at {key!r}")
+        if host_value_hash(candidate) != ptr.hash:
+            raise RepairForgeryError(
+                f"repair candidate for {key!r} does not hash-match the "
+                f"authenticated parent pointer; refusing to install a "
+                f"fork as a repair")
 
     # ==================================================================
     # Replication support (repro.replication)

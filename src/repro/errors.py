@@ -98,6 +98,24 @@ class CacheStateError(IntegrityError):
     """The host referenced a cache slot inconsistently (wrong key / free slot)."""
 
 
+class CorruptPageError(IntegrityError):
+    """A persisted page failed *structural* decoding on read: the stored
+    bytes no longer parse back into a log record at all. Untrusted
+    storage makes rot and tampering indistinguishable by construction,
+    so this surfaces as the detection it is — the serving layer heals
+    and the scrubber quarantines the page for record-level repair."""
+
+
+class RepairForgeryError(IntegrityError):
+    """A scrub-repair candidate failed the enclave's re-vetting: the payload
+    the host offered as the "authentic" copy of a corrupted record does not
+    hash-match the Merkle state the verifier still holds for that key. The
+    repair path never trusts its source — a standby, the shipped tail, and
+    the host's own caches are all untrusted couriers — so a host that feeds
+    the repairer a forged page is caught by exactly the ``add_merkle`` check
+    that would have caught it serving the forgery directly."""
+
+
 class ProtocolError(ReproError):
     """An honest-caller misuse of the verifier API (not an integrity failure)."""
 
@@ -200,6 +218,14 @@ class LeaseExpiredError(AvailabilityError):
     Clients back off and retry; an honest primary renews on its next pump,
     a deposed one never will (its replication group adopted a higher
     generation and refuses grants for the old one)."""
+
+
+class RepairFailedError(AvailabilityError):
+    """A scrub-repair attempt died before the candidate page was re-vetted
+    and patched (no authentic source reachable, or the repair write itself
+    failed — the ``scrub.repair.fail`` fault point). The page stays
+    quarantined; the scrubber retries on a later pump and the supervisor's
+    heal ladder falls through to the whole-store rungs."""
 
 
 class UnrecoverableError(AvailabilityError):

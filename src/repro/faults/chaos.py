@@ -33,6 +33,7 @@ from repro.errors import (
     AvailabilityError,
     IntegrityError,
     RecoveryError,
+    RepairForgeryError,
     UnrecoverableError,
 )
 from repro.faults.plan import FaultPlan, FaultSpec, install_faults
@@ -89,6 +90,19 @@ QUORUM_EXTRA_SPECS = {
     "repl.lease.partition": 0.01,
 }
 
+#: ``--scrub`` mode arms *latent* corruption on top of whichever mix the
+#: topology selected: silent bit rot on device reads (persisted — every
+#: later read sees it), rot-at-rest in the retained checkpoint blob, and
+#: injected failures of individual repair attempts. Bounded by
+#: ``max_fires`` so the post-soak convergence check (zero quarantined
+#: pages once the faults are disarmed) is a fair oracle: rot stops
+#: accumulating, repair must win.
+SCRUB_EXTRA_SPECS = {
+    "device.read.bitrot": FaultSpec(probability=0.0005, max_fires=5),
+    "checkpoint.blob.bitrot": FaultSpec(probability=0.002, max_fires=2),
+    "scrub.repair.fail": FaultSpec(probability=0.25, max_fires=2),
+}
+
 
 @dataclass
 class ChaosReport:
@@ -122,6 +136,29 @@ class ChaosReport:
     leader_converged: bool = True
     #: The recovery ladder ran out of rungs (UnrecoverableError).
     unrecoverable: bool = False
+    #: The soak ran with the background scrubber armed (--scrub).
+    scrub: bool = False
+    #: Device pages the scrubber re-verified.
+    scrub_pages: int = 0
+    #: Pages the scrubber caught corrupt and quarantined.
+    scrub_mismatches: int = 0
+    #: Quarantined pages repaired in place through the enclave.
+    scrub_repairs: int = 0
+    #: Post-soak convergence: with the faults disarmed, one full scrub
+    #: pass found nothing and the quarantine drained to zero. False is a
+    #: hard failure in --scrub mode.
+    scrub_converged: bool = True
+    #: Pages still quarantined when the soak ended (must be 0).
+    quarantined_final: int = 0
+    #: Reads answered with a rot-damaged value *provisionally* (§7:
+    #: deferred records are verified in aggregate at epoch close, so the
+    #: answer precedes the check). Each one must be followed by a
+    #: detection or rollback before the epoch settles — a provisional
+    #: serve that reaches a clean settlement is a hard failure.
+    provisional_serves: int = 0
+    #: Digest of the repair ledger (every quarantine/repair decision) —
+    #: part of the determinism check in --scrub mode.
+    repair_ledger_digest: str = ""
     fault_fires: dict = field(default_factory=dict)
     trace_digest: str = ""
     #: Tri-state violations. MUST stay empty; each entry is a hard failure.
@@ -150,6 +187,12 @@ class ChaosReport:
                      self.lease_expiries, int(self.leader_converged),
                      int(self.unrecoverable)):
             h.update(str(part).encode() + b";")
+        if self.scrub:
+            for part in (self.scrub_pages, self.scrub_mismatches,
+                         self.scrub_repairs, int(self.scrub_converged),
+                         self.quarantined_final, self.provisional_serves):
+                h.update(str(part).encode() + b";")
+            h.update(self.repair_ledger_digest.encode() + b";")
         for point in sorted(self.fault_fires):
             h.update(f"{point}={self.fault_fires[point]};".encode())
         for failure in self.hard_failures:
@@ -166,17 +209,23 @@ class _ChaosRun:
     #: Burst width in --batched mode: ops accumulated before one pump.
     BURST = 4
 
+    #: Direct-mode scrub cadence: one budgeted scrub slice every N ops
+    #: (the server modes pump theirs from the serving loop instead).
+    SCRUB_EVERY = 4
+
     #: Trace events preserved in the forensics dump on a hard failure.
     FORENSICS_LAST = 200
 
     def __init__(self, seed: int, ops: int, records: int,
                  plan: FaultPlan | None, tamper_every: int | None,
                  server: bool = False, failover: bool = False,
-                 batched: bool = False, standbys: int = 1):
+                 batched: bool = False, standbys: int = 1,
+                 scrub: bool = False):
         self.seed = seed
         self.n_ops = ops
         self.n_records = records
         self.n_standbys = standbys
+        self.scrub_mode = scrub
         if plan is not None:
             self.plan = plan
         elif failover:
@@ -193,11 +242,15 @@ class _ChaosRun:
                 # promotion must ride on the surviving quorum.
                 specs["repl.standby.kill"] = FaultSpec(at_counts=kills)
                 specs.update(QUORUM_EXTRA_SPECS)
+            if scrub:
+                specs.update(SCRUB_EXTRA_SPECS)
             self.plan = FaultPlan(seed=seed, specs=specs)
         else:
-            self.plan = FaultPlan(
-                seed=seed, specs=(SERVER_SPECS if server or batched
-                                  else DEFAULT_SPECS))
+            specs = dict(SERVER_SPECS if server or batched
+                         else DEFAULT_SPECS)
+            if scrub:
+                specs.update(SCRUB_EXTRA_SPECS)
+            self.plan = FaultPlan(seed=seed, specs=specs)
         self.tamper_every = tamper_every
         self.server_mode = server or failover or batched
         self.failover_mode = failover
@@ -208,7 +261,12 @@ class _ChaosRun:
         self.sdk = None      # RetryingClient in --server mode
         self._db = None      # the database outside --server mode
         self._seen_heals = 0
-        self.report = ChaosReport(seed=seed)
+        self._scrubber = None  # standalone Scrubber in direct --scrub mode
+        #: Rot-damaged answers served provisionally (§7 deferred reads):
+        #: each must be refuted by a detection or rolled back by a heal
+        #: before the next clean settlement, or the run hard-fails.
+        self._unsettled_serves: list[str] = []
+        self.report = ChaosReport(seed=seed, scrub=scrub)
         self.generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
                                        distribution="zipfian", theta=0.9,
                                        seed=seed)
@@ -262,6 +320,9 @@ class _ChaosRun:
                 # resolves before the pump returns.
                 cfg = ServerConfig(group_commit=True, max_batch_ops=4,
                                    max_batch_ticks=16.0)
+            if self.scrub_mode:
+                # Opt-in: existing (non-scrub) soak digests stay pinned.
+                cfg.scrub_enabled = True
             self.server = FastVerServer(
                 db, cfg,
                 salvage_hook=self._server_salvage_hook, warm=items)
@@ -279,7 +340,31 @@ class _ChaosRun:
             self._seen_heals = 0
         else:
             self._db = db
+            if self.scrub_mode:
+                self._rebind_scrubber(db)
         install_faults(db, self.plan)
+
+    def _rebind_scrubber(self, db: FastVer) -> None:
+        """Direct-mode scrubber over a (re-)provisioned database. The
+        repair source is the oracle's expected-current map — standing in
+        for an operator's external backup, which is all a topology
+        without a quorum group has. The audit trail survives
+        re-provisioning: the ledger and lifetime stats carry over."""
+        from repro.scrub import Scrubber
+        fresh = Scrubber(db, budget_pages=4,
+                         candidate_fn=self._model_candidate)
+        old = self._scrubber
+        if old is not None:
+            fresh.ledger = old.ledger
+            fresh.pages_checked = old.pages_checked
+            fresh.mismatches_found = old.mismatches_found
+            fresh.repairs_done = old.repairs_done
+            fresh.full_passes = old.full_passes
+        self._scrubber = fresh
+
+    def _model_candidate(self, key_bits: int) -> tuple[bool, bytes | None]:
+        value = self.current.get(key_bits)
+        return value is not None, value
 
     def _absorb_heals(self) -> None:
         """Fold server-side self-healing into the oracle: each completed
@@ -291,6 +376,8 @@ class _ChaosRun:
             self.report.recoveries += heals - self._seen_heals
             self._seen_heals = heals
             self.current = dict(self.committed)
+            # Rolled back: provisionally-served rot never settled.
+            self._unsettled_serves.clear()
 
     def _server_salvage_hook(self, items: list[tuple[int, bytes]]):
         """Called by the server's lenient salvage with the records it
@@ -301,6 +388,13 @@ class _ChaosRun:
         survivors: list[tuple[int, bytes]] = []
         for k, payload in items:
             if k in self.history and payload not in self.history[k]:
+                if self._latent_rot_fired():
+                    # Injected rot reached the log the salvage rebuilt
+                    # from; a lenient rebuild resurrecting the damaged
+                    # bytes is a rot casualty the oracle drops (data
+                    # loss — salvage's documented trade), not the host
+                    # fabricating state.
+                    continue
                 self.report.hard_failures.append(
                     f"salvage fabrication: key {k} holds {payload!r}, "
                     f"never written")
@@ -347,6 +441,7 @@ class _ChaosRun:
                 self.report.recoveries += 1
                 # Un-checkpointed (provisional, unsettled) work rolls back.
                 self.current = dict(self.committed)
+                self._unsettled_serves.clear()
                 return
             except AvailabilityError:
                 self.report.availability_errors += 1
@@ -375,6 +470,10 @@ class _ChaosRun:
                 continue
             k = key.bits
             if k in self.history and payload not in self.history[k]:
+                if self._latent_rot_fired():
+                    # Rot casualty, not fabrication: drop the damaged
+                    # record (data loss) — see _server_salvage_hook.
+                    continue
                 self.report.hard_failures.append(
                     f"salvage fabrication: key {k} holds {payload!r}, "
                     f"never written")
@@ -384,6 +483,7 @@ class _ChaosRun:
         # truth now; keys that didn't survive are data loss, not lies.
         self.current = {}
         self.committed = {}
+        self._unsettled_serves.clear()
         self._provision(sorted(survivors))
 
     # ------------------------------------------------------------------
@@ -404,11 +504,24 @@ class _ChaosRun:
             # A heal inside maintain() rolled the database back before the
             # checkpoint was cut; roll the oracle back before promoting.
             self._absorb_heals()
+            self._check_settlement()
             self.committed = dict(self.current)
             return
         self.db.verify()
+        self._check_settlement()
         self.db.checkpoint()
         self.committed = dict(self.current)
+
+    def _check_settlement(self) -> None:
+        """An epoch just settled cleanly (no alarm, no rollback). Any
+        rot-damaged answer still provisionally outstanding has now
+        settled silently — the escape the §7 deferral is *not* allowed
+        to produce."""
+        if self._unsettled_serves:
+            self.report.hard_failures.append(
+                f"provisional rot-damaged answer settled with no "
+                f"detection: {self._unsettled_serves[0]}")
+            self._unsettled_serves.clear()
 
     def _one_op(self, kind: str, k: int, payload: bytes | None) -> None:
         if self.batched_mode:
@@ -424,9 +537,12 @@ class _ChaosRun:
             result = self.db.get(self.client, k, worker=k % 2)
             expected = self.current.get(k)
             if result.payload != expected:
-                self.report.hard_failures.append(
-                    f"silent wrong answer: get({k}) returned "
-                    f"{result.payload!r}, oracle says {expected!r}")
+                if not self._note_provisional_serve(
+                        f"get({k}) returned {result.payload!r}, "
+                        f"oracle says {expected!r}"):
+                    self.report.hard_failures.append(
+                        f"silent wrong answer: get({k}) returned "
+                        f"{result.payload!r}, oracle says {expected!r}")
                 return
         else:
             self.db.put(self.client, k, payload, worker=k % 2)
@@ -463,10 +579,14 @@ class _ChaosRun:
             expected = (self.committed.get(k) if result.degraded
                         else self.current.get(k))
             if result.payload != expected:
-                self.report.hard_failures.append(
-                    f"silent wrong answer: get({k}) returned "
-                    f"{result.payload!r} (degraded={result.degraded}), "
-                    f"oracle says {expected!r}")
+                if not self._note_provisional_serve(
+                        f"get({k}) returned {result.payload!r} "
+                        f"(degraded={result.degraded}), "
+                        f"oracle says {expected!r}"):
+                    self.report.hard_failures.append(
+                        f"silent wrong answer: get({k}) returned "
+                        f"{result.payload!r} (degraded={result.degraded}), "
+                        f"oracle says {expected!r}")
                 return
         else:
             self.current[k] = payload
@@ -481,9 +601,12 @@ class _ChaosRun:
         if isinstance(err, AvailabilityError):
             self.report.availability_errors += 1
         elif isinstance(err, IntegrityError):
-            self.report.hard_failures.append(
-                f"{desc}: spurious {type(err).__name__} with no "
-                f"tampering: {err}")
+            if self._latent_rot_fired():
+                self.report.integrity_detections += 1
+            else:
+                self.report.hard_failures.append(
+                    f"{desc}: spurious {type(err).__name__} with no "
+                    f"tampering: {err}")
         else:
             self.report.hard_failures.append(
                 f"{desc}: untyped {type(err).__name__}: {err}")
@@ -658,8 +781,158 @@ class _ChaosRun:
                 else:
                     self.report.recoveries += 1
                     self.current = dict(self.committed)
+                    self._unsettled_serves.clear()
         finally:
             install_faults(self.db, self.plan)
+
+    # ------------------------------------------------------------------
+    # Background scrub (--scrub)
+    # ------------------------------------------------------------------
+    def _latent_rot_fired(self) -> bool:
+        """Whether injected latent corruption has actually landed yet. An
+        IntegrityError is an *expected detection* only when it has — the
+        tri-state rule ("alarms only under real tampering") otherwise
+        stands unchanged in --scrub mode."""
+        return self.scrub_mode and (
+            self.plan.fires("device.read.bitrot")
+            + self.plan.fires("checkpoint.blob.bitrot")) > 0
+
+    def _note_provisional_serve(self, desc: str) -> bool:
+        """A read came back wrong while injected rot is live. For a
+        *deferred* record that is §7 semantics, not an escape: the value
+        is served provisionally and the aggregate set-hash check at epoch
+        close is where the rot alarms. Track it — the detection (or a
+        rollback) must land before the next clean settlement — and the
+        tri-state rule stays intact for every other case."""
+        if not self._latent_rot_fired():
+            return False
+        self._unsettled_serves.append(desc)
+        self.report.provisional_serves += 1
+        return True
+
+    def _heal_after_detection(self, i: int) -> bool:
+        """The verifier alarmed on injected rot; the store holds poisoned
+        pages, so heal before the next touch re-trips the same alarm.
+        Returns whether the soak can continue."""
+        if self.server is not None:
+            try:
+                self.server.force_heal()
+            except UnrecoverableError:
+                self.report.unrecoverable = True
+                self.report.availability_errors += 1
+                return False
+            except AvailabilityError:
+                # The session failed under the armed faults; the server
+                # stays degraded and later ops drive further sessions.
+                self.report.availability_errors += 1
+            self._absorb_heals()
+            return True
+        return self._try_recover(i)
+
+    def _scrub_pump_direct(self, i: int) -> bool:
+        """One budgeted scrub slice in direct mode (the server modes pump
+        theirs from the serving loop). Returns whether the soak can
+        continue."""
+        try:
+            self._scrubber.pump()
+        except AvailabilityError:
+            # A fault fired mid-repair. The enclave session may have
+            # advanced past the host's clock mirror, so this is not
+            # retriable in place: recover, like any availability error.
+            self.report.availability_errors += 1
+            return self._try_recover(i)
+        except RepairForgeryError as exc:
+            # The repair candidate came from the oracle's own model; the
+            # enclave refusing it means the scrubber tried to install
+            # something the authenticated state contradicts — with an
+            # honest source that is a scrubber bug, not a detection.
+            self.report.hard_failures.append(
+                f"scrub repair rejected an honest candidate: "
+                f"{type(exc).__name__}: {exc}")
+        except IntegrityError as exc:
+            # A repair session flushes the op backlog before it starts;
+            # buffered poison from injected rot detonates there, exactly
+            # like an op-time detection — heal, same as the op path.
+            if self._latent_rot_fired():
+                self.report.integrity_detections += 1
+                return self._heal_after_detection(i)
+            self.report.hard_failures.append(
+                f"scrub pump raised spurious {type(exc).__name__} with "
+                f"no rot landed: {exc}")
+        return True
+
+    def _check_scrub_convergence(self) -> None:
+        """The --scrub acceptance oracle: once the faults are disarmed,
+        the scrubber must converge — a full pass finding nothing and the
+        quarantine drained to zero. Anything left quarantined means a
+        rotted page the repair path could not heal."""
+        if self.report.unrecoverable:
+            return
+        install_faults(self.db, None)
+        try:
+            converged = False
+            scrub = None
+            for attempt in range(2):
+                if self.server is not None:
+                    if self.server.degraded or self.server._integrity_dirty:
+                        # Finish the heal the last alarm started, now
+                        # that the boundary is clean.
+                        if not self.server.force_heal():
+                            self.report.hard_failures.append(
+                                "post-soak heal failed with no faults "
+                                "armed")
+                            return
+                        self._absorb_heals()
+                        # The heal may have salvaged (fresh database);
+                        # disarm the boundary on whatever is live now.
+                        install_faults(self.db, None)
+                    scrub = self.server.scrubber()
+                else:
+                    scrub = self._scrubber
+                try:
+                    # Settle first: any rot-damaged answer still served
+                    # provisionally must alarm at this epoch close (or
+                    # _check_settlement flags the silent escape), and the
+                    # op backlog drains so convergence starts clean.
+                    self._maintain()
+                    converged = scrub.scrub_to_convergence()
+                except IntegrityError as exc:
+                    if attempt == 0 and self._latent_rot_fired():
+                        # Poison buffered during the soak's tail
+                        # detonated inside the convergence drain: that
+                        # is the detection the rot owed us. Heal once
+                        # (the boundary is clean) and converge on the
+                        # healed store.
+                        self.report.integrity_detections += 1
+                        if self.server is not None:
+                            if not self.server.force_heal():
+                                self.report.hard_failures.append(
+                                    "post-detection heal failed with no "
+                                    "faults armed")
+                                return
+                            self._absorb_heals()
+                        else:
+                            self._recover_sequence()
+                        install_faults(self.db, None)
+                        continue
+                    self.report.hard_failures.append(
+                        f"scrub convergence raised {type(exc).__name__} "
+                        f"with no faults armed: {exc}")
+                break
+        finally:
+            install_faults(self.db, self.plan)
+        self.report.scrub_converged = converged
+        self.report.scrub_pages = scrub.pages_checked
+        self.report.scrub_mismatches = scrub.mismatches_found
+        self.report.scrub_repairs = scrub.repairs_done
+        self.report.quarantined_final = \
+            len(self.db.store.quarantined_addresses)
+        self.report.repair_ledger_digest = scrub.ledger.digest()
+        if not converged or self.report.quarantined_final:
+            self.report.hard_failures.append(
+                f"scrub did not converge: "
+                f"{self.report.quarantined_final} page(s) still "
+                f"quarantined after the faults were disarmed")
 
     def _try_recover(self, i: int) -> bool:
         """Run the recovery sequence; an untyped escape from *recovery* is
@@ -729,14 +1002,26 @@ class _ChaosRun:
                 if self.server is None and not self._try_recover(i):
                     break
             except IntegrityError as exc:
-                self.report.hard_failures.append(
-                    f"op {i} ({kind} {k}): spurious {type(exc).__name__} "
-                    f"with no tampering: {exc}")
+                if self._latent_rot_fired():
+                    # Injected bit rot really landed, and the verifier
+                    # caught it on touch before answering: that is the
+                    # detection the tri-state invariant demands.
+                    self.report.integrity_detections += 1
+                    if not self._heal_after_detection(i):
+                        break
+                else:
+                    self.report.hard_failures.append(
+                        f"op {i} ({kind} {k}): spurious "
+                        f"{type(exc).__name__} with no tampering: {exc}")
             except Exception as exc:  # untyped escape = tri-state violation
                 self.report.hard_failures.append(
                     f"op {i} ({kind} {k}): untyped {type(exc).__name__}: "
                     f"{exc}")
                 break
+            if self.scrub_mode and self.server is None and \
+                    (i + 1) % self.SCRUB_EVERY == 0:
+                if not self._scrub_pump_direct(i):
+                    break
             since_maintain += 1
             if since_maintain >= self.VERIFY_EVERY:
                 since_maintain = 0
@@ -751,9 +1036,17 @@ class _ChaosRun:
                     if self.server is None and not self._try_recover(i):
                         break
                 except IntegrityError as exc:
-                    self.report.hard_failures.append(
-                        f"maintenance after op {i}: spurious "
-                        f"{type(exc).__name__}: {exc}")
+                    if self._latent_rot_fired():
+                        # Rot on a deferred page is individually
+                        # unverifiable by design; the aggregate set-hash
+                        # check at epoch close is where it surfaces.
+                        self.report.integrity_detections += 1
+                        if not self._heal_after_detection(i):
+                            break
+                    else:
+                        self.report.hard_failures.append(
+                            f"maintenance after op {i}: spurious "
+                            f"{type(exc).__name__}: {exc}")
             if self.tamper_every and (i + 1) % self.tamper_every == 0:
                 if self.batched_mode:
                     try:
@@ -785,6 +1078,8 @@ class _ChaosRun:
             self.report.delta_resyncs = repl.delta_resyncs
             self.report.snapshot_resyncs = repl.snapshot_resyncs
             self.report.lease_expiries = repl.lease_expiries
+        if self.scrub_mode:
+            self._check_scrub_convergence()
         self.report.trace_digest = self.plan.trace_digest()
         if self.report.hard_failures or self.report.unrecoverable:
             # Forensics: the last-N lifecycle events leading up to the
@@ -803,7 +1098,8 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
               plan: FaultPlan | None = None,
               tamper_every: int | None = None,
               server: bool = False, failover: bool = False,
-              batched: bool = False, standbys: int = 1) -> ChaosReport:
+              batched: bool = False, standbys: int = 1,
+              scrub: bool = False) -> ChaosReport:
     """Run one chaos soak; see the module docstring for the contract.
 
     ``server=True`` drives the workload through the full serving pipeline
@@ -835,7 +1131,18 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     kill and the lease-partition point, and the report additionally
     asserts post-soak leader convergence — exactly one live leased
     leader once the group settles.
+
+    ``scrub=True`` arms *latent* corruption (persistent device bit rot,
+    checkpoint-blob rot at rest, injected repair failures) and runs the
+    background scrubber against it — in the serving loop in server
+    modes, as a standalone pump (repairing from the oracle model, the
+    stand-in for an operator's external backup) in direct mode. An
+    IntegrityError is then an accepted outcome *once rot has actually
+    fired* (the verifier caught the rot on touch); the report gains the
+    scrub/repair tallies and the repair-ledger digest; and the run ends
+    with a convergence check — faults disarmed, one clean full pass,
+    zero quarantined pages — whose failure is a hard failure.
     """
     obs_reset()
     return _ChaosRun(seed, ops, records, plan, tamper_every, server,
-                     failover, batched, standbys).run()
+                     failover, batched, standbys, scrub).run()

@@ -26,11 +26,19 @@ from dataclasses import dataclass
 KNOWN_POINTS = frozenset({
     # LogDevice (store/hybridlog.py)
     "device.read.transient",    # read raises TransientIOError once
+    "device.read.bitrot",       # latent sector corruption: one byte of the
+                                # stored page flips *persistently* — every
+                                # later read sees the rot (no error raised;
+                                # detection is the scrubber's/verifier's job)
     "device.write.torn",        # write persists only a prefix of the page
     "device.flush.partial",     # flush aborts partway (prefix persisted)
     # Checkpoint blob path (store/checkpoint.py)
     "checkpoint.blob.truncate", # index blob loses its tail
     "checkpoint.blob.corrupt",  # one byte of the index blob flips
+    "checkpoint.blob.bitrot",   # one byte of the *retained* blob flips after
+                                # the checkpoint was taken (rot at rest): the
+                                # token looks healthy until recover or scrub
+                                # touches it
     # Enclave call gate (enclave/enclave.py)
     "ecall.transient",          # call gate fails before dispatch (EAGAIN)
     "ecall.reboot",             # surprise reboot: volatile state lost
@@ -62,6 +70,9 @@ KNOWN_POINTS = frozenset({
     # The standby's own enclave (replication/standby.py)
     "standby.reboot",           # replica enclave reboots; replica is rebuilt
     "standby.stall_mid_apply",  # replica dies partway through an apply
+    # Background scrub & verified repair (scrub/scrubber.py)
+    "scrub.repair.fail",        # one repair attempt dies before patching;
+                                # the page stays quarantined and is retried
 })
 
 

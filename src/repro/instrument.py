@@ -109,6 +109,19 @@ class Counters:
     replica_reads: int = grouped("replication")    # verified-stale reads served by replicas
     # Worst staleness (in epoch closes) a served replica read carried.
     replica_staleness_max: int = gauge_max("replication")
+    # Deepest retained-tail window the adaptive shipper grew to (entries).
+    replication_retain_depth: int = gauge_max("replication")
+
+    # Background scrub & verified repair (repro.scrub)
+    scrubbed_pages: int = grouped("scrub")       # device pages re-verified
+    scrub_mismatches: int = grouped("scrub")     # pages caught corrupt, quarantined
+    scrub_repairs: int = grouped("scrub")        # pages repaired and re-vetted
+    repair_failures: int = grouped("scrub")      # repair attempts that died (retried)
+    repair_forgeries: int = grouped("scrub")     # forged repair candidates rejected
+    scrub_checkpoint_refreshes: int = grouped("scrub")  # rotted retained blobs caught
+    repair_ticks: int = grouped("scrub")         # simulated ticks spent in repair
+    # Peak quarantine depth observed (pages) — a gauge, merged as max.
+    quarantined_pages: int = gauge_max("scrub")
 
     # Group-commit batching (server/pipeline.py + core/fastver.py)
     batches: int = 0                # apply_batch group commits flushed

@@ -104,6 +104,8 @@ def to_prometheus(payload: dict) -> str:
         for name, value in sorted(
                 (metrics.get("replication") or {}).items()):
             emit("repro_replication", value, {"name": name})
+        for name, value in sorted((metrics.get("scrub") or {}).items()):
+            emit("repro_scrub", value, {"name": name})
 
     att = payload.get("attribution") or {}
     lines.append("# HELP repro_cost_ns per-subsystem modeled time")

@@ -38,6 +38,10 @@ resync      group member rejoined (detail: mode=delta|snapshot) or was
 replica     verified-stale read served by a standby (detail: as_of
             epoch and staleness distance)
 heal        supervisor recovery session concluded (detail: rung)
+scrub       scrub pump concluded (detail: pages checked, mismatches,
+            cursor) or a retained checkpoint blob was caught rotted
+repair      one quarantined page's repair attempt concluded (detail:
+            address, key, source, outcome=repaired|failed|forged)
 attack      red-team campaign injected (detail: attack, topology, seed)
 detect      red-team verdict: which detector fired, detected flag, and
             detection latency in ticks (escapes carry detected=False)

@@ -66,8 +66,14 @@ class ReplicationConfig:
     #: Replication group size (number of standbys tailing the primary).
     n_standbys: int = 1
     #: Fully-admitted shipments retained for delta resync; a member
-    #: further behind than this takes the snapshot path.
+    #: further behind than this takes the snapshot path. This is the
+    #: *floor*: the shipper's live retain depth adapts upward to the
+    #: deepest member lag observed (plus ``retain_margin``), so a member
+    #: that has once fallen N behind keeps a delta path N deep.
     retain_shipments: int = 64
+    #: Headroom added above the observed worst member lag when growing
+    #: the adaptive retain depth.
+    retain_margin: int = 16
     #: Leadership lease length in simulated ticks.
     lease_duration_ticks: float = 240.0
     #: Renew when the remaining lease drops below this fraction of the
@@ -126,6 +132,7 @@ class ReplicationManager:
         self._lease_alarmed = False
         self._entries_since_marker = 0
         self._last_marker_at = server.now
+        self._member_lag_high_water = 0
         self._bootstrap()
 
     # ------------------------------------------------------------------
@@ -443,6 +450,56 @@ class ReplicationManager:
             self.lag_max = lag
         if lag > COUNTERS.replication_lag_max:
             COUNTERS.replication_lag_max = lag
+        self._adapt_retain()
+
+    def _adapt_retain(self) -> None:
+        """Size the retained tail to the group's *observed* behavior: a
+        static retain either wastes memory (group never lags) or forces
+        snapshot rebuilds (group lags deeper than the constant). Track
+        the worst per-member shipment lag ever seen and keep the window
+        that much deeper than the configured floor, plus margin, so the
+        next stall of the same depth still resolves via delta resync."""
+        sh = self.shipper
+        live = self.live_standbys()
+        if live:
+            worst = max(sh.next_seq - 1 - m.last_admitted_seq for m in live)
+            if worst > self._member_lag_high_water:
+                self._member_lag_high_water = worst
+        if self._member_lag_high_water <= 0:
+            # A group that has never lagged keeps the configured window —
+            # the margin buys headroom over *observed* behavior, not a
+            # blanket raise of the floor.
+            depth = self.config.retain_shipments
+        else:
+            depth = max(self.config.retain_shipments,
+                        self._member_lag_high_water + self.config.retain_margin)
+        sh.retain = depth
+        if depth > COUNTERS.replication_retain_depth:
+            COUNTERS.replication_retain_depth = depth
+
+    # ------------------------------------------------------------------
+    # Repair source (repro.scrub)
+    # ------------------------------------------------------------------
+    def repair_payload(self, key_bits: int) -> tuple[bool, bytes | None]:
+        """An authentic repair candidate for one data key, or
+        ``(False, None)``.
+
+        Freshest live member's verified-committed view first (ordered by
+        last marker epoch, ties to the lowest id — deterministic), then
+        the shipper's retained tail, newest put first. The group is a
+        candidate *source*, never a trust root: the scrubber re-vets
+        whatever this returns through the primary's enclave, so a lying
+        member here is detected, not believed.
+        """
+        live = sorted(self.live_standbys(),
+                      key=lambda s: (-s.last_marker_epoch, s.standby_id))
+        for member in live:
+            if key_bits in member.committed_reads:
+                return True, member.committed_reads[key_bits]
+        for kind, item in reversed(self.shipper.entries_beyond(0)):
+            if kind == "put" and item.key.bits == key_bits:
+                return True, item.payload
+        return False, None
 
     # ------------------------------------------------------------------
     # Leases

@@ -1,0 +1,9 @@
+"""Background integrity scrub and verified record-level repair.
+
+See :mod:`repro.scrub.scrubber` for the design discussion and
+``docs/PROTOCOL.md`` ("Scrub & verified repair") for the trust argument.
+"""
+
+from repro.scrub.scrubber import RepairAction, RepairLedger, Scrubber
+
+__all__ = ["RepairAction", "RepairLedger", "Scrubber"]

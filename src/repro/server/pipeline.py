@@ -94,6 +94,24 @@ class ServerConfig:
     #: holds everything else, which is the whole RTO argument.
     promote_base_ticks: float = 1.0
     promote_tick_per_entry: float = 0.02
+    # --- background scrub & verified repair (repro.scrub) -------------
+    #: Run the background scrubber one budgeted slice per pump. Off by
+    #: default: with it off the pipeline is byte-identical to before.
+    scrub_enabled: bool = False
+    #: Device pages re-verified per scrub slice (the starvation bound:
+    #: admission always outpaces the scrub walk). 3 pages at the default
+    #: per-page cost keeps the steady-state tax under the 10% bar that
+    #: BENCH_repair.json enforces; raise it to tighten rot-detection
+    #: latency at the price of throughput.
+    scrub_budget_pages: int = 3
+    #: Simulated cost per scrubbed page.
+    scrub_tick_per_page: float = 0.02
+    #: Fixed + per-page cost of one verified record repair — the MTTR
+    #: driver. Orders of magnitude under the restore/salvage bases
+    #: above: that gap IS the self-healing argument (BENCH_repair.json
+    #: quantifies it).
+    repair_base_ticks: float = 0.1
+    repair_tick_per_page: float = 0.1
 
 
 @dataclass
@@ -235,6 +253,18 @@ class FastVerServer:
         self._fences: dict = {}
         #: Warm-standby replication, attached via :meth:`attach_standby`.
         self.replication = None
+        #: Background scrubber (built lazily; rebound when the database
+        #: or the replication group changes under it).
+        self._scrubber = None
+        #: An operation tripped the verifier's alarm since the last
+        #: successful heal. Gates the supervisor's repair rung: surgical
+        #: repair is for *latent* rot found quietly by the scrubber, not
+        #: for a store the verifier has already condemned mid-flight.
+        self._integrity_dirty = False
+        #: Keys whose touches raised the alarm — after a restore, these
+        #: are re-checked and surgically repaired so a rotted device page
+        #: cannot drive a restore → touch → alarm → restore loop.
+        self._suspect_keys: set = set()
         #: Group-commit staging: shard id -> open batch of tickets.
         self._shard_batches: dict[int, list[Ticket]] = {}
         #: shard id -> simulated time its open batch admitted its first op.
@@ -352,6 +382,7 @@ class FastVerServer:
                                   type=type(exc).__name__)
                 ticket.done = True
                 processed += 1
+        self._scrub_pump()
         if self.replication is not None:
             self.replication.pump()
         return processed
@@ -502,7 +533,14 @@ class FastVerServer:
         try:
             result = self._apply(request)
         except IntegrityError:
-            raise  # the verifier working, not the verifier failing
+            # The verifier working, not the verifier failing — but note
+            # the key: if a restore follows, the suspect drain re-checks
+            # it so a rotted page cannot re-trip the alarm forever.
+            self._integrity_dirty = True
+            key = getattr(request.op, "key", None)
+            if key is not None:
+                self._suspect_keys.add(key)
+            raise
         except AvailabilityError as exc:
             self.breaker.record_failure(self.now)
             self._enter_degraded(f"{type(exc).__name__}: {exc}")
@@ -681,7 +719,11 @@ class FastVerServer:
         except IntegrityError as exc:
             # The verifier working, not the verifier failing — but with a
             # group commit the alarm voids every op in flight.
+            self._integrity_dirty = True
             for ticket in live:
+                key = getattr(ticket.request.op, "key", None)
+                if key is not None:
+                    self._suspect_keys.add(key)
                 ticket.error = exc
                 TRACER.record("error", self.now, ticket.request.trace,
                               type=type(exc).__name__)
@@ -845,6 +887,93 @@ class FastVerServer:
             self.committed_reads.popitem(last=False)
 
     # ------------------------------------------------------------------
+    # Background scrub & verified repair (repro.scrub)
+    # ------------------------------------------------------------------
+    def scrubber(self):
+        """The server's scrubber, rebound whenever salvage or promotion
+        swapped the database (or replication was attached) under it. The
+        ledger and cumulative stats carry across rebinds — the audit
+        trail outlives any one store instance."""
+        if not self.config.scrub_enabled:
+            return None
+        cfg = self.config
+        current = self._scrubber
+        if current is None or current.db is not self.db \
+                or current.repl is not self.replication:
+            from repro.scrub import Scrubber
+            fresh = Scrubber(
+                self.db, budget_pages=cfg.scrub_budget_pages,
+                repl=self.replication, server=self,
+                now_fn=lambda: self.now, advance_fn=self._advance,
+                tick_per_page=cfg.scrub_tick_per_page,
+                repair_base_ticks=cfg.repair_base_ticks,
+                repair_tick_per_page=cfg.repair_tick_per_page)
+            if current is not None:
+                fresh.ledger = current.ledger
+                fresh.pages_checked = current.pages_checked
+                fresh.mismatches_found = current.mismatches_found
+                fresh.repairs_done = current.repairs_done
+                fresh.full_passes = current.full_passes
+            self._scrubber = fresh
+        return self._scrubber
+
+    def _scrub_pump(self) -> None:
+        """One budgeted scrub slice per pump, skipped while degraded (the
+        supervisor owns the store then) or mid-alarm. A repair forgery —
+        an external candidate the enclave rejected — has no client to
+        surface to, so it degrades the server and lets the heal ladder
+        replace the store from an authentic recovery point."""
+        scrub = self.scrubber()
+        if scrub is None or self.degraded or self._integrity_dirty:
+            return
+        try:
+            scrub.pump()
+        except IntegrityError as exc:
+            self._integrity_dirty = True
+            self.breaker.record_failure(self.now)
+            self._enter_degraded(
+                f"repair forgery detected: {type(exc).__name__}: {exc}")
+        except AvailabilityError as exc:
+            # A fault fired mid-repair: the enclave session may have run
+            # ahead of the host's clock mirror, so the slice cannot simply
+            # be retried — treat it like any other failed session and let
+            # the heal ladder resynchronize host and enclave state.
+            self.breaker.record_failure(self.now)
+            self._enter_degraded(
+                f"scrub interrupted mid-repair: {type(exc).__name__}: {exc}")
+
+    def _drain_suspects(self) -> bool:
+        """Post-restore rot triage: a restore rolls the *state* back, but
+        the device pages it reads are the same ones that just tripped the
+        alarm — if the cause was latent rot (not a live host attack), the
+        next touch re-trips it and the ladder loops. Re-check every key
+        whose touch raised the alarm, quarantine the ones whose pages
+        really are dirty, and repair them surgically. Returns True when
+        no suspect remains quarantined."""
+        scrub = self.scrubber()
+        if scrub is None or not self._suspect_keys:
+            self._suspect_keys.clear()
+            return True
+        store = self.db.store
+        for key in list(self._suspect_keys):
+            address = store.index.lookup(key)
+            if address < 0 or store.log.in_memory(address) \
+                    or address in store.quarantined_addresses:
+                continue
+            reason = scrub._check_page(key, address)
+            if reason is not None:
+                store.quarantined_addresses.append(address)
+                scrub._quarantine_keys[address] = key
+                COUNTERS.scrub_mismatches += 1
+                scrub.mismatches_found += 1
+                scrub.ledger.record(self.now, address, key,
+                                    reason=f"suspect:{reason}",
+                                    outcome="quarantined")
+        self._suspect_keys.clear()
+        scrub._repair_quarantined()
+        return not store.quarantined_addresses
+
+    # ------------------------------------------------------------------
     # Replication and failover
     # ------------------------------------------------------------------
     def attach_standby(self, config=None, promote_hook=None):
@@ -977,6 +1106,14 @@ class FastVerServer:
                 "batch_ops_flushed": self.batch_ops_flushed,
                 "bitkey_cache": {"hits": self.bitkey_hits,
                                  "misses": self.bitkey_misses},
+            },
+            "scrub": None if self._scrubber is None else {
+                "pages_checked": self._scrubber.pages_checked,
+                "mismatches": self._scrubber.mismatches_found,
+                "repairs": self._scrubber.repairs_done,
+                "full_passes": self._scrubber.full_passes,
+                "quarantined": len(self.db.store.quarantined_addresses),
+                "checkpoint_stale": self._scrubber.checkpoint_stale,
             },
             "replication": None if self.replication is None else {
                 "standby_healthy": self.replication.can_promote(),

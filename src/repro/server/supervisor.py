@@ -12,10 +12,12 @@ close. The supervisor owns that gate:
   volatile state is gone) and flips the server into degraded mode before
   the next request can hit the empty enclave.
 * **Recovery ladder** — paced by a jittered
-  :class:`~repro.backoff.BackoffPolicy`, each heal attempt climbs three
-  rungs in cost order: **failover** to the warm standby when one is
-  attached and healthy (the cheap rung — the standby already holds every
-  acknowledged write), else **checkpoint restore**
+  :class:`~repro.backoff.BackoffPolicy`, each heal attempt climbs the
+  rungs in cost order: verified record-level **repair** when the damage
+  is latent quarantined rot and the verifier session is clean (the
+  surgical rung — see :mod:`repro.scrub`), else **failover** to the warm
+  standby when one is attached and healthy (the standby already holds
+  every acknowledged write), else **checkpoint restore**
   (:meth:`FastVer.recover`), else lenient **log-scan salvage** when the
   checkpoint itself is damaged (:class:`~repro.errors.RecoveryError`).
   When salvage *also* reports the state unrecoverable, the ladder
@@ -37,7 +39,12 @@ the cost of the latest successful heal session.
 from __future__ import annotations
 
 from repro.backoff import BackoffPolicy
-from repro.errors import AvailabilityError, RecoveryError, UnrecoverableError
+from repro.errors import (
+    AvailabilityError,
+    IntegrityError,
+    RecoveryError,
+    UnrecoverableError,
+)
 from repro.instrument import COUNTERS
 from repro.obs import TRACER
 
@@ -96,6 +103,7 @@ class Supervisor:
                 continue
             self.heals += 1
             COUNTERS.recovered += 1
+            server._integrity_dirty = False
             self.last_recovery_ticks = server.now - t0
             COUNTERS.recovery_ticks += int(round(self.last_recovery_ticks))
             server._exit_degraded()
@@ -105,11 +113,22 @@ class Supervisor:
         return False
 
     def _heal_once(self) -> bool:
-        """One rung-climbing attempt: failover, else checkpoint restore,
-        else lenient salvage. True when the database is healthy again."""
+        """One rung-climbing attempt: repair, else failover, else
+        checkpoint restore, else lenient salvage. True when the database
+        is healthy again."""
         server = self.server
         cfg = server.config
         repl = server.replication
+        # Rung 0: verified record-level repair. Cheapest by orders of
+        # magnitude — it touches only the quarantined pages, not the
+        # store — but narrow: it applies when the damage is *latent*
+        # (scrubber-quarantined pages or suspect keys, found while the
+        # verifier stayed clean and the enclave stayed up). An alarm the
+        # verifier actually raised, or a dead enclave, means session
+        # state is suspect and the heavier rungs own the heal.
+        if self._try_repair():
+            self._last_rung = "repair"
+            return True
         # Rung 1: failover. The warm standby already holds every
         # acknowledged write, so promotion costs only the drained tail —
         # this is the RTO argument for replication.
@@ -169,9 +188,45 @@ class Supervisor:
             server._advance(
                 cfg.restore_base_ticks
                 + len(db.store) * cfg.restore_tick_per_record)
+            # A restore re-reads the same device pages whose rot may have
+            # tripped the alarm; repair the suspects now or the next
+            # touch restarts the whole ladder.
+            try:
+                server._drain_suspects()
+            except IntegrityError:
+                # A repair courier lied; the forged pages stay
+                # quarantined (and alarmed on touch) — the restore
+                # itself still stands.
+                server._integrity_dirty = True
         if repl is not None:
             # The healed primary's timeline rolled back past writes the
             # standby already applied; the old replica no longer extends
             # it. Rebuild the pair from the healed state.
             repl.resync()
         return True
+
+    def _try_repair(self) -> bool:
+        """Rung 0: resolve the heal by repairing quarantined pages in
+        place. Only when the damage is latent — scrub quarantine or
+        suspect keys with the verifier session itself clean and the
+        enclave up — and only if every quarantined page actually ends up
+        repaired; anything less falls through to the heavier rungs."""
+        server = self.server
+        scrub = server.scrubber()
+        if scrub is None or server._integrity_dirty:
+            return False
+        db = server.db
+        probe = db.enclave.probe()
+        if not (probe["alive"] and probe["loaded"]):
+            return False
+        if not db.store.quarantined_addresses and not server._suspect_keys:
+            return False
+        try:
+            if server._suspect_keys:
+                server._drain_suspects()
+            if db.store.quarantined_addresses:
+                scrub._repair_quarantined()
+        except IntegrityError:
+            server._integrity_dirty = True
+            return False
+        return not db.store.quarantined_addresses

@@ -46,6 +46,11 @@ class RunMetrics:
     #: shipped_batches, replication_lag_max, recovery_ticks. All zero for
     #: runs without a warm standby attached.
     replication: dict = field(default_factory=dict)
+    #: Background scrub & repair summary (from the run's counters):
+    #: scrubbed_pages, scrub_mismatches, scrub_repairs, repair_failures,
+    #: repair_forgeries, quarantined_pages. All zero for runs without the
+    #: scrubber attached.
+    scrub: dict = field(default_factory=dict)
 
     @property
     def total_wall_ns(self) -> float:
@@ -77,6 +82,7 @@ class RunMetrics:
             "throughput_mops": round(self.throughput_mops, 6),
             "verification_latency_s": round(self.verification_latency_s, 9),
             "replication": dict(self.replication),
+            "scrub": dict(self.scrub),
         }
 
 
@@ -137,4 +143,5 @@ class MetricsBuilder:
             # Assembled from the field metadata ("group": "replication")
             # so the max-merge rule and the export share one definition.
             replication=combined.group_dict("replication"),
+            scrub=combined.group_dict("scrub"),
         )

@@ -115,6 +115,27 @@ def take_checkpoint(store: FasterKV, version: int,
     return token
 
 
+def rot_blob_at_rest(token: CheckpointToken, faults) -> bool:
+    """Fire ``checkpoint.blob.bitrot`` against a *retained* token.
+
+    Unlike ``checkpoint.blob.corrupt`` (which damages the blob as it is
+    written), this models rot that sets in while the token sits as the
+    recovery point: callers that consult a retained blob — recovery, the
+    background scrubber — fire this first, and a hit flips one byte of the
+    token *persistently*, exactly like device bitrot. Returns whether the
+    blob rotted on this consultation (the damage itself is only ever
+    observed through :func:`_deserialize_index` failing later).
+    """
+    if faults is None or not token.index_blob:
+        return False
+    if not faults.fire("checkpoint.blob.bitrot"):
+        return False
+    blob = token.index_blob
+    pos = (len(blob) * 2) // 3
+    token.index_blob = blob[:pos] + bytes([blob[pos] ^ 0x10]) + blob[pos + 1:]
+    return True
+
+
 def recover(token: CheckpointToken, device: LogDevice) -> FasterKV:
     """Rebuild a store from a checkpoint and its log device.
 

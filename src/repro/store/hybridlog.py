@@ -24,6 +24,7 @@ from repro.core.keys import BitKey
 from repro.core.records import Value, decode_value, encode_value
 from repro.errors import (
     AvailabilityError,
+    CorruptPageError,
     StoreError,
     TornWriteError,
     TransientIOError,
@@ -106,6 +107,21 @@ class LogDevice:
         if self.faults is not None and self.faults.fire("device.read.transient"):
             raise TransientIOError(
                 f"transient read failure at address {address}")
+        if self.faults is not None and address in self._pages \
+                and self.faults.fire("device.read.bitrot"):
+            # Latent sector corruption: the flip is *persisted* — the page
+            # itself rots, so every later read (including recovery scans)
+            # sees the same wrong bytes. Silent by design: turning rot into
+            # a typed error is the scrubber's and the verifier's job, never
+            # the device's. The flipped offset lands in the tail of the
+            # page (the value encoding) so the record usually still
+            # decodes — the dangerous kind of rot.
+            blob = self._pages[address]
+            if blob:
+                pos = len(blob) - 1 - (address % max(1, len(blob) // 3))
+                self._pages[address] = (blob[:pos]
+                                        + bytes([blob[pos] ^ 0x20])
+                                        + blob[pos + 1:])
         try:
             return self._pages[address]
         except KeyError:
@@ -169,7 +185,16 @@ class HybridLog:
             return record
         if address < 0 or address >= self._next_address:
             raise StoreError(f"address {address} was never allocated")
-        return LogRecord.deserialize(self.device.read_with_retry(address))
+        blob = self.device.read_with_retry(address)
+        try:
+            return LogRecord.deserialize(blob)
+        except (StoreError, ValueError) as exc:
+            # Structural rot: the persisted bytes no longer decode. Typed
+            # as a detection (rot and tampering are indistinguishable on
+            # untrusted storage), never as a raw parse error.
+            raise CorruptPageError(
+                f"page at address {address} failed structural decode: "
+                f"{exc}") from exc
 
     def is_mutable(self, address: int) -> bool:
         return address >= self.read_only_address

@@ -96,13 +96,14 @@ def test_group_dict_matches_metadata():
                     replication_lag_max=3, recovery_ticks=40,
                     delta_resyncs=4, snapshot_resyncs=1, lease_expiries=1,
                     epoch_markers=6, replica_reads=12,
-                    replica_staleness_max=2)
+                    replica_staleness_max=2, replication_retain_depth=80)
     d = repl.group_dict("replication")
     assert d == {"failovers": 2, "shipped_batches": 5,
                  "replication_lag_max": 3, "recovery_ticks": 40,
                  "delta_resyncs": 4, "snapshot_resyncs": 1,
                  "lease_expiries": 1, "epoch_markers": 6,
-                 "replica_reads": 12, "replica_staleness_max": 2}
+                 "replica_reads": 12, "replica_staleness_max": 2,
+                 "replication_retain_depth": 80}
     # Every grouped field really carries the metadata tag.
     for name in d:
         (f,) = [f for f in fields(Counters) if f.name == name]

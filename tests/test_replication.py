@@ -455,6 +455,7 @@ class TestCountersAndMetrics:
         ops.epoch_markers = 6
         ops.replica_reads = 12
         ops.replica_staleness_max = 2
+        ops.replication_retain_depth = 80
         builder.add_ops(ops, key_ops=100)
         metrics = builder.build()
         assert metrics.replication == {
@@ -468,6 +469,7 @@ class TestCountersAndMetrics:
             "epoch_markers": 6,
             "replica_reads": 12,
             "replica_staleness_max": 2,
+            "replication_retain_depth": 80,
         }
 
 
