@@ -45,6 +45,10 @@ The attacks (the ``REDTEAM_ATTACKS`` registry):
   scrub pass comes back clean. Caught by the enclave's cold-path hash
   check on first client touch: the scrubber is an early-warning mirror,
   never the trust anchor.
+* ``settle_swap`` — in the pipelined topology, swap two in-flight
+  streamed receipts between flush and settle so each ticket resolves
+  with the other op's genuine result. Caught by the SDK binding every
+  result to its request's nonce.
 
 Every campaign yields a typed :class:`AttackVerdict` — detected or
 escaped, which detector fired, and the detection latency in simulated
@@ -185,9 +189,10 @@ class _Campaign:
         self._db = db
         if topology == "direct":
             return
-        if topology == "batched":
+        if topology in ("batched", "pipelined"):
             cfg = ServerConfig(group_commit=True, max_batch_ops=4,
-                               max_batch_ticks=16.0)
+                               max_batch_ticks=16.0,
+                               pipeline=(topology == "pipelined"))
         else:
             cfg = ServerConfig()
         self.server = FastVerServer(db, cfg, warm=items)
@@ -622,6 +627,55 @@ def attack_scrub_evasion(c: _Campaign):
         f"scrubber was shown only pristine bytes")
 
 
+def attack_settle_swap(c: _Campaign):
+    """The streamed-settlement window is new byzantine surface: between
+    a pipelined flush and its settle pump, the batch's receipts sit in
+    host memory. Swap two of them so each ticket resolves with the
+    *other* op's genuine result — every MAC is intact and both results
+    really were issued by the verifier; only the pairing lies. The SDK
+    binds each result to its request's nonce, so the mis-paired receipt
+    cannot validate."""
+    server = c.server
+    from repro.server.pipeline import ServerRequest
+    original = server._settle_inflight
+    swapped = []
+
+    def evil_settle(force=False):
+        for record in server._inflight:
+            resolved = [i for i, (_, res, err) in enumerate(record.entries)
+                        if err is None and res is not None]
+            if len(resolved) >= 2 and not swapped:
+                i, j = resolved[:2]
+                ti, ri, ei = record.entries[i]
+                tj, rj, ej = record.entries[j]
+                record.entries[i] = (ti, rj, ei)
+                record.entries[j] = (tj, ri, ej)
+                swapped.append((i, j))
+        return original(force)
+
+    server._settle_inflight = evil_settle
+    # A background op submitted straight to the server lands in the same
+    # shard batch as the SDK's op (n_workers=2: even keys share a shard),
+    # giving the host two in-flight receipts to mis-pair.
+    bait = c.client.make_put(server.bitkey(20), b"bait")
+    server.submit(ServerRequest(
+        "put", bait, server.now + server.config.default_deadline,
+        worker=bait.key.bits, generation=c.sdk.generation))
+    try:
+        result = c.sdk.put(22, b"the-truth")
+    except ReceiptBindingError as exc:
+        return True, "sdk_receipt_binding", (
+            f"mis-paired streamed receipt refused: {exc}")
+    finally:
+        server._settle_inflight = original
+    if not swapped:
+        return False, "", ("harness bug: the two ops never shared an "
+                           "in-flight batch, nothing was swapped")
+    return False, "", (
+        f"client accepted another op's receipt as its own "
+        f"({result.payload!r})")
+
+
 #: name -> attack(campaign) -> (detected, detector, note)
 REDTEAM_ATTACKS = {
     "rollback_fork": attack_rollback_fork,
@@ -633,18 +687,29 @@ REDTEAM_ATTACKS = {
     "dedup_tamper": attack_dedup_tamper,
     "batch_tamper": attack_batch_tamper,
     "scrub_evasion": attack_scrub_evasion,
+    "settle_swap": attack_settle_swap,
 }
 
-REDTEAM_TOPOLOGIES = ("direct", "server", "batched", "failover")
+REDTEAM_TOPOLOGIES = ("direct", "server", "batched", "failover",
+                      "pipelined")
+
+#: Attack set for the synchronous-settlement topologies: everything but
+#: the streamed-settlement campaign (their ``_inflight`` deque is always
+#: empty, so there is no window to attack).
+_SYNC_ATTACKS = tuple(sorted(a for a in REDTEAM_ATTACKS
+                             if a != "settle_swap"))
 
 #: Which attacks make sense per topology. Direct mode has no serving
 #: layer, replication, or idempotency table: only the store-level
-#: campaigns apply there.
+#: campaigns apply there. The pipelined topology runs the full set —
+#: every synchronous-era attack must stay detected under streamed
+#: settlement, plus the settlement-window swap that only exists there.
 APPLICABLE = {
     "direct": ("receipt_replay", "rollback_fork"),
-    "server": tuple(sorted(REDTEAM_ATTACKS)),
-    "batched": tuple(sorted(REDTEAM_ATTACKS)),
-    "failover": tuple(sorted(REDTEAM_ATTACKS)),
+    "server": _SYNC_ATTACKS,
+    "batched": _SYNC_ATTACKS,
+    "failover": _SYNC_ATTACKS,
+    "pipelined": tuple(sorted(REDTEAM_ATTACKS)),
 }
 
 

@@ -12,14 +12,33 @@ Receipt-synchronous framing: every batch settles inside the pump that
 staged it, so batch size 1 is the honest one-crossing-per-op baseline
 and larger sizes show pure crossing amortization at identical answers.
 
+Pipelined framing: with ``pipeline=True`` the per-shard flushes become
+independent ecalls whose receipts stream back across later pumps, so
+the host stages the next wave while the verifier digests the last one
+and the enclave side runs shard-parallel. Those rows are modeled with
+:meth:`CostModel.pipelined_total_ns` and must clear
+:data:`PIPELINED_TARGET_RATIO` over the synchronous batch-64 row at
+equal-or-better admission-wait p95.
+
+Adaptive frontier: the epoch close (``maintain``) is the deferred-
+verification cadence — it settles every pending receipt and charges
+real verify crossings — so the frontier driver closes an epoch every
+:data:`EPOCH_EVERY_BATCHES` dispatched batches. Bigger batches then
+buy throughput (fewer batch ecalls *and* fewer epoch closes per op)
+at the price of verified-latency p99, which is exactly the curve the
+AIMD controller walks: the adaptive row must hold its declared p99
+budget within :data:`FRONTIER_BUDGET_SLACK` while beating the modeled
+throughput of every static batch size that also meets the budget.
+
 The acceptance bar (ISSUE): batch-64 modeled throughput at least 3x the
-batch-1 baseline, and ``crossings_saved`` monotone in batch size. The
-sweep is recorded to ``BENCH_batching.json`` by ``bench-batching``,
-along with a before/after note for the serving layer's memoized
-``bitkey`` derivation, per-sweep-point latency histogram summaries
-(admission wait, batch residency, ecall service), and a tracing
-on/off comparison pinning the observability layer's modeled-throughput
-overhead under :data:`TRACING_OVERHEAD_BOUND`.
+batch-1 baseline, ``crossings_saved`` monotone in batch size, plus the
+pipelined and adaptive-frontier bars above. The sweep is recorded to
+``BENCH_batching.json`` by ``bench-batching``, along with a
+before/after note for the serving layer's memoized ``bitkey``
+derivation, per-sweep-point latency histogram summaries (admission
+wait, batch residency, ecall service), and a tracing on/off comparison
+pinning the observability layer's modeled-throughput overhead under
+:data:`TRACING_OVERHEAD_BOUND`.
 """
 
 from __future__ import annotations
@@ -42,8 +61,21 @@ BATCH_SIZES = (1, 4, 16, 64, 256)
 TARGET_RATIO = 3.0
 N_WORKERS = 4
 
+#: Pipelined sweep points and their bar over the synchronous batch-64 row.
+PIPELINED_BATCH_SIZES = (4, 16, 64)
+PIPELINED_TARGET_RATIO = 1.5
 
-def _build_server(records: int, batch: int, seed: int):
+#: Adaptive-frontier sweep: static sizes the controller must beat (among
+#: those meeting the budget), the declared p99 verified-latency budget in
+#: ticks, the epoch-close cadence in dispatched batches, and the slack
+#: the adaptive row's measured p99 may carry over the budget.
+FRONTIER_BATCH_SIZES = (4, 16, 64, 256)
+FRONTIER_BUDGET_TICKS = 200.0
+EPOCH_EVERY_BATCHES = 4
+FRONTIER_BUDGET_SLACK = 1.10
+
+
+def _build_server(records: int, batch: int, seed: int, **cfg):
     items = [(k, b"seed-%d" % k) for k in range(records)]
     db = FastVer(
         FastVerConfig(key_width=32, n_workers=N_WORKERS, partition_depth=3,
@@ -57,18 +89,18 @@ def _build_server(records: int, batch: int, seed: int):
     db.register_client(client)
     db.verify()
     db.checkpoint()
-    server = FastVerServer(db, ServerConfig(
+    config = dict(
         group_commit=True, max_batch_ops=batch,
         max_batch_ticks=float(10 ** 9),
         queue_capacity=max(64, 4 * batch),
-        default_deadline=float(10 ** 12)), warm=items)
+        default_deadline=float(10 ** 12))
+    config.update(cfg)
+    server = FastVerServer(db, ServerConfig(**config), warm=items)
     return db, client, server
 
 
-def _run_one(batch: int, records: int, ops: int, seed: int) -> dict:
-    """One sweep point: drive ``ops`` through the batched loop at this
-    ``max_batch_ops``, with the counters scoped to the op phase only."""
-    db, client, server = _build_server(records, batch, seed)
+def _stream(client, server, records: int, ops: int, seed: int) -> list:
+    """The seeded YCSB-A request stream every sweep point replays."""
     generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
                               distribution="zipfian", theta=0.9, seed=seed)
     requests = []
@@ -82,20 +114,55 @@ def _run_one(batch: int, records: int, ops: int, seed: int) -> dict:
             op = client.make_get(bk)
             requests.append(ServerRequest("get", op, float(10 ** 12),
                                           worker=bk.bits))
+    return requests
+
+
+def _drain(server, tickets: list, pumps: int = 64) -> None:
+    """Pump until every streamed receipt settles (pipelined runs leave
+    batches in flight when the stream ends)."""
+    for _ in range(pumps):
+        if all(t.done for t in tickets):
+            return
+        server.pump()
+
+
+def _run_one(batch: int, records: int, ops: int, seed: int,
+             pipeline: bool = False) -> dict:
+    """One sweep point: drive ``ops`` through the batched loop at this
+    ``max_batch_ops``, with the counters scoped to the op phase only.
+
+    With ``pipeline=True`` the flushes dispatch without blocking on
+    receipts and the wave is pinned at the synchronous batch-64 wave
+    (``N_WORKERS * 64``) so the admission-wait distribution is directly
+    comparable to that row; modeled time switches to the overlapped
+    :meth:`CostModel.pipelined_total_ns`."""
+    wave = N_WORKERS * 64 if pipeline else max(1, N_WORKERS * batch)
+    db, client, server = _build_server(records, batch, seed,
+                                       pipeline=pipeline,
+                                       queue_capacity=max(64, 4 * batch,
+                                                          wave))
+    requests = _stream(client, server, records, ops, seed)
     # Submission waves sized so every shard can fill to ``batch`` within
     # one pump (N_WORKERS shards share each wave).
-    wave = max(1, N_WORKERS * batch)
     obs_reset()
     COUNTERS.reset()
+    tickets = []
     i = 0
     while i < len(requests):
         for request in requests[i:i + wave]:
-            server.submit(request)
+            tickets.append(server.submit(request))
         server.pump()
         i += wave
+    if pipeline:
+        _drain(server, tickets)
     crossings = COUNTERS.enclave_entries
-    modeled_ns = DEFAULT_COSTS.total_ns(COUNTERS, SIMULATED, records)
+    if pipeline:
+        modeled_ns = DEFAULT_COSTS.pipelined_total_ns(
+            COUNTERS, SIMULATED, records, N_WORKERS)
+    else:
+        modeled_ns = DEFAULT_COSTS.total_ns(COUNTERS, SIMULATED, records)
     row = {
+        "mode": "pipelined" if pipeline else "sync",
         "batch": batch,
         "ops": ops,
         "crossings": crossings,
@@ -112,6 +179,9 @@ def _run_one(batch: int, records: int, ops: int, seed: int) -> dict:
                     for name in LATENCIES.names()
                     if LATENCIES.get(name).count},
     }
+    if pipeline:
+        row["batches_pipelined"] = server.batches_pipelined
+        row["inflight_batches_max"] = COUNTERS.inflight_batches_max
     # Maintenance (epoch close) charged outside the op-phase scope.
     COUNTERS.reset()
     db.verify()
@@ -170,6 +240,92 @@ def tracing_overhead(records: int = 400, ops: int = 2000, seed: int = 7,
     }
 
 
+def _run_frontier_point(records: int, ops: int, seed: int,
+                        batch: int | None = None,
+                        budget: float | None = None) -> dict:
+    """One adaptive-frontier point: the pipelined loop with the epoch
+    close (the deferred-verification cadence) run every
+    :data:`EPOCH_EVERY_BATCHES` dispatched batches, so the batch bound
+    trades verified-latency p99 against modeled throughput — bigger
+    batches mean fewer batch ecalls *and* fewer epoch closes per op,
+    but receipts wait longer for their epoch. Static points pin
+    ``max_batch_ops`` (linger at the controller's own law,
+    ``controller_ticks_per_op * batch``); the adaptive point declares
+    ``latency_budget_p99=budget`` and lets the AIMD controller walk the
+    bounds from the same starting batch every static point also gets."""
+    start = batch if batch is not None else 16
+    cfg = {"pipeline": True, "max_batch_ticks": 4.0 * start,
+           "queue_capacity": 256}
+    if budget is not None:
+        cfg["latency_budget_p99"] = budget
+    db, client, server = _build_server(records, start, seed, **cfg)
+    requests = _stream(client, server, records, ops, seed)
+    wave = 16
+    obs_reset()
+    COUNTERS.reset()
+    tickets = []
+    epoch_closes = 0
+    last_epoch_batches = 0
+    i = 0
+    while i < len(requests):
+        for request in requests[i:i + wave]:
+            tickets.append(server.submit(request))
+        server.pump()
+        i += wave
+        if COUNTERS.batches - last_epoch_batches >= EPOCH_EVERY_BATCHES:
+            server.maintain()
+            epoch_closes += 1
+            last_epoch_batches = COUNTERS.batches
+    _drain(server, tickets)
+    server.maintain()  # the tail's receipts settle at this final close
+    epoch_closes += 1
+    modeled_ns = DEFAULT_COSTS.pipelined_total_ns(
+        COUNTERS, SIMULATED, records, N_WORKERS)
+    row = {
+        "mode": "adaptive" if budget is not None else "static",
+        "batch": batch,
+        "ops": ops,
+        "epoch_closes": epoch_closes,
+        "crossings": COUNTERS.enclave_entries,
+        "batch_fill_avg": round(COUNTERS.batch_fill_avg, 3),
+        "p99_verified_ticks": round(
+            LATENCIES.get("verified_latency").percentile(99.0), 3),
+        "modeled_ns_per_op": round(modeled_ns / ops, 2),
+        "throughput_mops": round(ops * 1000.0 / modeled_ns, 6),
+    }
+    if budget is not None:
+        row["budget_ticks"] = budget
+        row["controller"] = server.health()["controller"]
+    return row
+
+
+def adaptive_frontier(records: int = 400, ops: int = 2000, seed: int = 7,
+                      budget: float = FRONTIER_BUDGET_TICKS) -> dict:
+    """Sweep static batch sizes against the adaptive controller on the
+    frontier driver and check the ISSUE bar: the adaptive row holds the
+    declared p99 budget within :data:`FRONTIER_BUDGET_SLACK` and beats
+    the modeled throughput of every static size that also meets it."""
+    statics = [_run_frontier_point(records, ops, seed, batch=b)
+               for b in FRONTIER_BATCH_SIZES]
+    adaptive = _run_frontier_point(records, ops, seed, budget=budget)
+    bound = budget * FRONTIER_BUDGET_SLACK
+    meeting = [r for r in statics if r["p99_verified_ticks"] <= bound]
+    holds = adaptive["p99_verified_ticks"] <= bound
+    beats = all(adaptive["throughput_mops"] > r["throughput_mops"]
+                for r in meeting)
+    return {
+        "budget_ticks": budget,
+        "budget_slack": FRONTIER_BUDGET_SLACK,
+        "epoch_every_batches": EPOCH_EVERY_BATCHES,
+        "rows": statics + [adaptive],
+        "static_meeting_budget": [r["batch"] for r in meeting],
+        "adaptive_p99_verified_ticks": adaptive["p99_verified_ticks"],
+        "adaptive_holds_budget": holds,
+        "adaptive_beats_meeting_statics": beats,
+        "ok": holds and beats and bool(meeting),
+    }
+
+
 def run_batching_bench(records: int = 400, ops: int = 2000,
                        seed: int = 7) -> dict:
     """Sweep the batch sizes; return the JSON-ready comparison."""
@@ -185,6 +341,23 @@ def run_batching_bench(records: int = 400, ops: int = 2000,
     saved = [row["crossings_saved"] for row in rows]
     monotone = all(a <= b for a, b in zip(saved, saved[1:]))
     overhead = tracing_overhead(records, ops, seed)
+    # Pipelined sweep: best row must clear PIPELINED_TARGET_RATIO over
+    # the synchronous batch-64 row at equal-or-better admission-wait p95.
+    pipelined_rows = []
+    for batch in PIPELINED_BATCH_SIZES:
+        row, _ = _run_one(batch, records, ops, seed, pipeline=True)
+        pipelined_rows.append(row)
+    sync64 = by_batch[64]
+    best = max(pipelined_rows, key=lambda r: r["throughput_mops"])
+    pipelined_ratio = (best["throughput_mops"] / sync64["throughput_mops"]
+                       if sync64["throughput_mops"] else float("inf"))
+
+    def _wait_p95(row: dict) -> float:
+        stats = row["latency"].get("admission_wait")
+        return stats["p95"] if stats else 0.0
+
+    wait_ok = _wait_p95(best) <= _wait_p95(sync64)
+    frontier = adaptive_frontier(records, ops, seed)
     return {
         "records": records,
         "ops": ops,
@@ -194,7 +367,17 @@ def run_batching_bench(records: int = 400, ops: int = 2000,
         "ratio_64_over_1": round(ratio, 4),
         "target_ratio": TARGET_RATIO,
         "crossings_saved_monotone": monotone,
+        "pipelined_rows": pipelined_rows,
+        "pipelined_ratio_over_sync64": round(pipelined_ratio, 4),
+        "pipelined_target_ratio": PIPELINED_TARGET_RATIO,
+        "pipelined_best_batch": best["batch"],
+        "pipelined_wait_p95": _wait_p95(best),
+        "sync64_wait_p95": _wait_p95(sync64),
+        "pipelined_wait_ok": wait_ok,
+        "adaptive_frontier": frontier,
         "bitkey_cache": _bitkey_note(last_server, records),
         "tracing_overhead": overhead,
-        "ok": ratio >= TARGET_RATIO and monotone and overhead["ok"],
+        "ok": (ratio >= TARGET_RATIO and monotone and overhead["ok"]
+               and pipelined_ratio >= PIPELINED_TARGET_RATIO and wait_ok
+               and frontier["ok"]),
     }

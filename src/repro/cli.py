@@ -96,6 +96,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "each settled by one multi-shard ecall, and "
                             "the oracle resolves put outcomes through "
                             "the idempotency table")
+    chaos.add_argument("--pipelined", action="store_true",
+                       help="pipeline the group commit (implies --batched): "
+                            "per-shard flushes dispatch without resolving "
+                            "tickets and their receipts stream back across "
+                            "the following pumps; the burst loop drains "
+                            "until every ticket settles")
     chaos.add_argument("--scrub", action="store_true",
                        help="arm the background integrity scrubber plus the "
                             "latent-rot fault points (device bitrot, "
@@ -113,7 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "shipping-fork, and dedup/batch tampering "
                             "campaigns, every one required to be detected. "
                             "TOPOLOGY is all (default), or a comma list of "
-                            "direct, server, batched, failover")
+                            "direct, server, batched, failover, pipelined")
     chaos.add_argument("--json", action="store_true",
                        help="emit the report as machine-readable JSON "
                             "(CI-friendly; exit code still signals any "
@@ -177,6 +183,7 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--server", action="store_true")
     tr.add_argument("--failover", action="store_true")
     tr.add_argument("--batched", action="store_true")
+    tr.add_argument("--pipelined", action="store_true")
     tr.add_argument("--trace", default=None,
                     help="print the full span for this trace id")
     tr.add_argument("--kind", default=None,
@@ -358,10 +365,12 @@ def cmd_chaos(args) -> int:
         return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
                          tamper_every=args.tamper_every, server=args.server,
                          failover=args.failover, batched=args.batched,
-                         standbys=args.standbys, scrub=args.scrub)
+                         standbys=args.standbys, scrub=args.scrub,
+                         pipelined=args.pipelined)
 
     report = once()
     mode = ("failover" if args.failover
+            else "pipelined group commit" if args.pipelined
             else "batched server pipeline" if args.batched
             else "server pipeline" if args.server else "direct")
     if args.json:
@@ -388,6 +397,8 @@ def cmd_chaos(args) -> int:
             "scrub_mismatches": report.scrub_mismatches,
             "scrub_repairs": report.scrub_repairs,
             "scrub_converged": report.scrub_converged,
+            "pipelined": report.pipelined,
+            "pipelined_batches": report.pipelined_batches,
             "quarantined_final": report.quarantined_final,
             "provisional_serves": report.provisional_serves,
             "repair_ledger_digest": report.repair_ledger_digest,
@@ -406,6 +417,9 @@ def cmd_chaos(args) -> int:
               f"(salvages {report.salvages}, failovers {report.failovers})")
         print(f"integrity detections {report.integrity_detections}")
         print(f"receipts dropped     {report.receipts_dropped}")
+        if args.pipelined:
+            print(f"pipelined batches    {report.pipelined_batches} "
+                  f"dispatched with streamed settlement")
         if args.failover:
             print(f"shipped batches      {report.shipped_batches} "
                   f"(channel rejects {report.repl_rejects})")
@@ -452,6 +466,7 @@ def cmd_chaos(args) -> int:
               + (" --failover" if args.failover else "")
               + (f" --standbys {args.standbys}" if args.standbys != 1 else "")
               + (" --batched" if args.batched else "")
+              + (" --pipelined" if args.pipelined else "")
               + (" --scrub" if args.scrub else ""))
         return 1
     if args.check_deterministic:
@@ -564,6 +579,30 @@ def cmd_bench_batching(args) -> int:
           f"{overhead['relative_delta'] * 100:.2f}% modeled-throughput "
           f"delta at batch {overhead['batch']} "
           f"(bound {overhead['bound'] * 100:.0f}%)")
+    for row in result["pipelined_rows"]:
+        print(f"pipelined {row['batch']:>4}        "
+              f"{row['crossings']:>5} crossings "
+              f"({row['batches_pipelined']} streamed batches, "
+              f"inflight max {row['inflight_batches_max']})  "
+              f"{row['throughput_mops']:.3f} Mops/s modeled")
+    print(f"pipelined ratio       "
+          f"{result['pipelined_ratio_over_sync64']:.2f}x over sync batch-64 "
+          f"at batch {result['pipelined_best_batch']} "
+          f"(target >= {result['pipelined_target_ratio']}; "
+          f"admission-wait p95 {result['pipelined_wait_p95']:.0f} vs "
+          f"{result['sync64_wait_p95']:.0f} ticks)")
+    frontier = result["adaptive_frontier"]
+    for row in frontier["rows"]:
+        label = (f"static {row['batch']:>4}" if row["mode"] == "static"
+                 else "adaptive   ")
+        print(f"frontier {label}   p99 {row['p99_verified_ticks']:>7.1f} ticks  "
+              f"{row['throughput_mops']:.3f} Mops/s modeled "
+              f"({row['epoch_closes']} epoch closes)")
+    print(f"adaptive frontier     budget {frontier['budget_ticks']:.0f} ticks "
+          f"(slack {frontier['budget_slack']:.2f}) "
+          f"{'held' if frontier['adaptive_holds_budget'] else 'MISSED'}; "
+          f"{'beats' if frontier['adaptive_beats_meeting_statics'] else 'LOSES TO'}"
+          f" statics meeting budget {frontier['static_meeting_budget']}")
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -653,7 +692,8 @@ def cmd_trace(args) -> int:
 
     run_chaos(seed=args.seed, ops=args.ops, records=args.records,
               tamper_every=args.tamper_every, server=args.server,
-              failover=args.failover, batched=args.batched)
+              failover=args.failover, batched=args.batched,
+              pipelined=args.pipelined)
     print(f"# trace ring: {len(TRACER)} events held, "
           f"{TRACER.dropped} dropped (capacity {TRACER.capacity})")
     if args.find_lifecycle:

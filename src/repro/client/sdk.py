@@ -154,11 +154,17 @@ class RetryingClient:
         request.generation = generation
         self.redirects += 1
 
-    def _vet(self, result: ServerResult, trace: str) -> ServerResult:
+    def _vet(self, result: ServerResult, trace: str,
+             expected_nonce: int | None = None) -> ServerResult:
         """Cross-check a server reply against trusted client state before
         handing it to the caller — the client-side half of the detection
         surface (host-owned tables are not evidence; receipts are).
 
+        * The echoed nonce must be the one this request carried. Under
+          pipelined settlement receipts stream back across pumps, so a
+          byzantine host gets a new degree of freedom — pairing this
+          request with some *other* in-flight ticket's settled result —
+          and the nonce echo is what pins the pairing.
         * The vouched generation must never regress below the one this
           endpoint adopted via a verified fence receipt.
         * A deduplicated reply (served from the host-owned idempotency
@@ -166,6 +172,14 @@ class RetryingClient:
           holds for that nonce, if it holds one — a mismatch means the
           recorded answer was rewritten after the fact.
         """
+        if expected_nonce is not None and result.nonce != expected_nonce:
+            TRACER.record("detect", self.server.now, trace,
+                          detector="sdk_receipt_binding",
+                          nonce=result.nonce, expected=expected_nonce)
+            raise ReceiptBindingError(
+                f"reply echoes nonce {result.nonce} but this request "
+                f"carried {expected_nonce}: the host mis-paired a "
+                f"streamed settlement with the wrong in-flight request")
         if result.generation < self.generation:
             TRACER.record("detect", self.server.now, trace,
                           detector="sdk_generation",
@@ -248,7 +262,8 @@ class RetryingClient:
                               attempt=attempt,
                               after=type(last).__name__ if last else None)
             try:
-                result = self._vet(self.server.handle(request), trace)
+                result = self._vet(self.server.handle(request), trace,
+                                   expected_nonce=request.nonce)
                 if result.stale:
                     self._vet_stale(result, request.op.key.bits, trace)
                 return result
@@ -269,7 +284,8 @@ class RetryingClient:
                                                    request.nonce)
                 if status == "done":
                     # It crossed the failover; don't fork.
-                    return self._vet(result, trace)
+                    return self._vet(result, trace,
+                                     expected_nonce=request.nonce)
                 if status == "pending":
                     continue
                 request = self._envelope(kind, key, payload, trace,
@@ -281,7 +297,8 @@ class RetryingClient:
                                                    request.nonce)
                 if status == "done":
                     # Applied; the response was what we lost.
-                    return self._vet(result, trace)
+                    return self._vet(result, trace,
+                                     expected_nonce=request.nonce)
                 if status == "pending":
                     continue  # queued behind a recovery: poll, don't fork
                 # "unknown": provably never applied — a fresh envelope
@@ -290,7 +307,8 @@ class RetryingClient:
                                          max_stale_epochs)
         resolved = self.server.cancel(request.client_id, request.nonce)
         if resolved is not None:
-            return self._vet(resolved, trace)
+            return self._vet(resolved, trace,
+                             expected_nonce=request.nonce)
         self.gave_up += 1
         raise RetriesExhaustedError(
             f"{kind} abandoned after {self.policy.max_attempts} attempts "

@@ -45,6 +45,7 @@ from repro.crypto.multiset import aggregate
 from repro.crypto.prf import Prf
 from repro.enclave.sealed import SealedSlot, seal_hash
 from repro.errors import (
+    EnclaveRebootError,
     EnclaveUnavailableError,
     EpochError,
     ProtocolError,
@@ -317,6 +318,17 @@ class VerifierGroup:
 
     def _require_repl_key(self) -> MacKey:
         if self._repl_key is None:
+            if not self._loaded:
+                # A rebooted enclave lost the volatile channel session
+                # along with the rest of its verifier state. That is an
+                # availability condition — the heal ladder restores the
+                # sealed state and the manager re-anchors the session —
+                # not an API misuse by the caller, and it must not type
+                # as one: the serving loop absorbs AvailabilityError and
+                # heals, while a ProtocolError would escape untyped.
+                raise EnclaveRebootError(
+                    "replication channel session lost with the enclave's "
+                    "volatile state; recover before shipping")
             raise ProtocolError("no replication channel key installed")
         return self._repl_key
 

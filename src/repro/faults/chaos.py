@@ -138,6 +138,12 @@ class ChaosReport:
     unrecoverable: bool = False
     #: The soak ran with the background scrubber armed (--scrub).
     scrub: bool = False
+    #: The soak ran the batched loop with pipelined settlement
+    #: (--pipelined): per-shard flushes dispatch without resolving
+    #: tickets; receipts stream back across the following pumps.
+    pipelined: bool = False
+    #: Shard batches dispatched as pipelined ecalls (--pipelined only).
+    pipelined_batches: int = 0
     #: Device pages the scrubber re-verified.
     scrub_pages: int = 0
     #: Pages the scrubber caught corrupt and quarantined.
@@ -193,6 +199,10 @@ class ChaosReport:
                          self.quarantined_final, self.provisional_serves):
                 h.update(str(part).encode() + b";")
             h.update(self.repair_ledger_digest.encode() + b";")
+        if self.pipelined:
+            # Opt-in fold (mirrors scrub): legacy synchronous digests
+            # stay byte-identical to their pinned values.
+            h.update(f"pipelined={self.pipelined_batches};".encode())
         for point in sorted(self.fault_fires):
             h.update(f"{point}={self.fault_fires[point]};".encode())
         for failure in self.hard_failures:
@@ -220,7 +230,8 @@ class _ChaosRun:
                  plan: FaultPlan | None, tamper_every: int | None,
                  server: bool = False, failover: bool = False,
                  batched: bool = False, standbys: int = 1,
-                 scrub: bool = False):
+                 scrub: bool = False, pipelined: bool = False):
+        batched = batched or pipelined  # pipelined implies group commit
         self.seed = seed
         self.n_ops = ops
         self.n_records = records
@@ -255,6 +266,7 @@ class _ChaosRun:
         self.server_mode = server or failover or batched
         self.failover_mode = failover
         self.batched_mode = batched
+        self.pipelined_mode = pipelined
         #: Ops accumulated for the next group-commit pump (--batched).
         self._burst: list[tuple] = []
         self.server = None   # FastVerServer in --server mode
@@ -266,7 +278,8 @@ class _ChaosRun:
         #: each must be refuted by a detection or rolled back by a heal
         #: before the next clean settlement, or the run hard-fails.
         self._unsettled_serves: list[str] = []
-        self.report = ChaosReport(seed=seed, scrub=scrub)
+        self.report = ChaosReport(seed=seed, scrub=scrub,
+                                  pipelined=pipelined)
         self.generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
                                        distribution="zipfian", theta=0.9,
                                        seed=seed)
@@ -317,9 +330,11 @@ class _ChaosRun:
             if self.batched_mode:
                 # Small batches + a generous linger window: the soak's
                 # bursts fill shards within one pump, and every ticket
-                # resolves before the pump returns.
+                # resolves before the pump returns — or, in --pipelined
+                # mode, within the bounded settle drain that follows.
                 cfg = ServerConfig(group_commit=True, max_batch_ops=4,
-                                   max_batch_ticks=16.0)
+                                   max_batch_ticks=16.0,
+                                   pipeline=self.pipelined_mode)
             if self.scrub_mode:
                 # Opt-in: existing (non-scrub) soak digests stay pinned.
                 cfg.scrub_enabled = True
@@ -649,6 +664,7 @@ class _ChaosRun:
                 continue
             tickets.append((kind, k, payload, ticket))
         self.server.pump()
+        self._drain_pipeline(tickets)
         self._retry_fenced(tickets)
         pre = dict(self.current)
         self._absorb_heals()
@@ -727,6 +743,21 @@ class _ChaosRun:
             tickets[i] = (kind, k, payload, new_ticket)
             retried = True
         if retried:
+            self.server.pump()
+            self._drain_pipeline(tickets)
+
+    def _drain_pipeline(self, tickets: list) -> None:
+        """Pump until every burst ticket's streamed receipt settles.
+        Pipelined flushes resolve tickets on *later* pumps by design,
+        so the burst oracle below would otherwise see in-flight work as
+        unresolved. Bounded: a ticket still pending after the drain is
+        a genuine liveness bug, and the unresolved-ticket hard failure
+        in :meth:`_flush_burst` names it."""
+        if not self.pipelined_mode:
+            return
+        for _ in range(8):
+            if all(t.done for _, _, _, t in tickets):
+                return
             self.server.pump()
 
     def _tamper_round(self, k: int) -> None:
@@ -1068,6 +1099,8 @@ class _ChaosRun:
             if self.plan.fires(point)
         }
         self.report.receipts_dropped = self.db.receipt_channel.dropped
+        if self.pipelined_mode and self.server is not None:
+            self.report.pipelined_batches = self.server.batches_pipelined
         if self.server is not None and self.server.replication is not None:
             self._check_convergence()  # may run one settling heal first
             repl = self.server.replication
@@ -1099,7 +1132,8 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
               tamper_every: int | None = None,
               server: bool = False, failover: bool = False,
               batched: bool = False, standbys: int = 1,
-              scrub: bool = False) -> ChaosReport:
+              scrub: bool = False,
+              pipelined: bool = False) -> ChaosReport:
     """Run one chaos soak; see the module docstring for the contract.
 
     ``server=True`` drives the workload through the full serving pipeline
@@ -1120,6 +1154,15 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     settled by one pump over per-shard batches, and the oracle resolves
     put outcomes through the idempotency table (``cancel``), which stays
     definitive under batched completion order.
+
+    ``pipelined=True`` (implies batched mode) additionally decouples
+    settlement from dispatch: per-shard flushes go out as pipelined
+    ecalls whose receipts stream back across the following pumps, so
+    the burst loop drains with extra pumps until every ticket settles.
+    The oracle is unchanged — streamed completion must be observably
+    equivalent to synchronous completion — and legacy (non-pipelined)
+    digests stay byte-identical because the report folds the pipelined
+    tallies into the digest only when the mode is armed.
 
     The observability layer (repro.obs) is reset at the start of each
     soak, so the trace ring and histograms afterwards describe exactly
@@ -1145,4 +1188,4 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     """
     obs_reset()
     return _ChaosRun(seed, ops, records, plan, tamper_every, server,
-                     failover, batched, standbys, scrub).run()
+                     failover, batched, standbys, scrub, pipelined).run()

@@ -128,6 +128,14 @@ class Counters:
     batch_ops_total: int = 0        # client ops carried by those batches
     crossings_saved: int = 0        # ecalls avoided vs. one-crossing-per-op
 
+    # Pipelined settlement & latency-budget controller (server/pipeline.py,
+    # server/controller.py)
+    settlement_overflow: int = 0    # oldest pending receipt observations dropped
+    controller_grows: int = grouped("controller")    # AIMD additive increases
+    controller_shrinks: int = grouped("controller")  # AIMD multiplicative decreases
+    # Deepest the pipelined receipt stream ever got (in-flight batches).
+    inflight_batches_max: int = gauge_max("controller")
+
     @property
     def batch_fill_avg(self) -> float:
         """Mean ops per group-commit batch (derived, so per-worker merges

@@ -148,11 +148,22 @@ UNITS = {
 
 
 class LatencyRecorder:
-    """The named bag of histograms the serving stack records into."""
+    """The named bag of histograms the serving stack records into.
+
+    Every observation lands in two places: the **cumulative** histogram
+    (the run-lifetime distribution every export reads) and a parallel
+    **window** histogram that accumulates only since it was last taken.
+    :meth:`take_window` is reset-on-read: it returns the interval view
+    and starts a fresh one — the sensor the latency-budget controller
+    polls, so a breach in the last interval is not diluted by an hour of
+    healthy history. Windows carry full histograms (not snapshot
+    deltas), so interval min/max and quantiles are exact to the same
+    ``1/SUBBUCKETS`` bound as the cumulative view."""
 
     def __init__(self):
         self.enabled = True
         self._hists: dict[str, LogHistogram] = {}
+        self._windows: dict[str, LogHistogram] = {}
 
     def observe(self, name: str, value: float) -> None:
         if not self.enabled:
@@ -162,6 +173,11 @@ class LatencyRecorder:
             hist = self._hists[name] = LogHistogram(
                 name, UNITS.get(name, "ticks"))
         hist.observe(value)
+        window = self._windows.get(name)
+        if window is None:
+            window = self._windows[name] = LogHistogram(
+                name, UNITS.get(name, "ticks"))
+        window.observe(value)
 
     def get(self, name: str) -> LogHistogram:
         """The named histogram (an empty one if nothing recorded yet)."""
@@ -171,11 +187,28 @@ class LatencyRecorder:
                 name, UNITS.get(name, "ticks"))
         return hist
 
+    def window(self, name: str) -> LogHistogram:
+        """Peek at the named interval histogram (observations since the
+        last :meth:`take_window`) without resetting it."""
+        window = self._windows.get(name)
+        if window is None:
+            window = self._windows[name] = LogHistogram(
+                name, UNITS.get(name, "ticks"))
+        return window
+
+    def take_window(self, name: str) -> LogHistogram:
+        """Reset-on-read: return the named interval histogram and start
+        a fresh window. The cumulative histogram is untouched."""
+        taken = self.window(name)
+        self._windows[name] = LogHistogram(name, UNITS.get(name, "ticks"))
+        return taken
+
     def names(self) -> list[str]:
         return sorted(self._hists)
 
     def reset(self) -> None:
         self._hists.clear()
+        self._windows.clear()
 
     def as_dict(self, full: bool = False) -> dict:
         return {name: (self._hists[name].as_dict() if full

@@ -24,7 +24,13 @@ stage       staged into a shard's open group-commit batch
 flush       the request's shard batch flushed to the verifier
 ecall       an enclave crossing settled (batch apply / epoch close)
 receipt     per-op result recorded (provisional completion)
+settle      pipelined receipt streamed back; the ticket resolved on a
+            later pump than the one that dispatched its batch (detail:
+            shard, pumps in flight)
 epoch       epoch receipt settled; pending verified ops became durable
+controller  latency-budget controller evaluated a verified-latency
+            window (detail: action=grow|shrink, window p99, budget,
+            new batch/linger bounds)
 fence       request rejected with ``NotLeaderError`` (stale generation)
 redirect    client adopted a fence receipt and re-stamped generation
 retry       client (or chaos burst loop) re-submitted after a failure

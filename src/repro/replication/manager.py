@@ -126,6 +126,11 @@ class ReplicationManager:
         self.epoch_markers = 0
         self.replica_reads = 0
         self._key_bytes: bytes | None = None
+        #: Whether the *current* primary enclave holds the session key.
+        #: Heals wipe it (channel state is deliberately not checkpointed);
+        #: regrowing members around a keyless primary would poison the
+        #: stream at the first signature, so top-up checks this first.
+        self._primary_keyed = False
         self._next_standby_id = 0
         self._needs_top_up = False
         self._lease_expires_at = float("-inf")
@@ -184,6 +189,7 @@ class ReplicationManager:
         self._key_bytes = key.key_bytes()
         sh = self.shipper
         db._ecall("repl_set_key", self._key_bytes, sh.next_seq, sh.chain)
+        self._primary_keyed = True
         self.standbys = [self._spawn()
                          for _ in range(self.config.n_standbys)]
         self._lease_expires_at = float("-inf")
@@ -218,6 +224,7 @@ class ReplicationManager:
         shipper's floor.
         """
         self.shipper.drain_entries()
+        self._primary_keyed = False  # the heal wiped the channel session
         self._try_bootstrap()
 
     def resync_standby(self, index: int) -> None:
@@ -277,6 +284,16 @@ class ReplicationManager:
         """Grow the group back to its configured size from the live
         primary (post-promotion, deferred out of the RTO-critical path)."""
         self._needs_top_up = False
+        if not self._primary_keyed:
+            # A heal wiped the primary's channel session and the re-anchor
+            # bootstrap could not complete (primary was still unhealthy).
+            # Members spawned now would tail a primary that cannot sign a
+            # single shipment — re-anchor the whole group instead, and on
+            # failure stay queued for the next pump.
+            self._try_bootstrap()
+            if not self._primary_keyed:
+                self._needs_top_up = True
+            return
         try:
             while len(self.standbys) < self.config.n_standbys:
                 db = self.server.db
@@ -664,6 +681,9 @@ class ReplicationManager:
             old_db.enclave.teardown()
         items = winner.db.items_snapshot()
         server._adopt_promoted(winner.db, generation, fences, items)
+        # The winner's enclave provably holds the session key (it admitted
+        # shipments under it), so the new primary can sign immediately.
+        self._primary_keyed = True
         self.standbys.remove(winner)
         self.failovers += 1
         COUNTERS.failovers += 1

@@ -80,6 +80,35 @@ class ServerConfig:
     max_batch_ops: int = 8
     #: Flush a shard's batch once its oldest op has lingered this long.
     max_batch_ticks: float = 8.0
+    # --- pipelined settlement (opt-in; requires group_commit) ---------
+    #: Dispatch each shard flush as a pipelined ecall whose receipts
+    #: stream back on subsequent pumps instead of settling inside the
+    #: pump that flushed it — admission overlaps verification. Off by
+    #: default: the receipt-synchronous pump is byte-identical.
+    pipeline: bool = False
+    #: Explicit bound on completions awaiting an epoch receipt. At the
+    #: bound, new submissions are shed with OverloadError (typed
+    #: backpressure); completions already in flight that push past it
+    #: drop the *oldest* pending latency observation, counted by
+    #: ``COUNTERS.settlement_overflow`` and traced — never silently.
+    settlement_capacity: int = 1 << 16
+    # --- latency-budget batch controller (opt-in; needs group_commit) -
+    #: p99 verified-latency budget in ticks. When set, an AIMD
+    #: controller adapts each shard's effective max_batch_ops /
+    #: max_batch_ticks to chase this budget: grow while under, halve on
+    #: breach. None keeps the static knobs above.
+    latency_budget_p99: float | None = None
+    #: Floor / ceiling the controller may move a shard's batch bound to.
+    controller_min_batch: int = 1
+    controller_max_batch: int = 256
+    #: Additive increase per under-budget evaluation (ops).
+    controller_grow_step: int = 4
+    #: Multiplicative decrease per over-budget evaluation.
+    controller_shrink_factor: float = 0.5
+    #: Linger coupling: a shard's effective max_batch_ticks is this many
+    #: ticks per op of its current batch bound, so a half-full batch
+    #: never lingers past the window the ops bound was sized for.
+    controller_ticks_per_op: float = 4.0
     #: Pacing/budget of one supervisor heal session (None = default).
     heal_backoff: BackoffPolicy | None = None
     # --- recovery-ladder cost model (simulated ticks per rung) --------
@@ -208,6 +237,24 @@ class _Completion:
     durable: bool = False
 
 
+@dataclass
+class _InFlightBatch:
+    """A dispatched group commit whose receipts are still streaming back
+    (``config.pipeline`` only). The ecall already ran — completions are
+    recorded, state is applied — but the tickets resolve on a later
+    pump, when the receipt stream delivers them. ``generation`` pins the
+    leadership view at dispatch: settling under a newer generation
+    rejects every ticket with ``NotLeaderError`` instead of vouching for
+    receipts a deposed leader minted."""
+
+    shard: int
+    #: (ticket, result-or-None, per-op error-or-None), in batch order.
+    entries: list[tuple[Ticket, ServerResult | None, Exception | None]]
+    generation: int
+    dispatched_at: float
+    dispatched_pump: int
+
+
 class FastVerServer:
     """The resilient serving layer around one :class:`FastVer`.
 
@@ -273,11 +320,25 @@ class FastVerServer:
         self._staged_keys: dict[tuple[int, int], int] = {}
         self.batches_flushed = 0
         self.batch_ops_flushed = 0
+        #: Pipelined dispatches whose receipts have not streamed back yet
+        #: (config.pipeline only); settled by later pumps FIFO.
+        self._inflight: deque = deque()
+        #: Monotone pump counter: an in-flight batch settles once the
+        #: pump counter has moved past the pump that dispatched it.
+        self._pump_seq = 0
+        self.batches_pipelined = 0
         #: (trace, submitted_at) of completions whose epoch receipt is
         #: still pending — drained into the verified-latency histogram by
-        #: the next successful epoch close (bounded; oldest observations
-        #: are dropped, not requests).
-        self._awaiting_epoch: deque = deque(maxlen=1 << 16)
+        #: the next successful epoch close. Explicitly bounded by
+        #: config.settlement_capacity: submissions are shed at the bound
+        #: and any overflow past it (work already admitted) drops the
+        #: oldest observation with a counter bump and a trace event.
+        self._awaiting_epoch: deque = deque()
+        #: AIMD latency-budget controller (None unless configured).
+        self._controller = None
+        if cfg.latency_budget_p99 is not None and cfg.group_commit:
+            from repro.server.controller import LatencyBudgetController
+            self._controller = LatencyBudgetController(self)
         #: bitkey() memo. The derivation is pure in the configured key
         #: width, so entries stay valid across recovery and salvage.
         self._bitkey_cache: OrderedDict = OrderedDict()
@@ -341,6 +402,18 @@ class FastVerServer:
                           reason="queue_full")
             raise OverloadError(
                 f"admission queue full ({self.config.queue_capacity})")
+        if len(self._awaiting_epoch) >= self.config.settlement_capacity:
+            # Typed backpressure: the settlement queue is a real resource;
+            # admitting more work at the bound would silently discard the
+            # oldest pending receipt observation instead.
+            COUNTERS.shed += 1
+            TRACER.record("shed", self.now, request.trace,
+                          reason="settlement_backlog")
+            raise OverloadError(
+                f"settlement backlog at capacity "
+                f"({self.config.settlement_capacity} completions awaiting "
+                f"an epoch receipt); close an epoch (maintain) before "
+                f"submitting more")
         if self.faults is not None and \
                 self.faults.fire("server.queue.shed"):
             COUNTERS.shed += 1
@@ -389,9 +462,20 @@ class FastVerServer:
 
     def handle(self, request: ServerRequest) -> ServerResult:
         """Synchronous convenience: submit, drain the queue, and return
-        this request's outcome (raising its typed error, if any)."""
+        this request's outcome (raising its typed error, if any). Under
+        ``config.pipeline`` the receipt streams back on a later pump, so
+        the drain keeps pumping until this ticket settles."""
         ticket = self.submit(request)
         self.pump()
+        if self.config.pipeline:
+            for _ in range(64):
+                if ticket.done:
+                    break
+                self.pump()
+            if not ticket.done:
+                raise RuntimeError(
+                    "pipelined ticket failed to settle: a dispatched "
+                    "batch never streamed its receipt back")
         if ticket.error is not None:
             raise ticket.error
         assert ticket.result is not None
@@ -579,6 +663,16 @@ class FastVerServer:
         if request.submitted_at is not None:
             self._awaiting_epoch.append((request.trace,
                                          request.submitted_at))
+            while len(self._awaiting_epoch) > \
+                    self.config.settlement_capacity:
+                # Work admitted before the backlog filled can still push
+                # past the bound; the drop is counted and traced, never
+                # silent (the request itself is unaffected — only its
+                # pending latency observation is lost).
+                dropped, _ = self._awaiting_epoch.popleft()
+                COUNTERS.settlement_overflow += 1
+                TRACER.record("shed", self.now, dropped,
+                              reason="settlement_overflow")
         if self.replication is not None and request.kind == "put":
             # Ship the signed request itself: the standby's enclave
             # re-validates the client MAC, so the channel never has to be
@@ -598,10 +692,21 @@ class FastVerServer:
         when its oldest staged op has lingered ``max_batch_ticks``, when a
         staged op's deadline is about to expire, or when a retry of an
         already-staged (client, nonce) arrives (so the retry is answered
-        from the idempotency table instead of being staged twice). Every
-        open batch flushes before pump returns — group commit batches
-        crossings, never acknowledgements."""
+        from the idempotency table instead of being staged twice).
+
+        Receipt-synchronous mode (the default): every open batch flushes
+        and settles before pump returns — group commit batches crossings,
+        never acknowledgements. Pipelined mode (``config.pipeline``):
+        the pump first settles receipts streamed back from batches
+        dispatched on earlier pumps, and open batches may stay staged
+        across pumps while new work keeps arriving, so deep batches fill
+        while admission continues; an idle pump (nothing admitted, queue
+        empty) dispatches whatever is staged rather than stall."""
         processed = 0
+        pipelined = self.config.pipeline
+        if pipelined:
+            self._pump_seq += 1
+            self._settle_inflight()
         while self.queue and (max_requests is None
                               or processed < max_requests):
             ticket = self.queue.popleft()
@@ -649,12 +754,33 @@ class FastVerServer:
                           shard=shard, depth=len(batch) + 1)
             batch.append(ticket)
             self._staged_keys[dedup_key] = shard
-            if len(batch) >= self.config.max_batch_ops:
+            if len(batch) >= self._batch_limit(shard):
                 self._flush_shard(shard)
             else:
                 self._flush_due()
-        self._flush_open_batches()
+        if pipelined:
+            self._flush_due()
+            if processed == 0 and not self.queue:
+                # Idle pump: no new arrivals can deepen the open batches
+                # this pump, so dispatch them instead of stalling the
+                # receipt stream.
+                self._flush_open_batches()
+        else:
+            self._flush_open_batches()
         return processed
+
+    def _batch_limit(self, shard: int) -> int:
+        """Effective max_batch_ops for a shard: the controller's adapted
+        bound when one is running, else the static knob."""
+        if self._controller is not None:
+            return self._controller.batch_limit(shard)
+        return self.config.max_batch_ops
+
+    def _linger_limit(self, shard: int) -> float:
+        """Effective max_batch_ticks for a shard (see _batch_limit)."""
+        if self._controller is not None:
+            return self._controller.linger_limit(shard)
+        return self.config.max_batch_ticks
 
     def _flush_due(self) -> None:
         """Flush shards whose linger window closed or whose oldest staged
@@ -665,7 +791,7 @@ class FastVerServer:
             if not batch:
                 continue
             age = self.now - self._shard_opened.get(shard, self.now)
-            if age >= self.config.max_batch_ticks or \
+            if age >= self._linger_limit(shard) or \
                     any(t.request.deadline <= horizon for t in batch):
                 self._flush_shard(shard)
 
@@ -738,34 +864,112 @@ class FastVerServer:
                               type=type(exc).__name__)
                 ticket.done = True
             return
-        for ticket, outcome in zip(live, outcomes):
-            if outcome.error is not None:
-                ticket.error = outcome.error
-                TRACER.record("error", self.now, ticket.request.trace,
-                              type=type(outcome.error).__name__)
+        if self.config.pipeline:
+            # Pipelined dispatch: the ecall ran and its effects are the
+            # truth now — completions recorded, provisional state applied
+            # — but the tickets resolve when the receipt stream delivers
+            # them on a later pump (_settle_inflight). The response-wire
+            # fault point moves with the response: it fires at settle.
+            entries: list = []
+            for ticket, outcome in zip(live, outcomes):
+                if outcome.error is not None:
+                    entries.append((ticket, None, outcome.error))
+                    continue
+                result = ServerResult(outcome.payload, outcome.nonce,
+                                      generation=self.generation)
+                self.breaker.record_success()
+                self._record_completion(ticket.request, result)
+                entries.append((ticket, result, None))
+            self._inflight.append(_InFlightBatch(
+                shard, entries, self.generation, self.now,
+                self._pump_seq))
+            self.batches_pipelined += 1
+            COUNTERS.inflight_batches_max = max(
+                COUNTERS.inflight_batches_max, len(self._inflight))
+        else:
+            for ticket, outcome in zip(live, outcomes):
+                if outcome.error is not None:
+                    ticket.error = outcome.error
+                    TRACER.record("error", self.now, ticket.request.trace,
+                                  type=type(outcome.error).__name__)
+                    ticket.done = True
+                    continue
+                result = ServerResult(outcome.payload, outcome.nonce,
+                                      generation=self.generation)
+                self.breaker.record_success()
+                self._record_completion(ticket.request, result)
+                if self.faults is not None and \
+                        self.faults.fire("server.wire.response"):
+                    COUNTERS.wire_drops += 1
+                    TRACER.record("drop", self.now, ticket.request.trace,
+                                  wire="response")
+                    ticket.error = WireDropError(
+                        "response lost on the server->client wire (the "
+                        "operation WAS applied; the idempotency table "
+                        "remembers it)")
+                    ticket.done = True
+                    continue
+                ticket.result = result
                 ticket.done = True
-                continue
-            result = ServerResult(outcome.payload, outcome.nonce,
-                                  generation=self.generation)
-            self.breaker.record_success()
-            self._record_completion(ticket.request, result)
-            if self.faults is not None and \
-                    self.faults.fire("server.wire.response"):
-                COUNTERS.wire_drops += 1
-                TRACER.record("drop", self.now, ticket.request.trace,
-                              wire="response")
-                ticket.error = WireDropError(
-                    "response lost on the server->client wire (the "
-                    "operation WAS applied; the idempotency table "
-                    "remembers it)")
-                ticket.done = True
-                continue
-            ticket.result = result
-            ticket.done = True
         if self.replication is not None:
             # Shipping coalesces along batch boundaries: everything this
             # group commit produced travels in one shipment.
             self.replication.note_boundary()
+
+    def _settle_inflight(self, force: bool = False) -> None:
+        """Resolve dispatched batches whose receipts streamed back:
+        everything dispatched on an earlier pump — or everything still in
+        flight, when ``force`` (maintain() and the final drain must not
+        leave receipts hanging)."""
+        while self._inflight and (
+                force or self._inflight[0].dispatched_pump
+                < self._pump_seq):
+            record = self._inflight.popleft()
+            deposed = record.generation != self.generation
+            for ticket, result, error in record.entries:
+                request = ticket.request
+                if deposed:
+                    # The receipt was minted by a leadership generation
+                    # that has since been fenced off; an honest server
+                    # refuses to vouch for it. The operation itself DID
+                    # apply and survived promotion (completions are
+                    # durable across _adopt_promoted), so the client
+                    # resolves through the idempotency table after
+                    # adopting the fence.
+                    TRACER.record("fence", self.now, request.trace,
+                                  stale=record.generation,
+                                  current=self.generation, streamed=True)
+                    ticket.error = NotLeaderError(
+                        f"streamed receipt was dispatched under deposed "
+                        f"generation {record.generation}, current is "
+                        f"{self.generation}; fetch leader_info, adopt "
+                        f"the fence receipt, and resolve through the "
+                        f"idempotency table")
+                    ticket.done = True
+                    continue
+                if error is not None:
+                    ticket.error = error
+                    TRACER.record("error", self.now, request.trace,
+                                  type=type(error).__name__)
+                    ticket.done = True
+                    continue
+                TRACER.record("settle", self.now, request.trace,
+                              shard=record.shard,
+                              pumps=self._pump_seq
+                              - record.dispatched_pump)
+                if self.faults is not None and \
+                        self.faults.fire("server.wire.response"):
+                    COUNTERS.wire_drops += 1
+                    TRACER.record("drop", self.now, request.trace,
+                                  wire="response")
+                    ticket.error = WireDropError(
+                        "response lost on the server->client wire (the "
+                        "operation WAS applied; the idempotency table "
+                        "remembers it)")
+                    ticket.done = True
+                    continue
+                ticket.result = result
+                ticket.done = True
 
     # ------------------------------------------------------------------
     # Degraded mode
@@ -1037,6 +1241,10 @@ class FastVerServer:
             # staged work first so the maintain marker lands on a batch
             # boundary.
             self._flush_open_batches()
+        if self._inflight:
+            # Nor may it straddle receipts still streaming back: deliver
+            # every in-flight dispatch before the epoch closes.
+            self._settle_inflight(force=True)
         if self.degraded:
             if not self.supervisor.try_heal():
                 raise DegradedModeError(
@@ -1055,6 +1263,10 @@ class FastVerServer:
             # own epoch and advances its sealed floor in step.
             self.replication.note_epoch(report.epoch)
         self._settle_verified(epoch=report.epoch)
+        if self._controller is not None:
+            # The epoch close just fed the verified-latency window; let
+            # the controller walk the batch bounds against its budget.
+            self._controller.observe_epoch()
         for entry in self.completed.values():
             entry.durable = True
         self.committed_reads.update(self.provisional_reads)
@@ -1106,7 +1318,16 @@ class FastVerServer:
                 "batch_ops_flushed": self.batch_ops_flushed,
                 "bitkey_cache": {"hits": self.bitkey_hits,
                                  "misses": self.bitkey_misses},
+                "pipeline": self.config.pipeline,
+                "inflight_batches": len(self._inflight),
+                "inflight_ops": sum(len(r.entries)
+                                    for r in self._inflight),
+                "batches_pipelined": self.batches_pipelined,
+                "settlement_backlog": len(self._awaiting_epoch),
+                "settlement_capacity": self.config.settlement_capacity,
             },
+            "controller": None if self._controller is None
+            else self._controller.snapshot(),
             "scrub": None if self._scrubber is None else {
                 "pages_checked": self._scrubber.pages_checked,
                 "mismatches": self._scrubber.mismatches_found,

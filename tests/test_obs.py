@@ -91,6 +91,64 @@ class TestLogHistogram:
         assert rec.get("x").count == 1
 
 
+class TestWindowedViews:
+    def test_take_window_is_reset_on_read(self):
+        rec = LatencyRecorder()
+        for v in (1.0, 2.0, 3.0):
+            rec.observe("w", v)
+        first = rec.take_window("w")
+        assert first.count == 3
+        # The window restarted; the cumulative view kept everything.
+        assert rec.window("w").count == 0
+        assert rec.get("w").count == 3
+        rec.observe("w", 50.0)
+        second = rec.take_window("w")
+        assert second.count == 1
+        assert second.min_value == second.max_value == 50.0
+        assert rec.get("w").count == 4
+
+    def test_window_peek_does_not_reset(self):
+        rec = LatencyRecorder()
+        rec.observe("w", 7.0)
+        assert rec.window("w").count == 1
+        assert rec.window("w").count == 1  # peeking twice is idempotent
+
+    def test_window_quantiles_hold_the_subbucket_bound(self):
+        """Interval views are full histograms, so their quantiles carry
+        the same 1/SUBBUCKETS relative error bound as the cumulative
+        view — undiluted by observations from earlier intervals."""
+        rec = LatencyRecorder()
+        # A noisy earlier interval that must not leak into the next.
+        for v in range(10_000, 10_050):
+            rec.observe("w", float(v))
+        rec.take_window("w")
+        values = sorted(float(v) for v in range(1, 500, 3))
+        for v in values:
+            rec.observe("w", v)
+        window = rec.take_window("w")
+        assert window.count == len(values)
+        for p in (50.0, 95.0, 99.0):
+            exact = values[max(0, math.ceil(len(values) * p / 100.0) - 1)]
+            got = window.percentile(p)
+            assert got >= exact
+            assert got <= exact * (1.0 + 1.0 / SUBBUCKETS) + 1e-9
+        # The cumulative view still spans both intervals.
+        assert rec.get("w").max_value == 10_049.0
+
+    def test_reset_clears_windows_too(self):
+        rec = LatencyRecorder()
+        rec.observe("w", 5.0)
+        rec.reset()
+        assert rec.get("w").count == 0
+        assert rec.window("w").count == 0
+
+    def test_disabled_recorder_skips_windows(self):
+        rec = LatencyRecorder()
+        rec.enabled = False
+        rec.observe("w", 5.0)
+        assert rec.window("w").count == 0
+
+
 class TestTracer:
     def test_ring_bounded_and_drop_counted(self):
         tracer = Tracer(capacity=4)
