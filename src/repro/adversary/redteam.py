@@ -731,6 +731,11 @@ def run_redteam(seed: int = 7, topologies=None,
     system, an ``attack`` trace event at injection, and a ``detect``
     trace event at verdict time."""
     obs_reset()
+    # Spool-backed forensics: an escape's dump must cover the whole
+    # matrix run, not the ring's tail — a 30-cell sweep records far more
+    # than 4096 events, and the cell that escaped may be long evicted.
+    from repro.obs.sink import TraceSpool
+    TRACER.attach_sink(TraceSpool())
     report = RedTeamReport(seed=seed)
     for attack, topology in matrix(topologies, attacks):
         trace = f"redteam-{attack}-{topology}"
@@ -756,9 +761,15 @@ def run_redteam(seed: int = 7, topologies=None,
             detected=detected, detector=detector, latency_ticks=latency,
             note=note, trace=trace))
     if report.escapes:
+        spool = TRACER.sink
+        source = spool if spool is not None else TRACER
         report.forensics = {
             "seed": seed,
             "ring_dropped": TRACER.dropped,
-            "events": [e.as_dict() for e in TRACER.last(200)],
+            "source": "spool" if spool is not None else "ring",
+            "spool": spool.stats() if spool is not None else None,
+            "events": [e.as_dict() for e in (
+                source.events() if spool is not None
+                else TRACER.last(200))],
         }
     return report

@@ -127,7 +127,8 @@ def _drain(server, tickets: list, pumps: int = 64) -> None:
 
 
 def _run_one(batch: int, records: int, ops: int, seed: int,
-             pipeline: bool = False) -> dict:
+             pipeline: bool = False, obs_full: bool = False,
+             maintain_every_waves: int | None = None) -> dict:
     """One sweep point: drive ``ops`` through the batched loop at this
     ``max_batch_ops``, with the counters scoped to the op phase only.
 
@@ -135,24 +136,40 @@ def _run_one(batch: int, records: int, ops: int, seed: int,
     receipts and the wave is pinned at the synchronous batch-64 wave
     (``N_WORKERS * 64``) so the admission-wait distribution is directly
     comparable to that row; modeled time switches to the overlapped
-    :meth:`CostModel.pipelined_total_ns`."""
+    :meth:`CostModel.pipelined_total_ns`.
+
+    ``obs_full=True`` arms the whole observability pipeline — persistent
+    spool, exemplar sampling, SLO engine — for the overhead pin;
+    ``maintain_every_waves`` closes an epoch every N submission waves so
+    the SLO engine and exemplars actually have settlements to chew on
+    (both arms of the overhead comparison must use the same cadence)."""
     wave = N_WORKERS * 64 if pipeline else max(1, N_WORKERS * batch)
-    db, client, server = _build_server(records, batch, seed,
-                                       pipeline=pipeline,
-                                       queue_capacity=max(64, 4 * batch,
-                                                          wave))
+    cfg = dict(pipeline=pipeline,
+               queue_capacity=max(64, 4 * batch, wave))
+    if obs_full:
+        from repro.obs.slo import SloConfig
+        cfg["slo"] = SloConfig()
+    db, client, server = _build_server(records, batch, seed, **cfg)
     requests = _stream(client, server, records, ops, seed)
     # Submission waves sized so every shard can fill to ``batch`` within
     # one pump (N_WORKERS shards share each wave).
     obs_reset()
+    if obs_full:
+        from repro.obs import TRACER
+        from repro.obs.sink import TraceSpool
+        TRACER.attach_sink(TraceSpool())
     COUNTERS.reset()
     tickets = []
     i = 0
+    waves = 0
     while i < len(requests):
         for request in requests[i:i + wave]:
             tickets.append(server.submit(request))
         server.pump()
         i += wave
+        waves += 1
+        if maintain_every_waves and waves % maintain_every_waves == 0:
+            server.maintain()
     if pipeline:
         _drain(server, tickets)
     crossings = COUNTERS.enclave_entries
@@ -214,24 +231,39 @@ def _bitkey_note(server, records: int, probes: int = 20000) -> dict:
 TRACING_OVERHEAD_BOUND = 0.10
 
 
+#: Epoch-close cadence of the overhead comparison (both arms): the SLO
+#: engine evaluates per epoch and exemplars sample settled latencies, so
+#: a cadence-free run would pin an idle pipeline.
+OVERHEAD_MAINTAIN_EVERY_WAVES = 8
+
+
 def tracing_overhead(records: int = 400, ops: int = 2000, seed: int = 7,
                      batch: int = 16) -> dict:
-    """Run one sweep point with the observability layer off, then on, and
-    compare modeled throughput. Modeled time derives purely from the work
-    counters and tracing never bumps a counter, so the delta must stay
-    within :data:`TRACING_OVERHEAD_BOUND` (it is 0 by construction; the
-    bound guards against tracing ever leaking into the cost model)."""
+    """Run one sweep point with the observability layer off, then with
+    the *full* pipeline armed — tracing + persistent spool + exemplar
+    sampling + SLO engine — and compare modeled throughput. Both arms
+    close epochs at the same cadence, so the only difference is the
+    observability work. Modeled time derives purely from the work
+    counters; the obs layer never bumps one and the SLO wiring's own
+    counters are unpriced, so the delta must stay within
+    :data:`TRACING_OVERHEAD_BOUND` (it is 0 by construction; the bound
+    guards against observability ever leaking into the cost model)."""
     try:
         set_enabled(False)
-        off, _ = _run_one(batch, records, ops, seed)
+        off, _ = _run_one(
+            batch, records, ops, seed,
+            maintain_every_waves=OVERHEAD_MAINTAIN_EVERY_WAVES)
         set_enabled(True)
-        on, _ = _run_one(batch, records, ops, seed)
+        on, _ = _run_one(
+            batch, records, ops, seed, obs_full=True,
+            maintain_every_waves=OVERHEAD_MAINTAIN_EVERY_WAVES)
     finally:
         set_enabled(True)
     base = off["throughput_mops"]
     delta = abs(on["throughput_mops"] - base) / base if base else 0.0
     return {
         "batch": batch,
+        "armed": "trace+spool+exemplars+slo",
         "throughput_mops_tracing_off": base,
         "throughput_mops_tracing_on": on["throughput_mops"],
         "relative_delta": round(delta, 6),

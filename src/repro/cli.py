@@ -24,6 +24,11 @@ Commands:
 * ``trace``  — run a chaos scenario and query its span-based trace ring:
                filter by trace id / event kind, or reconstruct a full
                request lifecycle with ``--find-lifecycle``
+* ``obs``    — the persistent observability pipeline: ``tail`` the
+               trace spool of a scenario run, ``replay`` a persisted
+               spool directory cold (asserting replay fidelity against
+               the live ring), or print an ``slo-report`` of burn-rate
+               alerts and exemplars from an SLO-armed run
 
 These wrap the same public APIs the examples use; the CLI exists so a
 downstream user can poke the system without writing code.
@@ -108,6 +113,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "checkpoint-blob rot, repair failures); the "
                             "soak must end scrub-converged with zero "
                             "quarantined pages")
+    chaos.add_argument("--obs", action="store_true",
+                       help="arm the full observability pipeline: the SLO "
+                            "burn-rate engine on the server (tight p99 "
+                            "budget, so a stressed soak deterministically "
+                            "fires) with the alert tallies and the "
+                            "exemplar digest folded into the run digest")
+    chaos.add_argument("--spool-dir", default=None, metavar="DIR",
+                       help="persist the trace spool's JSONL segments to "
+                            "DIR (query later with 'repro obs replay "
+                            "--dir DIR --existing')")
     chaos.add_argument("--check-deterministic", action="store_true",
                        help="run twice and require identical digests")
     chaos.add_argument("--redteam", nargs="?", const="all", default=None,
@@ -196,6 +211,44 @@ def _build_parser() -> argparse.ArgumentParser:
                          "none does)")
     tr.add_argument("--json", action="store_true",
                     help="emit events as JSON lines instead of columns")
+
+    obs = sub.add_parser(
+        "obs",
+        help="persistent observability pipeline: spool tail/replay and "
+             "SLO burn-rate reports")
+    obs.add_argument("action", choices=["tail", "replay", "slo-report"],
+                     help="tail: run a scenario and print the spool's "
+                          "last events; replay: read a persisted spool "
+                          "cold and query it (running a scenario first "
+                          "unless --existing); slo-report: run an "
+                          "SLO-armed scenario and print the burn-rate "
+                          "and exemplar report")
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--ops", type=int, default=2000)
+    obs.add_argument("--records", type=int, default=200)
+    obs.add_argument("--server", action="store_true")
+    obs.add_argument("--failover", action="store_true")
+    obs.add_argument("--batched", action="store_true")
+    obs.add_argument("--pipelined", action="store_true")
+    obs.add_argument("--scrub", action="store_true")
+    obs.add_argument("--dir", default=None, metavar="DIR",
+                     help="spool directory: written by the scenario run, "
+                          "or read cold with --existing")
+    obs.add_argument("--existing", action="store_true",
+                     help="replay only: skip the scenario run and read "
+                          "the spool already persisted in --dir")
+    obs.add_argument("--trace", default=None,
+                     help="print the full span for this trace id")
+    obs.add_argument("--kind", default=None,
+                     help="print only events of this kind")
+    obs.add_argument("--last", type=int, default=None,
+                     help="print only the last N events")
+    obs.add_argument("--find-lifecycle", default=None, metavar="KINDS",
+                     help="comma-separated event kinds; find and print "
+                          "one trace whose spooled span covers all of "
+                          "them (exit 1 if none does)")
+    obs.add_argument("--json", action="store_true",
+                     help="emit events as JSON lines instead of columns")
     return parser
 
 
@@ -366,7 +419,8 @@ def cmd_chaos(args) -> int:
                          tamper_every=args.tamper_every, server=args.server,
                          failover=args.failover, batched=args.batched,
                          standbys=args.standbys, scrub=args.scrub,
-                         pipelined=args.pipelined)
+                         pipelined=args.pipelined, obs=args.obs,
+                         spool_dir=args.spool_dir)
 
     report = once()
     mode = ("failover" if args.failover
@@ -402,6 +456,12 @@ def cmd_chaos(args) -> int:
             "quarantined_final": report.quarantined_final,
             "provisional_serves": report.provisional_serves,
             "repair_ledger_digest": report.repair_ledger_digest,
+            "obs_armed": report.obs_armed,
+            "slo_alerts": report.slo_alerts,
+            "slo_firing": report.slo_firing,
+            "exemplar_digest": report.exemplar_digest,
+            "spool_events": report.spool_events,
+            "spool_replay_ok": report.spool_replay_ok,
             "unrecoverable": report.unrecoverable,
             "fault_fires": report.fault_fires,
             "hard_failures": report.hard_failures,
@@ -440,6 +500,15 @@ def cmd_chaos(args) -> int:
                   f"{'converged' if report.scrub_converged else 'DID NOT CONVERGE'}, "
                   f"{report.quarantined_final} page(s) left quarantined")
             print(f"repair ledger        {report.repair_ledger_digest}")
+        print(f"trace spool          {report.spool_events} events retained "
+              f"(replay {'ok' if report.spool_replay_ok else 'BROKEN'}"
+              + (f", persisted to {args.spool_dir}" if args.spool_dir
+                 else "") + ")")
+        if args.obs:
+            print(f"slo                  {report.slo_alerts} alert(s) fired"
+                  + (f", still firing: {', '.join(report.slo_firing)}"
+                     if report.slo_firing else ", none firing at end"))
+            print(f"exemplars            {report.exemplar_digest}")
         if report.unrecoverable:
             print("UNRECOVERABLE: the recovery ladder ran out of rungs; "
                   "the error carries the fault seed and trace digest")
@@ -467,7 +536,8 @@ def cmd_chaos(args) -> int:
               + (f" --standbys {args.standbys}" if args.standbys != 1 else "")
               + (" --batched" if args.batched else "")
               + (" --pipelined" if args.pipelined else "")
-              + (" --scrub" if args.scrub else ""))
+              + (" --scrub" if args.scrub else "")
+              + (" --obs" if args.obs else ""))
         return 1
     if args.check_deterministic:
         second = once()
@@ -713,6 +783,97 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """The ``obs`` command: spool tail/replay and SLO burn-rate reports."""
+    from repro.obs import LATENCIES, TRACER
+    from repro.obs.sink import SpoolReader, replay_fidelity
+
+    def run_scenario(obs_armed: bool):
+        from repro.faults.chaos import run_chaos
+        return run_chaos(seed=args.seed, ops=args.ops, records=args.records,
+                         server=args.server, failover=args.failover,
+                         batched=args.batched, pipelined=args.pipelined,
+                         scrub=args.scrub, obs=obs_armed,
+                         spool_dir=args.dir)
+
+    def query(source) -> int:
+        if args.find_lifecycle:
+            kinds = {k.strip() for k in args.find_lifecycle.split(",")
+                     if k.strip()}
+            trace = source.find_lifecycle(kinds)
+            if trace is None:
+                print(f"no spooled trace covers all of: {sorted(kinds)}")
+                return 1
+            print(f"# lifecycle trace {trace} covers {sorted(kinds)}:")
+            _print_events(source.lifecycle(trace), args.json)
+            return 0
+        events = source.events(trace=args.trace, kind=args.kind,
+                               last=args.last)
+        if not events:
+            print("no spooled events matched the filter")
+            return 1
+        _print_events(events, args.json)
+        return 0
+
+    if args.action == "tail":
+        run_scenario(obs_armed=False)
+        spool = TRACER.sink
+        print(f"# spool: {spool.stats()}")
+        if args.trace or args.kind or args.find_lifecycle:
+            return query(spool)
+        _print_events(spool.last(args.last if args.last is not None
+                                 else 20), args.json)
+        return 0
+
+    if args.action == "replay":
+        if args.dir is None:
+            print("obs replay needs --dir (the spool directory)")
+            return 2
+        if not args.existing:
+            run_scenario(obs_armed=False)
+        try:
+            reader = SpoolReader(args.dir)
+        except FileNotFoundError as exc:
+            print(f"ERROR: {exc}")
+            return 2
+        print(f"# replayed {len(reader)} events from {args.dir}")
+        if not args.existing:
+            # Cold reader vs the still-live ring: the replay contract.
+            if not replay_fidelity(TRACER, reader):
+                print("REPLAY FIDELITY BROKEN: a span in the ring is not "
+                      "reconstructable from the persisted spool")
+                return 1
+            print("# replay fidelity: every live span reconstructed "
+                  "from disk")
+        if args.trace or args.kind or args.find_lifecycle or args.last:
+            return query(reader)
+        return 0
+
+    # slo-report: run the scenario with the SLO engine armed.
+    report = run_scenario(obs_armed=True)
+    print(f"slo report (chaos seed={args.seed}, "
+          f"{'server' if args.server or args.batched or args.failover or args.pipelined else 'direct'} "
+          f"mode, {args.ops} ops)")
+    print(f"alerts fired         {report.slo_alerts}")
+    print(f"firing at end        "
+          f"{', '.join(report.slo_firing) if report.slo_firing else '-'}")
+    print(f"exemplar digest      {report.exemplar_digest}")
+    print(f"spool                {report.spool_events} events "
+          f"(replay {'ok' if report.spool_replay_ok else 'BROKEN'})")
+    for event in TRACER.sink.events(kind="slo") if TRACER.sink else []:
+        d = event.detail
+        print(f"  t={event.ts:>10.1f} {d.get('objective', '?'):<22} "
+              f"-> {d.get('state', '?'):<10} "
+              f"fast={d.get('fast_burn', 0):>8.2f} "
+              f"slow={d.get('slow_burn', 0):>8.2f}")
+    exemplars = LATENCIES.exemplars()
+    print(f"exemplars retained   {len(exemplars)}")
+    for ex in exemplars:
+        print(f"  {ex.name:<16} {ex.kind:<9} at={ex.at:<7} "
+              f"value={ex.value:<10.1f} trace={ex.trace}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -726,6 +887,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-batching": cmd_bench_batching,
         "metrics": cmd_metrics,
         "trace": cmd_trace,
+        "obs": cmd_obs,
     }
     return handlers[args.command](args)
 

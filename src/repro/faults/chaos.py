@@ -38,8 +38,9 @@ from repro.errors import (
 )
 from repro.faults.plan import FaultPlan, FaultSpec, install_faults
 from repro.instrument import COUNTERS
-from repro.obs import TRACER
+from repro.obs import LATENCIES, TRACER
 from repro.obs import reset as obs_reset
+from repro.obs.sink import TraceSpool, replay_fidelity
 from repro.store.recovery import rebuild_index_from_log
 from repro.workloads.ycsb import OP_GET, OP_PUT, WORKLOADS, YcsbGenerator
 
@@ -165,6 +166,22 @@ class ChaosReport:
     #: Digest of the repair ledger (every quarantine/repair decision) —
     #: part of the determinism check in --scrub mode.
     repair_ledger_digest: str = ""
+    #: The soak armed the full observability pipeline (--obs): SLO
+    #: engine on the server, exemplar digest folded into the run digest.
+    obs_armed: bool = False
+    #: Objectives that started firing during the soak (--obs, server
+    #: modes; 0 elsewhere).
+    slo_alerts: int = 0
+    #: Objectives still firing when the soak ended, sorted.
+    slo_firing: list = field(default_factory=list)
+    #: Digest of the retained exemplar set (--obs; folded into digest).
+    exemplar_digest: str = ""
+    #: Events the persistent spool retained (spools attach in every
+    #: soak; the ring is just its cache).
+    spool_events: int = 0
+    #: Replay contract held: every span still in the ring was
+    #: reconstructable from the spool. False is a hard failure.
+    spool_replay_ok: bool = True
     fault_fires: dict = field(default_factory=dict)
     trace_digest: str = ""
     #: Tri-state violations. MUST stay empty; each entry is a hard failure.
@@ -203,6 +220,14 @@ class ChaosReport:
             # Opt-in fold (mirrors scrub): legacy synchronous digests
             # stay byte-identical to their pinned values.
             h.update(f"pipelined={self.pipelined_batches};".encode())
+        if self.obs_armed:
+            # Opt-in fold (same pattern): exemplar selection and the SLO
+            # alert sequence are deterministic per seed, so they join
+            # the reproducibility contract — but only in --obs runs.
+            h.update(f"slo_alerts={self.slo_alerts};".encode())
+            h.update(("slo_firing=" + ",".join(self.slo_firing)
+                      + ";").encode())
+            h.update(f"exemplars={self.exemplar_digest};".encode())
         for point in sorted(self.fault_fires):
             h.update(f"{point}={self.fault_fires[point]};".encode())
         for failure in self.hard_failures:
@@ -230,13 +255,15 @@ class _ChaosRun:
                  plan: FaultPlan | None, tamper_every: int | None,
                  server: bool = False, failover: bool = False,
                  batched: bool = False, standbys: int = 1,
-                 scrub: bool = False, pipelined: bool = False):
+                 scrub: bool = False, pipelined: bool = False,
+                 obs: bool = False):
         batched = batched or pipelined  # pipelined implies group commit
         self.seed = seed
         self.n_ops = ops
         self.n_records = records
         self.n_standbys = standbys
         self.scrub_mode = scrub
+        self.obs_mode = obs
         if plan is not None:
             self.plan = plan
         elif failover:
@@ -279,7 +306,7 @@ class _ChaosRun:
         #: before the next clean settlement, or the run hard-fails.
         self._unsettled_serves: list[str] = []
         self.report = ChaosReport(seed=seed, scrub=scrub,
-                                  pipelined=pipelined)
+                                  pipelined=pipelined, obs_armed=obs)
         self.generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
                                        distribution="zipfian", theta=0.9,
                                        seed=seed)
@@ -338,6 +365,15 @@ class _ChaosRun:
             if self.scrub_mode:
                 # Opt-in: existing (non-scrub) soak digests stay pinned.
                 cfg.scrub_enabled = True
+            if self.obs_mode:
+                # Opt-in SLO engine (same pattern). The tight p99 budget
+                # is deliberate: a chaos soak's recovery stalls push
+                # verified latencies far past it, so every --obs soak
+                # demonstrably fires a deterministic burn-rate alert
+                # whose exemplar-backed lifecycle the acceptance test
+                # reconstructs from the persisted spool alone.
+                from repro.obs.slo import SloConfig
+                cfg.slo = SloConfig(verified_p99_budget=64.0)
             self.server = FastVerServer(
                 db, cfg,
                 salvage_hook=self._server_salvage_hook, warm=items)
@@ -1114,15 +1150,36 @@ class _ChaosRun:
         if self.scrub_mode:
             self._check_scrub_convergence()
         self.report.trace_digest = self.plan.trace_digest()
+        spool = TRACER.sink
+        if spool is not None:
+            self.report.spool_events = len(spool)
+            # The replay contract is checked on *every* soak (the spool
+            # always rides along): a spool that cannot reconstruct the
+            # ring's spans is broken observability, a hard failure.
+            self.report.spool_replay_ok = replay_fidelity(TRACER, spool)
+            if not self.report.spool_replay_ok:
+                self.report.hard_failures.append(
+                    "trace spool failed replay fidelity: a span in the "
+                    "ring is not reconstructable from the spool")
+        if self.obs_mode:
+            self.report.exemplar_digest = LATENCIES.exemplar_digest()
+            if self.server is not None and self.server._slo is not None:
+                self.report.slo_alerts = self.server._slo.alerts
+                self.report.slo_firing = sorted(self.server._slo.firing())
         if self.report.hard_failures or self.report.unrecoverable:
-            # Forensics: the last-N lifecycle events leading up to the
-            # failure, keyed by the fault seed (the repro handle).
+            # Forensics keyed by the fault seed (the repro handle). With
+            # the spool attached — every soak — the dump covers the whole
+            # run within retention, not just the ring's last events.
+            source = spool if spool is not None else TRACER
+            events = (source.events() if spool is not None
+                      else TRACER.last(self.FORENSICS_LAST))
             self.report.forensics = {
                 "seed": self.seed,
                 "trace_digest": self.report.trace_digest,
                 "ring_dropped": TRACER.dropped,
-                "events": [e.as_dict()
-                           for e in TRACER.last(self.FORENSICS_LAST)],
+                "source": "spool" if spool is not None else "ring",
+                "spool": spool.stats() if spool is not None else None,
+                "events": [e.as_dict() for e in events],
             }
         return self.report
 
@@ -1133,7 +1190,9 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
               server: bool = False, failover: bool = False,
               batched: bool = False, standbys: int = 1,
               scrub: bool = False,
-              pipelined: bool = False) -> ChaosReport:
+              pipelined: bool = False,
+              obs: bool = False,
+              spool_dir: str | None = None) -> ChaosReport:
     """Run one chaos soak; see the module docstring for the contract.
 
     ``server=True`` drives the workload through the full serving pipeline
@@ -1165,9 +1224,19 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     tallies into the digest only when the mode is armed.
 
     The observability layer (repro.obs) is reset at the start of each
-    soak, so the trace ring and histograms afterwards describe exactly
-    this run — ``python -m repro trace`` dumps them, and the report's
-    ``forensics`` field preserves the last events on a hard failure.
+    soak and a persistent trace spool is attached, so the trace ring and
+    histograms afterwards describe exactly this run — ``python -m repro
+    trace`` dumps them, and a hard failure's ``forensics`` field dumps
+    the *whole run* from the spool (bounded by retention, not by the
+    ring). ``spool_dir`` persists the spool's segments to disk for
+    ``python -m repro obs replay``. The spool is behaviorally inert —
+    attaching it changes no counter, latency, or event — so legacy
+    digests stay pinned.
+
+    ``obs=True`` additionally arms the SLO burn-rate engine on the
+    server (server modes; a tight p99 budget so a stressed soak
+    deterministically fires) and folds the alert tallies and the
+    exemplar digest into the run digest.
 
     ``standbys`` sets the replication-group size in failover mode. Above
     1, the soak arms the correlated same-tick primary+standby double
@@ -1187,5 +1256,11 @@ def run_chaos(seed: int = 7, ops: int = 2000, records: int = 200,
     zero quarantined pages — whose failure is a hard failure.
     """
     obs_reset()
-    return _ChaosRun(seed, ops, records, plan, tamper_every, server,
-                     failover, batched, standbys, scrub, pipelined).run()
+    TRACER.attach_sink(TraceSpool(directory=spool_dir))
+    try:
+        return _ChaosRun(seed, ops, records, plan, tamper_every, server,
+                         failover, batched, standbys, scrub, pipelined,
+                         obs).run()
+    finally:
+        if TRACER.sink is not None:
+            TRACER.sink.flush()

@@ -136,6 +136,13 @@ class Counters:
     # Deepest the pipelined receipt stream ever got (in-flight batches).
     inflight_batches_max: int = gauge_max("controller")
 
+    # SLO burn-rate engine (repro.obs.slo, armed via ServerConfig.slo).
+    # Bumped by the *server* wiring, never by the obs layer itself, and
+    # unpriced by the cost model (observability stays modeled-time free).
+    slo_evaluations: int = grouped("slo")    # per-epoch engine evaluations
+    slo_alerts: int = grouped("slo")         # objectives that started firing
+    slo_proactive_repairs: int = grouped("slo")  # repair pumps run on alert
+
     @property
     def batch_fill_avg(self) -> float:
         """Mean ops per group-commit batch (derived, so per-worker merges

@@ -12,6 +12,16 @@ Three instruments, all in simulated time, all on by default:
 * :func:`attribute_costs` — per-subsystem cost attribution from counter
   deltas × the calibrated cost model (``repro.obs.profile``).
 
+Two optional stages turn the instruments into a pipeline:
+
+* :class:`TraceSpool` (``repro.obs.sink``) — a persistent, segment-
+  rotated JSONL spool the tracer writes through to, so forensics cover
+  the whole run instead of the ring's last 4096 events; read it cold
+  with :class:`SpoolReader` (``python -m repro obs tail|replay``).
+* :class:`SloEngine` (``repro.obs.slo``) — declared objectives with
+  multi-window burn-rate alerts, armed per-server via
+  ``ServerConfig.slo`` and surfaced in ``health()["slo"]``.
+
 Tracing is designed to be free under the performance methodology:
 modeled time derives *only* from ``repro.instrument.COUNTERS``, and the
 observability layer never bumps a counter, so modeled throughput with
@@ -23,13 +33,18 @@ core imports *us*); ``repro.obs.runner`` — the measured-run driver for
 ``python -m repro metrics`` — is imported lazily by the CLI.
 """
 
-from repro.obs.histogram import LATENCIES, LatencyRecorder, LogHistogram
+from repro.obs.histogram import (LATENCIES, Exemplar, LatencyRecorder,
+                                 LogHistogram)
 from repro.obs.profile import SUBSYSTEMS, CostAttribution, attribute_costs
+from repro.obs.sink import SpoolReader, TraceSpool, replay_fidelity
+from repro.obs.slo import SloConfig, SloEngine
 from repro.obs.trace import TRACER, TraceEvent, Tracer
 
 __all__ = [
     "TRACER", "Tracer", "TraceEvent",
-    "LATENCIES", "LatencyRecorder", "LogHistogram",
+    "LATENCIES", "LatencyRecorder", "LogHistogram", "Exemplar",
+    "TraceSpool", "SpoolReader", "replay_fidelity",
+    "SloConfig", "SloEngine",
     "attribute_costs", "CostAttribution", "SUBSYSTEMS",
     "set_enabled", "reset",
 ]

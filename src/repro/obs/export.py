@@ -20,23 +20,35 @@ from repro.obs.histogram import PERCENTILES, LatencyRecorder
 from repro.obs.profile import CostAttribution
 from repro.obs.trace import TRACER
 
-SCHEMA = "repro.metrics.v1"
+#: v2 (this PR) adds: trace.capacity + trace.spool (sink stats), the
+#: per-histogram ``windows`` metadata, the ``exemplars`` list +
+#: ``exemplar_digest``, and the ``slo`` engine snapshot. v1 payloads
+#: fail the schema check — regenerate, don't hand-edit.
+SCHEMA = "repro.metrics.v2"
 
 
 def metrics_payload(counters: Counters, attribution: CostAttribution,
                     latencies: LatencyRecorder, metrics=None,
-                    run: dict | None = None) -> dict:
+                    run: dict | None = None, slo=None) -> dict:
     """The canonical metrics export. ``metrics`` is a
     :class:`~repro.sim.metrics.RunMetrics` (or None for callers that
-    only have counters); ``run`` carries the run's parameters."""
+    only have counters); ``run`` carries the run's parameters; ``slo``
+    is an :class:`~repro.obs.slo.SloEngine` when the run armed one."""
+    sink = TRACER.sink
     return {
         "schema": SCHEMA,
         "run": run or {},
         "metrics": metrics.as_dict() if metrics is not None else None,
         "latency": latencies.as_dict(full=True),
+        "windows": latencies.window_meta(),
+        "exemplars": [ex.as_dict() for ex in latencies.exemplars()],
+        "exemplar_digest": latencies.exemplar_digest(),
         "attribution": attribution.as_dict(),
         "counters": counters.as_dict(),
-        "trace": {"events": len(TRACER), "dropped": TRACER.dropped},
+        "trace": {"events": len(TRACER), "dropped": TRACER.dropped,
+                  "capacity": TRACER.capacity,
+                  "spool": sink.stats() if sink is not None else None},
+        "slo": slo.snapshot() if slo is not None else None,
     }
 
 
@@ -49,11 +61,32 @@ def check_payload(payload: dict) -> list[str]:
     verified-latency distribution.
     """
     problems = []
-    for key in ("schema", "latency", "attribution", "counters"):
+    for key in ("schema", "latency", "attribution", "counters",
+                "windows", "exemplars", "exemplar_digest", "trace"):
         if key not in payload:
             problems.append(f"missing key: {key}")
     if payload.get("schema") != SCHEMA:
         problems.append(f"schema != {SCHEMA}")
+    trace = payload.get("trace") or {}
+    for key in ("events", "dropped", "capacity"):
+        if key not in trace:
+            problems.append(f"trace missing key: {key}")
+    for name, meta in (payload.get("windows") or {}).items():
+        if not {"window_count", "resets"} <= set(meta):
+            problems.append(f"window {name}: incomplete metadata")
+    for ex in payload.get("exemplars") or []:
+        if not {"name", "trace", "value", "at", "kind"} <= set(ex):
+            problems.append("exemplar missing fields")
+        elif ex["kind"] not in ("outlier", "baseline"):
+            problems.append(f"exemplar kind {ex['kind']!r} unknown")
+    slo = payload.get("slo")
+    if slo is not None:
+        for key in ("config", "epochs", "alerts", "firing", "objectives"):
+            if key not in slo:
+                problems.append(f"slo missing key: {key}")
+        for name, obj in (slo.get("objectives") or {}).items():
+            if obj.get("state") not in ("ok", "fast_burn", "slow_burn"):
+                problems.append(f"slo objective {name}: bad state")
     att = payload.get("attribution") or {}
     if not att.get("consistent", False):
         problems.append("attribution parts do not sum to model total")
@@ -134,4 +167,39 @@ def to_prometheus(payload: dict) -> str:
     trace = payload.get("trace") or {}
     emit("repro_trace_events", trace.get("events", 0))
     emit("repro_trace_dropped_total", trace.get("dropped", 0))
+    emit("repro_trace_capacity", trace.get("capacity", 0))
+    spool = trace.get("spool")
+    if spool:
+        lines.append("# HELP repro_spool persistent trace spool gauges")
+        lines.append("# TYPE repro_spool gauge")
+        for key in ("appended", "retained", "segments",
+                    "dropped_events", "dropped_segments"):
+            emit("repro_spool", spool.get(key, 0), {"name": key})
+
+    for name, meta in sorted((payload.get("windows") or {}).items()):
+        emit("repro_latency_window_count", meta.get("window_count", 0),
+             {"hist": name})
+        emit("repro_latency_window_resets", meta.get("resets", 0),
+             {"hist": name})
+
+    exemplars = payload.get("exemplars") or []
+    emit("repro_exemplars_retained", len(exemplars))
+    for ex in exemplars:
+        emit("repro_exemplar", ex.get("value", 0),
+             {"hist": ex.get("name", ""), "kind": ex.get("kind", ""),
+              "trace": ex.get("trace", ""), "at": ex.get("at", 0)})
+
+    slo = payload.get("slo")
+    if slo:
+        lines.append("# HELP repro_slo_burn SLO burn rates per objective")
+        lines.append("# TYPE repro_slo_burn gauge")
+        states = {"ok": 0, "slow_burn": 1, "fast_burn": 2}
+        for name, obj in sorted((slo.get("objectives") or {}).items()):
+            emit("repro_slo_burn", obj.get("fast_burn", 0),
+                 {"objective": name, "window": "fast"})
+            emit("repro_slo_burn", obj.get("slow_burn", 0),
+                 {"objective": name, "window": "slow"})
+            emit("repro_slo_state", states.get(obj.get("state"), 0),
+                 {"objective": name})
+        emit("repro_slo_alerts_total", slo.get("alerts", 0))
     return "\n".join(lines) + "\n"

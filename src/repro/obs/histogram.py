@@ -21,7 +21,9 @@ metrics`` exports.
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import deque
 from dataclasses import dataclass, field
 
 #: Linear sub-buckets per power of two: relative quantile error <= 1/8.
@@ -29,6 +31,46 @@ SUBBUCKETS = 8
 
 #: The percentiles every summary exports.
 PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+#: Exemplar gate: observations beyond this quantile of the *current
+#: window* keep their trace id (the span is then reconstructable from
+#: the ring or the spool), so outlier latencies are always explainable.
+EXEMPLAR_QUANTILE = 99.0
+
+#: Deterministic baseline: every Nth traced observation keeps an
+#: exemplar regardless of value, so healthy latencies stay explainable
+#: too (and reruns of the same seed keep identical exemplar sets).
+EXEMPLAR_EVERY = 64
+
+#: Observations a window must hold before the quantile gate arms (an
+#: empty window would call everything an outlier).
+EXEMPLAR_MIN_WINDOW = 32
+
+#: Bounded storage: most recent outlier / baseline exemplars retained
+#: per histogram. Exemplars carry a trace id, not the span itself, so
+#: this bounds memory without bounding explainability.
+EXEMPLAR_OUTLIERS = 32
+EXEMPLAR_BASELINE = 8
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """One retained observation: the trace id that explains a latency.
+
+    ``at`` is the observation's 1-based index in its histogram's
+    stream — deterministic for a given seed, which is what lets
+    exemplar sets fold into chaos digests."""
+
+    name: str
+    trace: str
+    value: float
+    at: int
+    kind: str  # "outlier" | "baseline"
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "trace": self.trace,
+                "value": round(self.value, 3), "at": self.at,
+                "kind": self.kind}
 
 
 @dataclass
@@ -158,26 +200,62 @@ class LatencyRecorder:
     polls, so a breach in the last interval is not diluted by an hour of
     healthy history. Windows carry full histograms (not snapshot
     deltas), so interval min/max and quantiles are exact to the same
-    ``1/SUBBUCKETS`` bound as the cumulative view."""
+    ``1/SUBBUCKETS`` bound as the cumulative view.
+
+    Traced observations additionally feed **exemplar sampling**: the
+    trace id of any observation beyond :data:`EXEMPLAR_QUANTILE` of the
+    current window is retained (plus a deterministic 1-in-
+    :data:`EXEMPLAR_EVERY` baseline), so a p99 outlier in an export is
+    always one ``repro obs replay --trace`` away from its full span."""
 
     def __init__(self):
         self.enabled = True
         self._hists: dict[str, LogHistogram] = {}
         self._windows: dict[str, LogHistogram] = {}
+        self._window_resets: dict[str, int] = {}
+        #: name -> total traced+untraced observations (the ``at`` index).
+        self._observations: dict[str, int] = {}
+        self._outliers: dict[str, deque[Exemplar]] = {}
+        self._baseline: dict[str, deque[Exemplar]] = {}
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float,
+                trace: str | None = None) -> None:
+        """Record ``value``; when ``trace`` is given, the observation is
+        exemplar-eligible: it is retained (trace id + value + stream
+        index) if it lands beyond :data:`EXEMPLAR_QUANTILE` of the
+        current window, or as the deterministic 1-in-
+        :data:`EXEMPLAR_EVERY` baseline. The gate threshold is computed
+        *before* the value enters the window, so a new worst-case can
+        exceed it (a window's percentile clamps to its own max)."""
         if not self.enabled:
             return
         hist = self._hists.get(name)
         if hist is None:
             hist = self._hists[name] = LogHistogram(
                 name, UNITS.get(name, "ticks"))
-        hist.observe(value)
         window = self._windows.get(name)
         if window is None:
             window = self._windows[name] = LogHistogram(
                 name, UNITS.get(name, "ticks"))
+        at = self._observations.get(name, 0) + 1
+        self._observations[name] = at
+        if trace is not None:
+            if (window.count >= EXEMPLAR_MIN_WINDOW
+                    and value > window.percentile(EXEMPLAR_QUANTILE)):
+                self._keep(self._outliers, EXEMPLAR_OUTLIERS,
+                           Exemplar(name, trace, value, at, "outlier"))
+            elif at % EXEMPLAR_EVERY == 0:
+                self._keep(self._baseline, EXEMPLAR_BASELINE,
+                           Exemplar(name, trace, value, at, "baseline"))
+        hist.observe(value)
         window.observe(value)
+
+    @staticmethod
+    def _keep(store: dict[str, deque], cap: int, ex: Exemplar) -> None:
+        bucket = store.get(ex.name)
+        if bucket is None:
+            bucket = store[ex.name] = deque(maxlen=cap)
+        bucket.append(ex)
 
     def get(self, name: str) -> LogHistogram:
         """The named histogram (an empty one if nothing recorded yet)."""
@@ -201,7 +279,40 @@ class LatencyRecorder:
         a fresh window. The cumulative histogram is untouched."""
         taken = self.window(name)
         self._windows[name] = LogHistogram(name, UNITS.get(name, "ticks"))
+        self._window_resets[name] = self._window_resets.get(name, 0) + 1
         return taken
+
+    def window_meta(self) -> dict:
+        """Per-histogram window metadata for ``health()``/exports:
+        observations in the current (un-taken) window and how many times
+        the window has been reset-on-read."""
+        names = sorted(set(self._windows) | set(self._window_resets))
+        return {name: {"window_count": self.window(name).count,
+                       "resets": self._window_resets.get(name, 0)}
+                for name in names}
+
+    # ------------------------------------------------------------------
+    def exemplars(self, name: str | None = None) -> list[Exemplar]:
+        """Retained exemplars (outliers then baseline, each oldest
+        first), optionally for one histogram."""
+        names = [name] if name is not None else \
+            sorted(set(self._outliers) | set(self._baseline))
+        out: list[Exemplar] = []
+        for n in names:
+            out.extend(self._outliers.get(n, ()))
+            out.extend(self._baseline.get(n, ()))
+        return out
+
+    def exemplar_digest(self) -> str:
+        """Order-stable sha256 over the retained exemplar set. Exemplar
+        selection is a pure function of the observation stream, so for a
+        seeded run this digest is bit-for-bit reproducible — chaos folds
+        it into the run digest when obs mode is armed."""
+        h = hashlib.sha256()
+        for ex in self.exemplars():
+            h.update(f"{ex.name}|{ex.kind}|{ex.trace}|{ex.at}|"
+                     f"{ex.value:.6f}\n".encode())
+        return h.hexdigest()
 
     def names(self) -> list[str]:
         return sorted(self._hists)
@@ -209,6 +320,10 @@ class LatencyRecorder:
     def reset(self) -> None:
         self._hists.clear()
         self._windows.clear()
+        self._window_resets.clear()
+        self._observations.clear()
+        self._outliers.clear()
+        self._baseline.clear()
 
     def as_dict(self, full: bool = False) -> dict:
         return {name: (self._hists[name].as_dict() if full

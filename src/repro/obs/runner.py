@@ -20,9 +20,11 @@ from repro.core.fastver import FastVer, FastVerConfig
 from repro.core.protocol import Client
 from repro.crypto.mac import MacKey
 from repro.instrument import COUNTERS, Counters
-from repro.obs import LATENCIES, attribute_costs
+from repro.obs import LATENCIES, TRACER, attribute_costs
 from repro.obs import reset as obs_reset
 from repro.obs.export import metrics_payload
+from repro.obs.sink import TraceSpool
+from repro.obs.slo import SloConfig
 from repro.server.pipeline import FastVerServer, ServerConfig, ServerRequest
 from repro.sim.metrics import MetricsBuilder, RunMetrics
 from repro.workloads.ycsb import OP_PUT, WORKLOADS, YcsbGenerator
@@ -44,6 +46,9 @@ class InstrumentedRun:
     n_workers: int
     batch: int
     maintain_every: int
+    #: The run's SLO engine (the metrics run always arms one, so the
+    #: export exercises every v2 schema field).
+    slo: object = None
 
     def run_params(self) -> dict:
         return {
@@ -61,7 +66,7 @@ class InstrumentedRun:
             self.counters, modeled_db_records=self.records)
         return metrics_payload(self.counters, attribution, LATENCIES,
                                metrics=self.metrics,
-                               run=self.run_params())
+                               run=self.run_params(), slo=self.slo)
 
 
 def run_instrumented(records: int = 400, ops: int = 2000, seed: int = 7,
@@ -72,6 +77,9 @@ def run_instrumented(records: int = 400, ops: int = 2000, seed: int = 7,
     verified latencies), counters scoped per phase into a
     :class:`MetricsBuilder`."""
     obs_reset()
+    # Full pipeline armed: the metrics export should exercise the spool
+    # and SLO fields of the v2 schema, not emit nulls.
+    TRACER.attach_sink(TraceSpool())
     items = [(k, b"seed-%d" % k) for k in range(records)]
     db = FastVer(
         FastVerConfig(key_width=32, n_workers=n_workers, partition_depth=3,
@@ -86,7 +94,7 @@ def run_instrumented(records: int = 400, ops: int = 2000, seed: int = 7,
         group_commit=True, max_batch_ops=batch,
         max_batch_ticks=float(10 ** 9),
         queue_capacity=max(64, 4 * batch),
-        default_deadline=_FOREVER), warm=items)
+        default_deadline=_FOREVER, slo=SloConfig()), warm=items)
     generator = YcsbGenerator(WORKLOADS["YCSB-A"], records,
                               distribution="zipfian", theta=0.9, seed=seed)
     builder = MetricsBuilder(n_workers, records)
@@ -121,7 +129,15 @@ def run_instrumented(records: int = 400, ops: int = 2000, seed: int = 7,
             phase_start = COUNTERS.snapshot()
             since_maintain = 0
 
+    metrics = builder.build()
+    metrics.obs = {
+        "trace_events": len(TRACER),
+        "trace_dropped": TRACER.dropped,
+        "spool": TRACER.sink.stats() if TRACER.sink is not None else None,
+        "windows": LATENCIES.window_meta(),
+        "exemplars": len(LATENCIES.exemplars()),
+    }
     return InstrumentedRun(
-        metrics=builder.build(), counters=COUNTERS.snapshot(),
+        metrics=metrics, counters=COUNTERS.snapshot(),
         records=records, ops=ops, seed=seed, n_workers=n_workers,
-        batch=batch, maintain_every=maintain_every)
+        batch=batch, maintain_every=maintain_every, slo=server._slo)

@@ -51,11 +51,19 @@ repair      one quarantined page's repair attempt concluded (detail:
 attack      red-team campaign injected (detail: attack, topology, seed)
 detect      red-team verdict: which detector fired, detected flag, and
             detection latency in ticks (escapes carry detected=False)
+slo         SLO engine alert transition (detail: objective, state=
+            ok|fast_burn|slow_burn, fast/slow burn rates; see
+            ``repro.obs.slo``)
 ========== ==========================================================
 
 The ring is bounded (default 4096 events) so tracing can stay on for
 arbitrarily long soaks; ``dropped`` counts evictions. All timestamps
 are the server's simulated clock.
+
+A persistent sink (``repro.obs.sink.TraceSpool``) can be attached with
+:meth:`Tracer.attach_sink`; every recorded event is then written
+through to it, turning the bounded ring into a cache over the spool's
+retention window.
 """
 
 from __future__ import annotations
@@ -92,6 +100,25 @@ class Tracer:
         self.dropped = 0
         self._seq = 0
         self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Write-through sink (a ``repro.obs.sink.TraceSpool`` or
+        #: anything with ``append(event)``); None keeps ring-only mode.
+        self._sink = None
+
+    # ------------------------------------------------------------------
+    @property
+    def sink(self):
+        """The attached persistent sink (None when ring-only)."""
+        return self._sink
+
+    def attach_sink(self, sink) -> None:
+        """Attach a persistent spool; every subsequent event is written
+        through to it (the ring becomes a bounded cache over it)."""
+        self._sink = sink
+
+    def detach_sink(self):
+        """Detach and return the current sink (None if none attached)."""
+        sink, self._sink = self._sink, None
+        return sink
 
     # ------------------------------------------------------------------
     def record(self, kind: str, ts: float, trace: str | None = None,
@@ -101,7 +128,10 @@ class Tracer:
         if len(self._ring) == self.capacity:
             self.dropped += 1
         self._seq += 1
-        self._ring.append(TraceEvent(self._seq, ts, kind, trace, detail))
+        event = TraceEvent(self._seq, ts, kind, trace, detail)
+        self._ring.append(event)
+        if self._sink is not None:
+            self._sink.append(event)
 
     # ------------------------------------------------------------------
     def events(self, trace: str | None = None, kind: str | None = None,
@@ -146,9 +176,12 @@ class Tracer:
         return None
 
     def reset(self) -> None:
+        """Clear the ring (and detach any sink: a reset starts a new
+        run, and the run owns its spool's lifecycle)."""
         self._ring.clear()
         self._seq = 0
         self.dropped = 0
+        self._sink = None
 
     def __len__(self) -> int:
         return len(self._ring)

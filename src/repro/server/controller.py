@@ -86,6 +86,13 @@ class LatencyBudgetController:
         p99 = window.percentile(99.0)
         self.last_p99 = p99
         breach = p99 > self.budget
+        # SLO advisory: a firing verified-latency burn alert means the
+        # *trend* is eating the error budget even if this one interval's
+        # p99 squeaked under — treat it as a breach and back off.
+        slo = getattr(self.server, "_slo", None)
+        if not breach and slo is not None \
+                and "verified_latency_p99" in slo.firing():
+            breach = True
         self.last_action = "shrink" if breach else "grow"
         moved = 0
         for shard in range(self.server.db.config.n_workers):

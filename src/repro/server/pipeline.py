@@ -46,6 +46,7 @@ from repro.errors import (
 )
 from repro.instrument import COUNTERS
 from repro.obs import LATENCIES, TRACER
+from repro.obs.slo import SloConfig, SloEngine
 from repro.server.breaker import OPEN, CircuitBreaker
 from repro.server.supervisor import Supervisor
 from repro.store.recovery import rebuild_index_from_log
@@ -141,6 +142,15 @@ class ServerConfig:
     #: quantifies it).
     repair_base_ticks: float = 0.1
     repair_tick_per_page: float = 0.1
+    # --- SLO burn-rate engine (opt-in; see repro.obs.slo) -------------
+    #: Declared service objectives. When set, an :class:`SloEngine`
+    #: evaluates burn rates each epoch close (inside ``maintain()``),
+    #: surfaces alerts via ``health()["slo"]`` and ``slo`` trace events,
+    #: and advises the latency-budget controller (alert firing biases
+    #: the AIMD shrink path) and the supervisor (quarantine alerts run a
+    #: proactive repair pump). None keeps the server byte-identical to
+    #: before — no evaluations, no counters, no trace events.
+    slo: "SloConfig | None" = None
 
 
 @dataclass
@@ -339,6 +349,8 @@ class FastVerServer:
         if cfg.latency_budget_p99 is not None and cfg.group_commit:
             from repro.server.controller import LatencyBudgetController
             self._controller = LatencyBudgetController(self)
+        #: SLO burn-rate engine (None unless objectives are declared).
+        self._slo = SloEngine(cfg.slo) if cfg.slo is not None else None
         #: bitkey() memo. The derivation is pure in the configured key
         #: width, so entries stay valid across recovery and salvage.
         self._bitkey_cache: OrderedDict = OrderedDict()
@@ -446,7 +458,8 @@ class FastVerServer:
                 request = ticket.request
                 if request.submitted_at is not None:
                     LATENCIES.observe("admission_wait",
-                                      self.now - request.submitted_at)
+                                      self.now - request.submitted_at,
+                                      trace=request.trace)
                 try:
                     ticket.result = self._execute(request)
                 except Exception as exc:
@@ -714,7 +727,8 @@ class FastVerServer:
             processed += 1
             if ticket.request.submitted_at is not None:
                 LATENCIES.observe("admission_wait",
-                                  self.now - ticket.request.submitted_at)
+                                  self.now - ticket.request.submitted_at,
+                                  trace=ticket.request.trace)
             try:
                 early = self._admission(ticket.request)
             except Exception as exc:
@@ -839,7 +853,8 @@ class FastVerServer:
                           shard=shard, ops=len(ops))
             if ticket.staged_at is not None:
                 LATENCIES.observe("batch_residency",
-                                  self.now - ticket.staged_at)
+                                  self.now - ticket.staged_at,
+                                  trace=ticket.request.trace)
         try:
             outcomes = self.db.apply_batch(ops)
         except IntegrityError as exc:
@@ -1263,10 +1278,27 @@ class FastVerServer:
             # own epoch and advances its sealed floor in step.
             self.replication.note_epoch(report.epoch)
         self._settle_verified(epoch=report.epoch)
+        if self._slo is not None:
+            # SLO evaluation peeks the verified-latency window (the
+            # controller below still owns its reset-on-read) and runs
+            # before the controller so a fresh alert biases this very
+            # epoch's AIMD decision. The engine itself never counts —
+            # the wiring does, and the counters are unpriced.
+            fired = self._slo.observe_epoch(self)
+            COUNTERS.slo_evaluations += 1
+            COUNTERS.slo_alerts += fired
+            if "scrub_quarantine" in self._slo.firing():
+                if self.supervisor.proactive_repair():
+                    COUNTERS.slo_proactive_repairs += 1
         if self._controller is not None:
             # The epoch close just fed the verified-latency window; let
             # the controller walk the batch bounds against its budget.
             self._controller.observe_epoch()
+        elif self._slo is not None:
+            # No controller to reset-on-read the window: take it here so
+            # each SLO evaluation still sees one epoch's interval, not an
+            # ever-growing cumulative tail.
+            LATENCIES.take_window("verified_latency")
         for entry in self.completed.values():
             entry.durable = True
         self.committed_reads.update(self.provisional_reads)
@@ -1283,7 +1315,8 @@ class FastVerServer:
         verified latency — op submit to receipt — is now known."""
         settled = len(self._awaiting_epoch)
         for _trace, submitted_at in self._awaiting_epoch:
-            LATENCIES.observe("verified_latency", self.now - submitted_at)
+            LATENCIES.observe("verified_latency", self.now - submitted_at,
+                              trace=_trace)
         self._awaiting_epoch.clear()
         TRACER.record("epoch", self.now, None, epoch=epoch,
                       settled=settled, promoted=promoted)
@@ -1328,6 +1361,15 @@ class FastVerServer:
             },
             "controller": None if self._controller is None
             else self._controller.snapshot(),
+            "slo": None if self._slo is None else self._slo.snapshot(),
+            "obs": {
+                "trace_events": len(TRACER),
+                "trace_dropped": TRACER.dropped,
+                "trace_capacity": TRACER.capacity,
+                "spool": None if TRACER.sink is None
+                else TRACER.sink.stats(),
+                "windows": LATENCIES.window_meta(),
+            },
             "scrub": None if self._scrubber is None else {
                 "pages_checked": self._scrubber.pages_checked,
                 "mismatches": self._scrubber.mismatches_found,

@@ -89,8 +89,13 @@ class Supervisor:
         ladder reports the state unrecoverable — retrying cannot help."""
         server = self.server
         t0 = server.now
-        for delay in self.policy.delays():
-            self.policy.sleep(delay)
+        slo = getattr(server, "_slo", None)
+        # SLO advisory: with an objective already burning, the polite
+        # first backoff delay is pure added downtime — skip straight to
+        # the first attempt and let later attempts pace normally.
+        urgent = slo is not None and bool(slo.firing())
+        for attempt, delay in enumerate(self.policy.delays()):
+            self.policy.sleep(0.0 if urgent and attempt == 0 else delay)
             if server.faults is not None and \
                     server.faults.fire("server.supervisor.stall"):
                 self.failed_attempts += 1
@@ -108,9 +113,24 @@ class Supervisor:
             COUNTERS.recovery_ticks += int(round(self.last_recovery_ticks))
             server._exit_degraded()
             TRACER.record("heal", server.now, None, rung=self._last_rung,
-                          ticks=round(self.last_recovery_ticks, 1))
+                          ticks=round(self.last_recovery_ticks, 1),
+                          slo_pressure=urgent)
             return True
         return False
+
+    def proactive_repair(self) -> bool:
+        """SLO-advised repair pump: the ``scrub_quarantine`` objective is
+        burning (the quarantine is not converging on its own), so run the
+        surgical rung *now* — from normal service, without waiting for a
+        heal session — and let the burn rate fall as the quarantine
+        drains. Returns True when a repair pass ran and emptied it."""
+        if self.server.degraded:
+            return False  # a heal session owns recovery; don't race it
+        if not self._try_repair():
+            return False
+        TRACER.record("heal", self.server.now, None, rung="repair",
+                      ticks=0.0, slo_pressure=True, proactive=True)
+        return True
 
     def _heal_once(self) -> bool:
         """One rung-climbing attempt: repair, else failover, else

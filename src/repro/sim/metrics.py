@@ -51,6 +51,14 @@ class RunMetrics:
     #: repair_forgeries, quarantined_pages. All zero for runs without the
     #: scrubber attached.
     scrub: dict = field(default_factory=dict)
+    #: SLO engine summary (from the run's counters): slo_evaluations,
+    #: slo_alerts, slo_proactive_repairs. All zero for runs without
+    #: ``ServerConfig.slo`` armed.
+    slo: dict = field(default_factory=dict)
+    #: Observability-pipeline summary (filled by the run driver, not the
+    #: counters — the obs layer never counts): trace ring events/dropped,
+    #: spool stats, windowed-histogram metadata.
+    obs: dict = field(default_factory=dict)
 
     @property
     def total_wall_ns(self) -> float:
@@ -83,6 +91,8 @@ class RunMetrics:
             "verification_latency_s": round(self.verification_latency_s, 9),
             "replication": dict(self.replication),
             "scrub": dict(self.scrub),
+            "slo": dict(self.slo),
+            "obs": dict(self.obs),
         }
 
 
@@ -144,4 +154,5 @@ class MetricsBuilder:
             # so the max-merge rule and the export share one definition.
             replication=combined.group_dict("replication"),
             scrub=combined.group_dict("scrub"),
+            slo=combined.group_dict("slo"),
         )

@@ -43,9 +43,36 @@ class TestCli:
         assert code == 0
         assert "payload check: ok" in capsys.readouterr().out
         payload = json.loads(out_path.read_text())
-        assert payload["schema"] == "repro.metrics.v1"
+        assert payload["schema"] == "repro.metrics.v2"
         assert payload["latency"]["verified_latency"]["count"] == 300
         assert payload["attribution"]["consistent"]
+        # v2 fields: spool stats, window metadata, exemplars, SLO.
+        assert payload["trace"]["spool"]["appended"] > 0
+        assert payload["windows"]["verified_latency"]["resets"] > 0
+        assert payload["exemplar_digest"]
+        assert payload["slo"]["epochs"] > 0
+        assert set(payload["slo"]["objectives"]) == {
+            "verified_latency_p99", "shed_rate",
+            "settlement_overflow", "scrub_quarantine"}
+
+    def test_obs_replay_and_slo_report(self, capsys, tmp_path):
+        spool_dir = str(tmp_path / "spool")
+        code = main(["chaos", "--seed", "7", "--ops", "400",
+                     "--records", "120", "--server", "--obs",
+                     "--spool-dir", spool_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace spool" in out and "replay ok" in out
+        code = main(["obs", "replay", "--dir", spool_dir, "--existing",
+                     "--find-lifecycle", "admit,receipt"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out and "lifecycle trace" in out
+        code = main(["obs", "slo-report", "--server", "--seed", "7",
+                     "--ops", "400", "--records", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slo report" in out and "exemplars retained" in out
 
     def test_metrics_text_report(self, capsys):
         code = main(["metrics", "--records", "120", "--ops", "200",
